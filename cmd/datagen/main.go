@@ -1,0 +1,94 @@
+// Command datagen materializes the synthetic Table 3 datasets as LG
+// files and prints their structural statistics.
+//
+// Usage:
+//
+//	datagen -dataset yeast [-scale N] [-out yeast.lg] [-stats] [-full]
+//	datagen -stats              # stats for every dataset at default scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	repro "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "dataset name (empty with -stats: all)")
+	scale := flag.Int("scale", 1, "extra scale divisor on top of the default")
+	out := flag.String("out", "", "output LG file (empty: don't write)")
+	stats := flag.Bool("stats", false, "print structural statistics")
+	full := flag.Bool("full", false, "generate at full published size (web-scale graphs are large)")
+	flag.Parse()
+
+	if err := run(*dataset, *scale, *out, *stats, *full); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, scale int, out string, stats, full bool) error {
+	names := []string{dataset}
+	if dataset == "" {
+		if !stats {
+			return fmt.Errorf("need -dataset or -stats")
+		}
+		names = gen.Names()
+	}
+	for _, name := range names {
+		g, err := build(name, scale, full)
+		if err != nil {
+			return err
+		}
+		if stats {
+			s := graph.ComputeStats(g, false)
+			pn, pe, pl, err := gen.PublishedStats(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8s %s (published: nodes=%d edges=%d labels=%d)\n", name, s, pn, pe, pl)
+		}
+		if out != "" {
+			if err := repro.SaveGraph(out, g); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d nodes, %d edges)\n", out, g.NumNodes(), g.NumEdges())
+		}
+	}
+	return nil
+}
+
+func build(name string, scale int, full bool) (*graph.Graph, error) {
+	var spec gen.Spec
+	var err error
+	if full {
+		spec, err = gen.FullSpec(name)
+	} else {
+		spec, err = gen.DefaultSpec(name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if scale > 1 {
+		def, err := gen.FullSpec(name)
+		if err != nil {
+			return nil, err
+		}
+		base := 1
+		if spec.Nodes > 0 {
+			base = def.Nodes / spec.Nodes
+			if base < 1 {
+				base = 1
+			}
+		}
+		spec, err = gen.ScaledSpec(name, base*scale)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return gen.Generate(spec)
+}

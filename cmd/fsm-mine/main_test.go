@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const miniGraph = `t # 0
+v 0 A
+v 1 B
+v 2 A
+v 3 B
+v 4 A
+v 5 B
+e 0 1
+e 2 3
+e 4 5
+e 1 2
+e 3 4
+`
+
+func TestRunModes(t *testing.T) {
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.lg")
+	if err := os.WriteFile(gp, []byte(miniGraph), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"psi", "iso"} {
+		if err := run(gp, "", 2, 2, 2, mode, 0); err != nil {
+			t.Errorf("mode %s: %v", mode, err)
+		}
+	}
+	if err := run(gp, "", 2, 2, 2, "bogus", 0); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	if err := run("", "", 2, 2, 2, "psi", 0); err == nil {
+		t.Error("missing inputs accepted")
+	}
+	if err := run(filepath.Join(dir, "none.lg"), "", 2, 2, 2, "psi", 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,60 @@
+// Command psi-bench regenerates the paper's evaluation tables and
+// figures over the synthetic Table 3 datasets.
+//
+// Usage:
+//
+//	psi-bench [-exp all|table1|table2|table3|fig7|fig8|fig9|fig10|fig11|table4|fig12|models]
+//	          [-quick] [-scale N] [-seed S] [-list]
+//
+// -quick shrinks the sweep for a fast sanity run; -scale further divides
+// every dataset's size (useful on small machines). Output is aligned
+// text, one table per experiment, with ">"-prefixed cells marking runs
+// censored by the time budget (the stand-in for the paper's 24-hour task
+// limit).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (or 'all')")
+	quick := flag.Bool("quick", false, "use the fast configuration")
+	scale := flag.Int("scale", 1, "extra dataset scale divisor")
+	seed := flag.Int64("seed", 42, "workload seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+	bench.SetCSVMode(*csvOut)
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	cfg := bench.Full()
+	if *quick {
+		cfg = bench.Quick()
+	}
+	env := bench.NewEnv(*scale, *seed)
+
+	var err error
+	if *exp == "all" {
+		err = bench.RunAll(env, cfg, os.Stdout)
+	} else {
+		var e bench.Experiment
+		if e, err = bench.Lookup(*exp); err == nil {
+			err = e.Run(env, cfg, os.Stdout)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psi-bench:", err)
+		os.Exit(1)
+	}
+}

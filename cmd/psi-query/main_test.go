@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testGraph = `t # 0
+v 0 A
+v 1 B
+v 2 C
+v 3 C
+v 4 B
+v 5 A
+e 0 1
+e 0 2
+e 0 3
+e 0 4
+e 1 2
+e 1 3
+e 4 2
+e 4 3
+e 5 4
+e 5 2
+`
+
+const testQuery = `t # 0
+v 0 A
+v 1 B
+v 2 C
+e 0 1
+e 1 2
+e 0 2
+p 0
+`
+
+func TestRun(t *testing.T) {
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.lg")
+	qp := filepath.Join(dir, "q.lg")
+	if err := os.WriteFile(gp, []byte(testGraph), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(qp, []byte(testQuery), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(gp, qp, 1, 1, true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Missing files error cleanly.
+	if err := run(filepath.Join(dir, "missing.lg"), qp, 1, 1, false); err == nil {
+		t.Error("missing graph accepted")
+	}
+	if err := run(gp, filepath.Join(dir, "missing.lg"), 1, 1, false); err == nil {
+		t.Error("missing query accepted")
+	}
+	// Malformed query errors cleanly.
+	bad := filepath.Join(dir, "bad.lg")
+	if err := os.WriteFile(bad, []byte("v x y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(gp, bad, 1, 1, false); err == nil {
+		t.Error("malformed query accepted")
+	}
+}

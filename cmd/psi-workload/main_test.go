@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestParseSizes(t *testing.T) {
+	cases := []struct {
+		in     string
+		lo, hi int
+		ok     bool
+	}{
+		{"5", 5, 5, true},
+		{"4-10", 4, 10, true},
+		{"x", 0, 0, false},
+		{"4-x", 0, 0, false},
+		{"x-4", 0, 0, false},
+		{"0", 0, 0, false},
+		{"7-3", 0, 0, false},
+	}
+	for _, c := range cases {
+		lo, hi, err := parseSizes(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("parseSizes(%q): err = %v", c.in, err)
+			continue
+		}
+		if c.ok && (lo != c.lo || hi != c.hi) {
+			t.Errorf("parseSizes(%q) = %d-%d, want %d-%d", c.in, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestRunExtractsWorkload(t *testing.T) {
+	dir := t.TempDir()
+	// A small but connected graph file.
+	gp := filepath.Join(dir, "g.lg")
+	content := "t # 0\n"
+	for i := 0; i < 30; i++ {
+		content += "v " + itoa(i) + " L" + itoa(i%3) + "\n"
+	}
+	for i := 0; i < 29; i++ {
+		content += "e " + itoa(i) + " " + itoa(i+1) + "\n"
+	}
+	for i := 0; i < 15; i++ {
+		content += "e " + itoa(i) + " " + itoa(i+15) + "\n"
+	}
+	if err := os.WriteFile(gp, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "q.lg")
+	if err := run(gp, "", "3-4", 5, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	qs, err := graph.ParseQuerySetLG(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 10 {
+		t.Errorf("extracted %d queries, want 10", len(qs))
+	}
+	// Error paths.
+	if err := run("", "", "3", 1, 1, ""); err == nil {
+		t.Error("missing inputs accepted")
+	}
+	if err := run(gp, "", "bogus", 1, 1, ""); err == nil {
+		t.Error("bogus sizes accepted")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

@@ -1,0 +1,86 @@
+// Neighborhood pattern mining (paper Section 2.2, after Han & Wen, CIKM
+// 2013): for one node label of interest, find the connectivity patterns
+// that frequently originate from nodes of that label. Each candidate
+// pattern is evaluated with a single PSI query pivoted at the labeled
+// node — the count of pivot bindings is exactly the pattern's frequency
+// among that label's nodes.
+//
+//	go run ./examples/neighborhood
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	repro "repro"
+)
+
+func main() {
+	g, err := repro.GenerateDataset("yeast")
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := repro.NewEngine(g, repro.Options{Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The label of interest: the most common one.
+	target := repro.Label(0)
+	for l := repro.Label(1); int(l) < g.NumLabels(); l++ {
+		if g.LabelFrequency(l) > g.LabelFrequency(target) {
+			target = l
+		}
+	}
+	population := int(g.LabelFrequency(target))
+	fmt.Printf("label of interest: %d (%d nodes of %d)\n", target, population, g.NumNodes())
+
+	// Candidate neighborhood patterns: subgraphs extracted around nodes
+	// of the target label, re-pivoted onto a target-labeled node.
+	rng := rand.New(rand.NewSource(9))
+	type freqPattern struct {
+		q     repro.Query
+		count int
+	}
+	var results []freqPattern
+	seen := 0
+	for attempts := 0; attempts < 60 && seen < 15; attempts++ {
+		q, err := repro.ExtractQuery(g, 3+rng.Intn(2), rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pivot := repro.NodeID(-1)
+		for v := repro.NodeID(0); int(v) < q.G.NumNodes(); v++ {
+			if q.G.Label(v) == target {
+				pivot = v
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		q2, err := repro.NewQuery(q.G, pivot)
+		if err != nil {
+			continue
+		}
+		seen++
+		res, err := engine.Evaluate(q2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, freqPattern{q: q2, count: len(res.Bindings)})
+	}
+
+	sort.Slice(results, func(i, j int) bool { return results[i].count > results[j].count })
+	fmt.Printf("candidate neighborhood patterns evaluated: %d\n", len(results))
+	for i, r := range results {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  #%d: %d-node pattern satisfied by %d/%d label-%d nodes (%.1f%%)\n",
+			i+1, r.q.Size(), r.count, population, target,
+			100*float64(r.count)/float64(population))
+	}
+}

@@ -1,0 +1,99 @@
+// In-network node similarity (paper Section 2.2, after Yang et al.,
+// KAIS 2017): two nodes are similar when their neighborhoods support the
+// same pivoted subgraphs. We sample a pool of pivoted patterns, evaluate
+// each with one PSI query, and score node pairs by the Jaccard overlap
+// of the pattern sets they satisfy.
+//
+//	go run ./examples/nodesim
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	repro "repro"
+)
+
+func main() {
+	g, err := repro.GenerateDataset("cora")
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := repro.NewEngine(g, repro.Options{Seed: 31})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+
+	// Pattern pool: pivoted subgraphs of size 3-4.
+	const pool = 12
+	satisfies := make(map[repro.NodeID]map[int]bool)
+	for p := 0; p < pool; p++ {
+		q, err := repro.ExtractQuery(g, 3+rng.Intn(2), rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := engine.Evaluate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, u := range res.Bindings {
+			if satisfies[u] == nil {
+				satisfies[u] = make(map[int]bool)
+			}
+			satisfies[u][p] = true
+		}
+	}
+
+	// Score the similarity of node pairs that satisfy at least one
+	// pattern.
+	var nodes []repro.NodeID
+	for u := range satisfies {
+		nodes = append(nodes, u)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	if len(nodes) > 60 {
+		nodes = nodes[:60]
+	}
+	type pair struct {
+		a, b repro.NodeID
+		sim  float64
+	}
+	var pairs []pair
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			a, b := nodes[i], nodes[j]
+			inter, union := 0, 0
+			for p := 0; p < pool; p++ {
+				ia, ib := satisfies[a][p], satisfies[b][p]
+				if ia || ib {
+					union++
+				}
+				if ia && ib {
+					inter++
+				}
+			}
+			if union > 0 && inter > 0 {
+				pairs = append(pairs, pair{a, b, float64(inter) / float64(union)})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].sim != pairs[j].sim {
+			return pairs[i].sim > pairs[j].sim
+		}
+		return pairs[i].a < pairs[j].a
+	})
+
+	fmt.Printf("patterns in pool: %d; nodes satisfying any: %d\n", pool, len(satisfies))
+	fmt.Println("most similar node pairs (Jaccard over satisfied pivoted patterns):")
+	for i, p := range pairs {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  (%d, %d): %.2f  [labels %d, %d]\n",
+			p.a, p.b, p.sim, g.Label(p.a), g.Label(p.b))
+	}
+}

@@ -1,0 +1,109 @@
+// Discovering pattern queries by sample answers (paper Section 2.2,
+// after Han et al., ICDE 2016): the user supplies a few nodes they
+// consider answers to an unstated query; the system extracts candidate
+// queries from the neighborhood of one sample and keeps, via PSI, only
+// those that every sample node satisfies — then ranks the survivors by
+// selectivity (fewer total bindings = more specific = better).
+//
+//	go run ./examples/querydiscovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	repro "repro"
+)
+
+func main() {
+	g, err := repro.GenerateDataset("cora")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("knowledge graph: %d nodes, %d edges, %d labels\n",
+		g.NumNodes(), g.NumEdges(), g.NumLabels())
+
+	engine, err := repro.NewEngine(g, repro.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+
+	// Fabricate a ground-truth scenario: extract a hidden query, let its
+	// bindings be the "answers" the user half-remembers, and hand the
+	// system three of them as samples.
+	hidden, err := repro.ExtractQuery(g, 4, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hres, err := engine.Evaluate(hidden)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(hres.Bindings) < 3 {
+		log.Fatalf("hidden query too selective (%d bindings); rerun with another seed", len(hres.Bindings))
+	}
+	samples := hres.Bindings[:3]
+	fmt.Printf("user's sample answers: %v (label %d)\n", samples, g.Label(samples[0]))
+
+	// Candidate queries: subgraphs extracted around the neighborhoods of
+	// the samples, pivoted at a node with the samples' label.
+	var candidates []repro.Query
+	for len(candidates) < 12 {
+		q, err := repro.ExtractQuery(g, 3+rng.Intn(3), rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Re-pivot onto a node with the samples' label if possible.
+		for v := repro.NodeID(0); int(v) < q.G.NumNodes(); v++ {
+			if q.G.Label(v) == g.Label(samples[0]) {
+				if q2, err := repro.NewQuery(q.G, v); err == nil {
+					candidates = append(candidates, q2)
+				}
+				break
+			}
+		}
+	}
+
+	// Keep the candidates every sample satisfies; rank by selectivity.
+	type ranked struct {
+		q        repro.Query
+		bindings int
+	}
+	var kept []ranked
+	for _, q := range candidates {
+		res, err := engine.Evaluate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bound := make(map[repro.NodeID]bool, len(res.Bindings))
+		for _, u := range res.Bindings {
+			bound[u] = true
+		}
+		all := true
+		for _, s := range samples {
+			if !bound[s] {
+				all = false
+				break
+			}
+		}
+		if all {
+			kept = append(kept, ranked{q: q, bindings: len(res.Bindings)})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].bindings < kept[j].bindings })
+
+	fmt.Printf("candidate queries: %d, matching all samples: %d\n", len(candidates), len(kept))
+	for i, r := range kept {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  recommendation %d: %d-node query, %d total bindings\n",
+			i+1, r.q.Size(), r.bindings)
+	}
+	if len(kept) == 0 {
+		fmt.Println("  (no candidate survived; the samples share no extracted pattern)")
+	}
+}

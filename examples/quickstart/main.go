@@ -1,0 +1,61 @@
+// Quickstart: build the paper's Figure 1 graph and query in code, run
+// the SmartPSI engine, and print the pivot bindings.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+)
+
+func main() {
+	// Data graph of Figure 1(b): labels A=0, B=1, C=2.
+	b := repro.NewBuilder(6, 10)
+	u1 := b.AddNode(0) // A
+	u2 := b.AddNode(1) // B
+	u3 := b.AddNode(2) // C
+	u4 := b.AddNode(2) // C
+	u5 := b.AddNode(1) // B
+	u6 := b.AddNode(0) // A
+	for _, e := range [][2]repro.NodeID{
+		{u1, u2}, {u1, u3}, {u1, u4}, {u1, u5},
+		{u2, u3}, {u2, u4}, {u5, u3}, {u5, u4},
+		{u6, u5}, {u6, u3},
+	} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := b.Build()
+
+	// Query of Figure 1(a): the triangle A-B-C with pivot at the A node.
+	qb := repro.NewBuilder(3, 3)
+	v1 := qb.AddNode(0)
+	v2 := qb.AddNode(1)
+	v3 := qb.AddNode(2)
+	for _, e := range [][2]repro.NodeID{{v1, v2}, {v2, v3}, {v1, v3}} {
+		if err := qb.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	q, err := repro.NewQuery(qb.Build(), v1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	engine, err := repro.NewEngine(g, repro.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Evaluate(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("PSI query: %d-node triangle, pivot label A\n", q.Size())
+	fmt.Printf("candidates examined: %d\n", res.Candidates)
+	fmt.Printf("pivot bindings: %v (paper: u1 and u6, i.e. nodes 0 and 5)\n", res.Bindings)
+}

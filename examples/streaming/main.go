@@ -1,0 +1,85 @@
+// Streaming PSI over an evolving graph: as a social network grows, keep
+// answering "which users sit at the center of this interaction pattern?"
+// without recomputing node signatures from scratch. The DynamicGraph
+// maintains every depth-2 neighborhood signature incrementally per
+// inserted edge (the direction the SmartPSI authors took in their
+// follow-up work on evolving graphs).
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	repro "repro"
+)
+
+func main() {
+	// Start from a small snapshot of the Cora stand-in.
+	seedGraph, err := repro.GenerateDatasetScaled("cora", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := repro.DynamicFromGraph(seedGraph, seedGraph.NumLabels())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial snapshot: %d nodes, %d edges\n", d.NumNodes(), d.NumEdges())
+
+	// The standing query: a triangle of labels (0,1,2) pivoted at the
+	// label-0 node.
+	qb := repro.NewBuilder(3, 3)
+	v0 := qb.AddNode(0)
+	v1 := qb.AddNode(1)
+	v2 := qb.AddNode(2)
+	for _, e := range [][2]repro.NodeID{{v0, v1}, {v1, v2}, {v0, v2}} {
+		if err := qb.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	query, err := repro.NewQuery(qb.Build(), v0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	const batches = 4
+	const edgesPerBatch = 300
+	for batch := 0; batch <= batches; batch++ {
+		if batch > 0 {
+			// Stream in a batch of new edges (plus the occasional node).
+			added := 0
+			for added < edgesPerBatch {
+				if rng.Intn(20) == 0 {
+					if _, err := d.AddNode(repro.Label(rng.Intn(d.Width()))); err != nil {
+						log.Fatal(err)
+					}
+				}
+				u := repro.NodeID(rng.Intn(d.NumNodes()))
+				v := repro.NodeID(rng.Intn(d.NumNodes()))
+				if u == v || d.HasEdge(u, v) {
+					continue
+				}
+				if err := d.AddEdge(u, v); err != nil {
+					log.Fatal(err)
+				}
+				added++
+			}
+		}
+		// Evaluate against the current state; signatures are already
+		// maintained, so engine construction skips the build phase.
+		engine, err := repro.EngineFromDynamic(d, repro.Options{Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := engine.Evaluate(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("batch %d: %6d edges -> %3d pivot bindings (examined %d candidates)\n",
+			batch, d.NumEdges(), len(res.Bindings), res.Candidates)
+	}
+	fmt.Println("signatures were updated incrementally; no full rebuilds performed")
+}

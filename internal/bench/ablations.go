@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/psi"
+	"repro/internal/smartpsi"
+)
+
+// Ablations measures the design choices DESIGN.md calls out by running
+// the same workload with one feature disabled at a time: the prediction
+// cache (Section 4.2.3), model β (learned plans, Section 4.2.2),
+// preemption (Section 4.3), and model α (method choice, Section 4.2.1).
+func Ablations(env *Env, cfg Config, w io.Writer) error {
+	const dataset = "twitter"
+	sizes := intersectSizes(cfg.Sizes, 4, 6)
+	t := NewTable("Ablations: SmartPSI variants on "+dataset,
+		append([]string{"variant"}, sizeHeaders(sizes)...)...)
+
+	variants := []struct {
+		name string
+		opts smartpsi.Options
+	}{
+		{"full", smartpsi.Options{}},
+		{"no-cache", smartpsi.Options{DisableCache: true}},
+		{"no-plan-model", smartpsi.Options{DisablePlanModel: true}},
+		{"no-preemption", smartpsi.Options{DisablePreemption: true}},
+		{"no-type-model", smartpsi.Options{DisableTypeModel: true}},
+	}
+	for _, v := range variants {
+		opts := v.opts
+		opts.Seed = env.Seed
+		eng, err := env.EngineWithOptions(dataset+"/abl/"+v.name, dataset, opts)
+		if err != nil {
+			return err
+		}
+		row := []interface{}{v.name}
+		for _, size := range sizes {
+			qs, err := env.Queries(dataset, size, size, cfg.QueriesPerSize)
+			if err != nil {
+				return err
+			}
+			queries := qs.BySize[size]
+			c, err := runCell(cfg.PerQueryBudget, len(queries), func(i int) (bool, error) {
+				_, err := eng.EvaluateBudget(queries[i], time.Now().Add(cfg.PerQueryBudget))
+				if err == psi.ErrDeadline {
+					return true, nil
+				}
+				return false, err
+			})
+			if err != nil {
+				return err
+			}
+			row = append(row, c)
+		}
+		t.Add(row...)
+	}
+	return render(t, w)
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig keeps experiment smoke tests fast.
+func tinyConfig() Config {
+	return Config{
+		Sizes:             []int{4, 5},
+		QueriesPerSize:    2,
+		PerQueryBudget:    150 * time.Millisecond,
+		EmbeddingCap:      20_000,
+		Workers:           []int{1, 2},
+		MiningSupportFrac: 0.15,
+		MiningMaxEdges:    2,
+	}
+}
+
+// tinyEnv shrinks every dataset hard so each experiment runs in
+// milliseconds-to-seconds.
+func tinyEnv() *Env { return NewEnv(16, 7) }
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	env := tinyEnv()
+	cfg := tinyConfig()
+	for _, e := range Experiments() {
+		t.Run(e.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(env, cfg, &buf); err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "==") {
+				t.Errorf("%s: no table rendered:\n%s", e.Name, out)
+			}
+			t.Logf("\n%s", out)
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("table1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestEnvCaches(t *testing.T) {
+	env := tinyEnv()
+	g1, err := env.Graph("yeast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := env.Graph("yeast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("graph not cached")
+	}
+	e1, err := env.Engine("yeast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := env.Engine("yeast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Error("engine not cached")
+	}
+	q1, err := env.Queries("yeast", 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := env.Queries("yeast", 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != q2 {
+		t.Error("queries not cached")
+	}
+	if _, err := env.Graph("bogus"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := FormatCount(123, false); got != "123" {
+		t.Errorf("FormatCount(123) = %q", got)
+	}
+	if got := FormatCount(1_300_000, false); got != "1.3e6" {
+		t.Errorf("FormatCount(1.3M) = %q", got)
+	}
+	if got := FormatCount(50_000, true); !strings.HasPrefix(got, ">=") {
+		t.Errorf("capped count = %q", got)
+	}
+	if got := FormatDuration(1500 * time.Microsecond); got != "2ms" && got != "1ms" {
+		t.Errorf("FormatDuration(1.5ms) = %q", got)
+	}
+	if got := FormatDuration(12 * time.Second); got != "12.0s" {
+		t.Errorf("FormatDuration(12s) = %q", got)
+	}
+	if got := FormatDuration(100 * time.Microsecond); got != "0.10ms" {
+		t.Errorf("FormatDuration(100us) = %q", got)
+	}
+	c := cell{total: time.Second, censored: true}
+	if !strings.HasPrefix(c.String(), ">") {
+		t.Errorf("censored cell = %q", c.String())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("demo", "a", "b")
+	tab.Add(1, "x")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "b", "1", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIntersectSizes(t *testing.T) {
+	got := intersectSizes([]int{3, 4, 5, 9}, 4, 7)
+	if len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Errorf("intersectSizes = %v", got)
+	}
+	got = intersectSizes([]int{9}, 4, 7)
+	if len(got) != 1 || got[0] != 4 {
+		t.Errorf("empty intersection fallback = %v", got)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := NewTable("demo", "a", "b")
+	tab.Add(1, "x,y")
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# demo") || !strings.Contains(out, `"x,y"`) {
+		t.Errorf("csv output wrong:\n%s", out)
+	}
+}

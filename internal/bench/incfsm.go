@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/dyngraph"
+	"repro/internal/fsm"
+	"repro/internal/graph"
+)
+
+// IncFSM measures incremental vs from-scratch frequent-subgraph mining
+// over a stream of edge-insertion batches (the extension experiment for
+// internal/dyngraph + fsm.IncrementalMiner; see DESIGN.md). For each
+// batch it reports the incremental Refresh time and the time of a full
+// re-mine of the same snapshot.
+func IncFSM(env *Env, cfg Config, w io.Writer) error {
+	t := NewTable("Incremental FSM: Refresh vs full re-mine (Cora stand-in)",
+		"batch", "edges", "frequent", "refresh", "evals", "full-remine", "speedup")
+
+	g, err := env.Graph("cora")
+	if err != nil {
+		return err
+	}
+	d, err := dyngraph.FromGraph(g, g.NumLabels())
+	if err != nil {
+		return err
+	}
+	support := g.NumNodes() / 10
+	if support < 2 {
+		support = 2
+	}
+	mcfg := fsm.Config{Support: support, MaxEdges: cfg.MiningMaxEdges, Workers: 1}
+	miner, err := fsm.NewIncrementalMiner(d, mcfg)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(env.Seed))
+	batchEdges := g.NumNodes() / 20
+
+	for batch := 0; batch <= 4; batch++ {
+		if batch > 0 {
+			added := 0
+			for tries := 0; tries < 50*batchEdges && added < batchEdges; tries++ {
+				u := graph.NodeID(rng.Intn(d.NumNodes()))
+				v := graph.NodeID(rng.Intn(d.NumNodes()))
+				if u == v || d.HasEdge(u, v) {
+					continue
+				}
+				if err := miner.AddEdge(u, v); err != nil {
+					return err
+				}
+				added++
+			}
+		}
+		stats, err := miner.Refresh()
+		if err != nil {
+			return err
+		}
+		snap, err := d.Snapshot()
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		full, err := fsm.Mine(snap, fsm.NewIsoSupport(snap), mcfg)
+		if err != nil {
+			return err
+		}
+		fullTime := time.Since(t0)
+		if len(full.Frequent) != len(miner.Frequent()) {
+			return fmt.Errorf("bench: incremental (%d) and full (%d) disagree at batch %d",
+				len(miner.Frequent()), len(full.Frequent), batch)
+		}
+		speedup := "n/a"
+		if stats.Elapsed > 0 {
+			speedup = fmt.Sprintf("%.1fx", float64(fullTime)/float64(stats.Elapsed))
+		}
+		t.Add(batch, d.NumEdges(), len(miner.Frequent()),
+			FormatDuration(stats.Elapsed), stats.Evaluated, FormatDuration(fullTime), speedup)
+	}
+	return render(t, w)
+}

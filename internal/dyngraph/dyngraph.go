@@ -1,0 +1,252 @@
+// Package dyngraph is an evolving-graph substrate: a mutable labeled
+// graph supporting node insertions plus edge insertions and deletions
+// that maintains every node's depth-2 matrix neighborhood signature
+// incrementally, in O(deg(u)+deg(v)) per edge change instead of a full
+// O(|E|·|L|) rebuild. It supports the streaming scenario of the SmartPSI authors'
+// follow-up work (incremental frequent subgraph mining on evolving
+// graphs): mutate, snapshot, evaluate PSI — with signatures already
+// up to date.
+//
+// The closed form behind the maintenance: with e(x) the one-hot label
+// vector of x,
+//
+//	NS²(x) = e(x) + Σ_{y∈N(x)} e(y) + ¼·Σ_{y∈N(x)} Σ_{z∈N(y)} e(z)
+//
+// so inserting edge (u,v) adds e(v) + ¼·(Σ_{z∈N'(v)} e(z)) to NS²(u)
+// (where N'(v) includes u), ¼·e(v) to every old neighbor of u, and
+// symmetrically for v. Only depth 2 — the paper's default — is
+// maintained; other depths require a rebuild.
+package dyngraph
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Depth is the signature depth dyngraph maintains.
+const Depth = 2
+
+// Graph is a mutable labeled graph with incrementally maintained
+// depth-2 matrix signatures. Not safe for concurrent mutation.
+type Graph struct {
+	width  int // label-alphabet size of the signature rows
+	labels []graph.Label
+	adj    [][]graph.NodeID
+	sigs   []float64 // node-major rows of width `width`
+	edges  int64
+}
+
+// New returns an empty evolving graph whose signatures use a label
+// alphabet of the given width; labels >= width are rejected.
+func New(width int) *Graph {
+	return &Graph{width: width}
+}
+
+// FromGraph imports a static graph (computing all signatures once).
+func FromGraph(g *graph.Graph, width int) (*Graph, error) {
+	if width < g.NumLabels() {
+		return nil, fmt.Errorf("dyngraph: width %d < graph labels %d", width, g.NumLabels())
+	}
+	d := New(width)
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		if _, err := d.AddNode(g.Label(u)); err != nil {
+			return nil, err
+		}
+	}
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				if err := d.AddEdge(u, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// NumNodes returns the current node count.
+func (d *Graph) NumNodes() int { return len(d.labels) }
+
+// NumEdges returns the current undirected edge count.
+func (d *Graph) NumEdges() int64 { return d.edges }
+
+// Width returns the signature label-alphabet size.
+func (d *Graph) Width() int { return d.width }
+
+// Label returns node u's label.
+func (d *Graph) Label(u graph.NodeID) graph.Label { return d.labels[u] }
+
+// Degree returns node u's current degree.
+func (d *Graph) Degree(u graph.NodeID) int { return len(d.adj[u]) }
+
+// Neighbors returns u's neighbors in insertion order. The caller must
+// not modify the slice.
+func (d *Graph) Neighbors(u graph.NodeID) []graph.NodeID { return d.adj[u] }
+
+// Signature returns u's maintained depth-2 signature row. The caller
+// must not modify it; it remains valid (and current) across mutations.
+func (d *Graph) Signature(u graph.NodeID) []float64 {
+	return d.sigs[int(u)*d.width : (int(u)+1)*d.width]
+}
+
+// AddNode appends an isolated node and returns its id. A fresh node's
+// signature is its own label with weight 1.
+func (d *Graph) AddNode(l graph.Label) (graph.NodeID, error) {
+	if l < 0 || int(l) >= d.width {
+		return 0, fmt.Errorf("dyngraph: label %d outside alphabet [0,%d)", l, d.width)
+	}
+	id := graph.NodeID(len(d.labels))
+	d.labels = append(d.labels, l)
+	d.adj = append(d.adj, nil)
+	row := make([]float64, d.width)
+	row[l] = 1
+	d.sigs = append(d.sigs, row...)
+	return id, nil
+}
+
+// HasEdge reports whether edge (u, v) exists.
+func (d *Graph) HasEdge(u, v graph.NodeID) bool {
+	a := d.adj[u]
+	if len(d.adj[v]) < len(a) {
+		a, v = d.adj[v], u
+	}
+	for _, w := range a {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts undirected edge (u, v) and updates the affected
+// signatures exactly.
+func (d *Graph) AddEdge(u, v graph.NodeID) error {
+	n := graph.NodeID(len(d.labels))
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("dyngraph: edge (%d,%d) references unknown node", u, v)
+	}
+	if u == v {
+		return fmt.Errorf("dyngraph: self loop on %d", u)
+	}
+	if d.HasEdge(u, v) {
+		return fmt.Errorf("dyngraph: duplicate edge (%d,%d)", u, v)
+	}
+
+	// Incremental NS² deltas, derived from the closed form. Order
+	// matters: use the OLD neighbor lists, then link.
+	d.applyEdgeDelta(u, v)
+	d.applyEdgeDelta(v, u)
+	// Old neighbors of u gain the 2-walk w -> u -> v; likewise for v.
+	for _, w := range d.adj[u] {
+		d.row(w)[d.labels[v]] += 0.25
+	}
+	for _, w := range d.adj[v] {
+		d.row(w)[d.labels[u]] += 0.25
+	}
+
+	d.adj[u] = append(d.adj[u], v)
+	d.adj[v] = append(d.adj[v], u)
+	d.edges++
+	return nil
+}
+
+// RemoveEdge deletes undirected edge (u, v), down-dating the affected
+// signatures exactly (the deltas of AddEdge are linear, so removal
+// subtracts them against the post-removal neighbor lists).
+func (d *Graph) RemoveEdge(u, v graph.NodeID) error {
+	n := graph.NodeID(len(d.labels))
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("dyngraph: edge (%d,%d) references unknown node", u, v)
+	}
+	if !d.HasEdge(u, v) {
+		return fmt.Errorf("dyngraph: edge (%d,%d) does not exist", u, v)
+	}
+	// Unlink first so the subtracted deltas see the same "other
+	// neighbors" sets AddEdge saw when it applied them.
+	d.unlink(u, v)
+	d.unlink(v, u)
+	d.edges--
+
+	d.revertEdgeDelta(u, v)
+	d.revertEdgeDelta(v, u)
+	for _, w := range d.adj[u] {
+		d.row(w)[d.labels[v]] -= 0.25
+	}
+	for _, w := range d.adj[v] {
+		d.row(w)[d.labels[u]] -= 0.25
+	}
+	return nil
+}
+
+func (d *Graph) unlink(u, v graph.NodeID) {
+	a := d.adj[u]
+	for i, w := range a {
+		if w == v {
+			a[i] = a[len(a)-1]
+			d.adj[u] = a[:len(a)-1]
+			return
+		}
+	}
+}
+
+// revertEdgeDelta subtracts from NS²(u) exactly what applyEdgeDelta
+// added for neighbor v, evaluated against v's current (post-unlink)
+// neighbor list.
+func (d *Graph) revertEdgeDelta(u, v graph.NodeID) {
+	row := d.row(u)
+	row[d.labels[v]] -= 1
+	for _, z := range d.adj[v] {
+		row[d.labels[z]] -= 0.25
+	}
+	row[d.labels[u]] -= 0.25
+}
+
+// applyEdgeDelta adds to NS²(u) the terms contributed by new neighbor
+// v: e(v) (distance 1, counted twice by the matrix recurrence: once per
+// iteration) plus ¼ per old 2-walk endpoint through v plus ¼·e(u) for
+// the new u→v→u walk.
+func (d *Graph) applyEdgeDelta(u, v graph.NodeID) {
+	row := d.row(u)
+	// Distance-1 term: the matrix recurrence counts a direct neighbor's
+	// label with total weight 1 (½ in iteration 1 + ½·its self-weight in
+	// iteration 2).
+	row[d.labels[v]] += 1
+	// 2-walks u -> v -> z over v's OLD neighbors.
+	for _, z := range d.adj[v] {
+		row[d.labels[z]] += 0.25
+	}
+	// The new walk u -> v -> u.
+	row[d.labels[u]] += 0.25
+}
+
+func (d *Graph) row(u graph.NodeID) []float64 {
+	return d.sigs[int(u)*d.width : (int(u)+1)*d.width]
+}
+
+// Snapshot materializes the current state as an immutable CSR graph.
+func (d *Graph) Snapshot() (*graph.Graph, error) {
+	b := graph.NewBuilder(len(d.labels), int(d.edges))
+	for _, l := range d.labels {
+		b.AddNode(l)
+	}
+	for u := range d.adj {
+		for _, v := range d.adj[u] {
+			if graph.NodeID(u) < v {
+				if err := b.AddEdge(graph.NodeID(u), v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// SignatureRows returns a copy of all maintained rows, node-major — the
+// layout signature.FromDense accepts.
+func (d *Graph) SignatureRows() []float64 {
+	out := make([]float64, len(d.sigs))
+	copy(out, d.sigs)
+	return out
+}

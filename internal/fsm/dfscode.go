@@ -1,0 +1,205 @@
+package fsm
+
+import (
+	"repro/internal/graph"
+)
+
+// MinDFSCode returns the gSpan-style minimum DFS code of g: the
+// lexicographically smallest serialization over all depth-first
+// traversals (all roots, all child orders). Like CanonicalCode it is
+// identical exactly for isomorphic labeled graphs, but it prunes by code
+// prefix along DFS trees instead of enumerating node permutations, which
+// is much faster on sparse patterns. The two implementations
+// cross-validate each other in the tests.
+//
+// Code serialization, per discovered edge:
+//
+//	forward  edge u->v (v new):  0xF, u, lu, le, lv
+//	backward edge v->w (w seen): 0xB, v, w, le
+//
+// using single bytes for ids (patterns are tiny) and two bytes per
+// label. Backward edges of a newly discovered vertex are emitted
+// immediately, in ascending ancestor order, which makes the code a pure
+// function of the traversal's child-order choices.
+func MinDFSCode(g *graph.Graph) string {
+	n := g.NumNodes()
+	if n == 0 {
+		return ""
+	}
+	// One DFS traversal covers one connected component; disconnected
+	// graphs get the sorted concatenation of per-component codes (the
+	// component partition is isomorphism-invariant).
+	assigned := make([]bool, n)
+	var codes []string
+	for start := graph.NodeID(0); int(start) < n; start++ {
+		if assigned[start] {
+			continue
+		}
+		comp := graph.ConnectedComponent(g, start)
+		for _, u := range comp {
+			assigned[u] = true
+		}
+		sub := g
+		roots := comp
+		if len(comp) < n {
+			var err error
+			sub, _, err = graph.InducedSubgraph(g, comp)
+			if err != nil {
+				panic(err) // components of a valid graph always induce
+			}
+			roots = make([]graph.NodeID, sub.NumNodes())
+			for i := range roots {
+				roots[i] = graph.NodeID(i)
+			}
+		}
+		e := &dfsEnc{g: sub, dfsID: make([]int8, sub.NumNodes())}
+		for v := range e.dfsID {
+			e.dfsID[v] = -1
+		}
+		for _, root := range roots {
+			e.tryRoot(root)
+		}
+		codes = append(codes, string(e.best))
+		if len(comp) == n {
+			break
+		}
+	}
+	if len(codes) == 1 {
+		return codes[0]
+	}
+	sortStrings(codes)
+	out := make([]byte, 0, 64)
+	for _, c := range codes {
+		out = append(out, byte(len(c)>>8), byte(len(c)))
+		out = append(out, c...)
+	}
+	return string(out)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+type dfsEnc struct {
+	g     *graph.Graph
+	dfsID []int8
+	stack []graph.NodeID
+	cur   []byte
+	best  []byte
+	next  int8
+}
+
+func appendLabel(buf []byte, l graph.Label) []byte {
+	return append(buf, byte(l), byte(uint16(l)>>8))
+}
+
+// worse reports whether cur is already strictly worse than best.
+func (e *dfsEnc) worse() bool {
+	if e.best == nil {
+		return false
+	}
+	n := len(e.cur)
+	if n > len(e.best) {
+		n = len(e.best)
+	}
+	for i := 0; i < n; i++ {
+		if e.cur[i] != e.best[i] {
+			return e.cur[i] > e.best[i]
+		}
+	}
+	// cur is a prefix of best (or equal): cannot prune yet.
+	return false
+}
+
+func (e *dfsEnc) tryRoot(root graph.NodeID) {
+	e.cur = e.cur[:0]
+	e.cur = appendLabel(e.cur, e.g.Label(root))
+	if e.worse() {
+		return
+	}
+	e.dfsID[root] = 0
+	e.next = 1
+	e.stack = append(e.stack[:0], root)
+	e.recurse()
+	e.dfsID[root] = -1
+}
+
+// recurse explores all DFS child orders from the current stack state.
+func (e *dfsEnc) recurse() {
+	if len(e.stack) == 0 {
+		if int(e.next) == e.g.NumNodes() {
+			if e.best == nil || lessBytes(e.cur, e.best) {
+				e.best = append(e.best[:0], e.cur...)
+			}
+		}
+		return
+	}
+	u := e.stack[len(e.stack)-1]
+
+	// Collect u's unvisited neighbors; if none, backtrack.
+	var hasUnvisited bool
+	for _, w := range e.g.Neighbors(u) {
+		if e.dfsID[w] < 0 {
+			hasUnvisited = true
+			break
+		}
+	}
+	if !hasUnvisited {
+		e.stack = e.stack[:len(e.stack)-1]
+		e.recurse()
+		e.stack = append(e.stack, u)
+		return
+	}
+
+	nbrs := e.g.Neighbors(u)
+	for i, v := range nbrs {
+		if e.dfsID[v] >= 0 {
+			continue
+		}
+		mark := len(e.cur)
+		// Forward edge u -> v.
+		e.cur = append(e.cur, 0xF, byte(e.dfsID[u]))
+		e.cur = appendLabel(e.cur, e.g.Label(u))
+		e.cur = appendLabel(e.cur, e.g.EdgeLabelAt(u, i)+1) // +1: NoLabel becomes 0
+		e.cur = appendLabel(e.cur, e.g.Label(v))
+		e.dfsID[v] = e.next
+		e.next++
+		// Backward edges from v to already-discovered ancestors
+		// (ascending), excluding the tree edge to u.
+		vn := e.g.Neighbors(v)
+		type backEdge struct {
+			to int8
+			el graph.Label
+		}
+		var backs []backEdge
+		for j, w := range vn {
+			if w == u || e.dfsID[w] < 0 {
+				continue
+			}
+			backs = append(backs, backEdge{to: e.dfsID[w], el: e.g.EdgeLabelAt(v, j)})
+		}
+		for a := 1; a < len(backs); a++ { // tiny insertion sort by ancestor id
+			for b := a; b > 0 && backs[b].to < backs[b-1].to; b-- {
+				backs[b], backs[b-1] = backs[b-1], backs[b]
+			}
+		}
+		for _, be := range backs {
+			e.cur = append(e.cur, 0xB, byte(e.dfsID[v]), byte(be.to))
+			e.cur = appendLabel(e.cur, be.el+1)
+		}
+		if !e.worse() {
+			e.stack = append(e.stack, v)
+			e.recurse()
+			e.stack = e.stack[:len(e.stack)-1]
+		}
+		e.next--
+		e.dfsID[v] = -1
+		e.cur = e.cur[:mark]
+	}
+}
+
+func lessBytes(a, b []byte) bool { return compareBytes(a, b) < 0 }

@@ -1,0 +1,165 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/graph/graphtest"
+)
+
+// permuted rebuilds g with a random node permutation.
+func permuted(g *graph.Graph, rng *rand.Rand) *graph.Graph {
+	perm := rng.Perm(g.NumNodes())
+	inv := make([]graph.NodeID, g.NumNodes())
+	for newID, oldID := range perm {
+		inv[oldID] = graph.NodeID(newID)
+	}
+	b := graph.NewBuilder(g.NumNodes(), int(g.NumEdges()))
+	for newID := range perm {
+		b.AddNode(g.Label(graph.NodeID(perm[newID])))
+	}
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		for i, v := range g.Neighbors(u) {
+			if u < v {
+				if err := b.AddLabeledEdge(inv[u], inv[v], g.EdgeLabelAt(u, i)); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestMinDFSCodePermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(7, 11, 3, seed)
+		return MinDFSCode(g) == MinDFSCode(permuted(g, rng))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinDFSCodeAgreesWithCanonicalCode: the two canonical forms induce
+// the same equivalence classes — for random graph pairs, codes collide
+// under one iff they collide under the other.
+func TestMinDFSCodeAgreesWithCanonicalCode(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		ga := graphtest.Random(6, 8, 2, seedA)
+		gb := graphtest.Random(6, 8, 2, seedB)
+		samePerm := CanonicalCode(ga) == CanonicalCode(gb)
+		sameDFS := MinDFSCode(ga) == MinDFSCode(gb)
+		if samePerm != sameDFS {
+			t.Logf("seeds %d/%d: perm-equal=%v dfs-equal=%v", seedA, seedB, samePerm, sameDFS)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinDFSCodeDistinguishesShapes(t *testing.T) {
+	// Triangle vs path with identical label multisets.
+	tri := graph.NewBuilder(3, 3)
+	for i := 0; i < 3; i++ {
+		tri.AddNode(0)
+	}
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {0, 2}} {
+		if err := tri.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := graph.NewBuilder(3, 2)
+	for i := 0; i < 3; i++ {
+		path.AddNode(0)
+	}
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}} {
+		if err := path.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if MinDFSCode(tri.Build()) == MinDFSCode(path.Build()) {
+		t.Error("triangle and path share a DFS code")
+	}
+}
+
+func TestMinDFSCodeEdgeLabels(t *testing.T) {
+	build := func(el graph.Label) *graph.Graph {
+		b := graph.NewBuilder(2, 1)
+		u := b.AddNode(0)
+		v := b.AddNode(1)
+		if err := b.AddLabeledEdge(u, v, el); err != nil {
+			t.Fatal(err)
+		}
+		return b.Build()
+	}
+	if MinDFSCode(build(0)) == MinDFSCode(build(1)) {
+		t.Error("edge labels not encoded")
+	}
+}
+
+func TestMinDFSCodeEmpty(t *testing.T) {
+	if MinDFSCode(graph.NewBuilder(0, 0).Build()) != "" {
+		t.Error("empty graph code should be empty")
+	}
+}
+
+// TestMinDFSCodeDisconnected: disconnected graphs get sorted
+// per-component codes, so the code stays invariant under permutation and
+// still distinguishes different component structures.
+func TestMinDFSCodeDisconnectedInvariant(t *testing.T) {
+	b := graph.NewBuilder(4, 2)
+	a1 := b.AddNode(0)
+	a2 := b.AddNode(0)
+	b1 := b.AddNode(1)
+	b2 := b.AddNode(1)
+	if err := b.AddEdge(a1, a2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(b1, b2); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	rng := rand.New(rand.NewSource(4))
+	if MinDFSCode(g) != MinDFSCode(permuted(g, rng)) {
+		t.Error("disconnected graph code not invariant")
+	}
+	// A different disconnected graph (A-B and A-B pairs) must differ.
+	b2g := graph.NewBuilder(4, 2)
+	x1 := b2g.AddNode(0)
+	y1 := b2g.AddNode(1)
+	x2 := b2g.AddNode(0)
+	y2 := b2g.AddNode(1)
+	if err := b2g.AddEdge(x1, y1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2g.AddEdge(x2, y2); err != nil {
+		t.Fatal(err)
+	}
+	if MinDFSCode(g) == MinDFSCode(b2g.Build()) {
+		t.Error("different disconnected graphs share a code")
+	}
+}
+
+func BenchmarkCanonicalCodePermutation(b *testing.B) {
+	g := graphtest.Random(7, 10, 3, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CanonicalCode(g)
+	}
+}
+
+func BenchmarkCanonicalCodeDFS(b *testing.B) {
+	g := graphtest.Random(7, 10, 3, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinDFSCode(g)
+	}
+}

@@ -1,0 +1,93 @@
+package fsm
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/graphtest"
+)
+
+func TestExtensionsGrowByOne(t *testing.T) {
+	p := NewPattern(graphtest.Figure1Query().G) // triangle A-B-C
+	labels := []graph.Label{0, 1, 2}
+	exts := extensions(p, labels)
+	if len(exts) == 0 {
+		t.Fatal("no extensions")
+	}
+	for _, e := range exts {
+		if e.G.NumEdges() != p.G.NumEdges()+1 {
+			t.Errorf("extension %v has %d edges, want %d", e, e.G.NumEdges(), p.G.NumEdges()+1)
+		}
+		nodes := e.G.NumNodes()
+		if nodes != p.G.NumNodes() && nodes != p.G.NumNodes()+1 {
+			t.Errorf("extension %v has %d nodes", e, nodes)
+		}
+	}
+	// The triangle has no closable non-edges, so every extension grows a
+	// node: 3 attach points x 3 labels = 9.
+	if len(exts) != 9 {
+		t.Errorf("triangle extensions = %d, want 9", len(exts))
+	}
+}
+
+func TestExtensionsCloseEdges(t *testing.T) {
+	// Path A-B-C: one closable pair (ends), plus node growth.
+	b := graph.NewBuilder(3, 2)
+	b.AddNode(0)
+	b.AddNode(1)
+	b.AddNode(2)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPattern(b.Build())
+	exts := extensions(p, []graph.Label{0})
+	// 3 attach points x 1 label + 1 closing edge = 4.
+	if len(exts) != 4 {
+		t.Errorf("path extensions = %d, want 4", len(exts))
+	}
+	closures := 0
+	for _, e := range exts {
+		if e.G.NumNodes() == p.G.NumNodes() {
+			closures++
+			if !e.G.HasEdge(0, 2) {
+				t.Error("closure did not add the missing edge")
+			}
+		}
+	}
+	if closures != 1 {
+		t.Errorf("closures = %d, want 1", closures)
+	}
+}
+
+func TestExtensionsDedupByCode(t *testing.T) {
+	// A single-label star: attaching the same-label node to any leaf is
+	// isomorphic; canonical codes must collapse them.
+	b := graph.NewBuilder(3, 2)
+	for i := 0; i < 3; i++ {
+		b.AddNode(0)
+	}
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPattern(b.Build())
+	exts := extensions(p, []graph.Label{0})
+	codes := map[string]int{}
+	for _, e := range exts {
+		codes[e.Code]++
+	}
+	// Distinct outcomes: attach to center (K1,3), attach to a leaf
+	// (path of 4), close leaf-leaf (triangle). Raw extensions: 3 grows +
+	// 1 closure = 4; attach-to-leaf appears twice with one code.
+	if len(exts) != 4 {
+		t.Errorf("raw extensions = %d, want 4", len(exts))
+	}
+	if len(codes) != 3 {
+		t.Errorf("distinct codes = %d, want 3 (%v)", len(codes), codes)
+	}
+}

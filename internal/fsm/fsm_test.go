@@ -1,0 +1,271 @@
+package fsm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graph/graphtest"
+	"repro/internal/signature"
+)
+
+func psiEval(t testing.TB, g *graph.Graph) *PSISupport {
+	t.Helper()
+	sigs := signature.MustBuild(g, signature.DefaultDepth, g.NumLabels(), signature.Matrix)
+	ev, err := NewPSISupport(g, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestCanonicalCodeIsomorphismInvariant(t *testing.T) {
+	// The same triangle built with different node orders.
+	build := func(order [3]graph.Label, edges [][2]graph.NodeID) string {
+		b := graph.NewBuilder(3, 3)
+		for _, l := range order {
+			b.AddNode(l)
+		}
+		for _, e := range edges {
+			if err := b.AddEdge(e[0], e[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return CanonicalCode(b.Build())
+	}
+	c1 := build([3]graph.Label{0, 1, 2}, [][2]graph.NodeID{{0, 1}, {1, 2}, {0, 2}})
+	c2 := build([3]graph.Label{2, 0, 1}, [][2]graph.NodeID{{1, 2}, {0, 2}, {0, 1}})
+	if c1 != c2 {
+		t.Error("isomorphic triangles got different codes")
+	}
+	// A path A-B-C is not a triangle.
+	b := graph.NewBuilder(3, 2)
+	b.AddNode(0)
+	b.AddNode(1)
+	b.AddNode(2)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if CanonicalCode(b.Build()) == c1 {
+		t.Error("path and triangle share a code")
+	}
+}
+
+func TestCanonicalCodeRandomPermutations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(6, 9, 3, seed)
+		code := CanonicalCode(g)
+		// Rebuild with a random node permutation.
+		perm := rng.Perm(g.NumNodes())
+		b := graph.NewBuilder(g.NumNodes(), int(g.NumEdges()))
+		inv := make([]graph.NodeID, g.NumNodes())
+		for newID, oldID := range perm {
+			inv[oldID] = graph.NodeID(newID)
+		}
+		for newID := range perm {
+			b.AddNode(g.Label(graph.NodeID(perm[newID])))
+		}
+		for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+			for _, v := range g.Neighbors(u) {
+				if u < v {
+					if err := b.AddEdge(inv[u], inv[v]); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		return CanonicalCode(b.Build()) == code
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSupportEvaluatorsAgreeFigure1(t *testing.T) {
+	g := graphtest.Figure1Data()
+	iso := NewIsoSupport(g)
+	psiE := psiEval(t, g)
+	// The A-B-C triangle pattern: bindings per node — A: {u1,u6},
+	// B: {u2,u5}, C: {u3,u4} — so MNI support is 2.
+	p := NewPattern(graphtest.Figure1Query().G)
+	for _, threshold := range []int{1, 2} {
+		fIso, _, err := iso.IsFrequent(p, threshold, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fPsi, _, err := psiE.IsFrequent(p, threshold, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fIso || !fPsi {
+			t.Errorf("threshold %d: iso=%v psi=%v, want both true", threshold, fIso, fPsi)
+		}
+	}
+	fIso, sIso, err := iso.IsFrequent(p, 3, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fPsi, sPsi, err := psiE.IsFrequent(p, 3, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fIso || fPsi {
+		t.Errorf("threshold 3: iso=%v psi=%v, want both false", fIso, fPsi)
+	}
+	if sIso != 2 {
+		t.Errorf("iso support = %d, want 2", sIso)
+	}
+	if sPsi < 0 || sPsi > 2 {
+		t.Errorf("psi early-exit support = %d, want in [0,2]", sPsi)
+	}
+}
+
+// TestMinersAgree: mining with iso-based and PSI-based support must find
+// the same frequent pattern set.
+func TestMinersAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graphtest.Random(40, 90, 3, seed)
+		cfg := Config{Support: 4, MaxEdges: 3, Workers: 2}
+		rIso, err := Mine(g, NewIsoSupport(g), cfg)
+		if err != nil {
+			return false
+		}
+		rPsi, err := Mine(g, psiEval(t, g), cfg)
+		if err != nil {
+			return false
+		}
+		codesIso := patternCodes(rIso.Frequent)
+		codesPsi := patternCodes(rPsi.Frequent)
+		if len(codesIso) != len(codesPsi) {
+			t.Logf("seed %d: iso %d patterns, psi %d", seed, len(codesIso), len(codesPsi))
+			return false
+		}
+		for i := range codesIso {
+			if codesIso[i] != codesPsi[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func patternCodes(ps []Pattern) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Code
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestMineOnCora(t *testing.T) {
+	spec, err := gen.DefaultSpec("cora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.MustGenerate(spec)
+	cfg := Config{Support: 400, MaxEdges: 2, Workers: 4}
+	res, err := Mine(g, psiEval(t, g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated == 0 {
+		t.Error("no candidates evaluated")
+	}
+	if len(res.Frequent) == 0 {
+		t.Error("no frequent patterns at a low threshold on a dense-labeled graph")
+	}
+	// Anti-monotonicity: every frequent 2-edge pattern's sub-edges are
+	// frequent (they were the seeds, so this holds by construction, but
+	// verify the supports do not contradict it).
+	for _, p := range res.Frequent {
+		if int(p.G.NumEdges()) > cfg.MaxEdges {
+			t.Errorf("pattern %v exceeds MaxEdges", p)
+		}
+	}
+}
+
+func TestMineWorkerCountsAgree(t *testing.T) {
+	g := graphtest.Random(50, 120, 3, 77)
+	cfg1 := Config{Support: 4, MaxEdges: 3, Workers: 1}
+	cfg4 := Config{Support: 4, MaxEdges: 3, Workers: 4}
+	r1, err := Mine(g, NewIsoSupport(g), cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Mine(g, NewIsoSupport(g), cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c4 := patternCodes(r1.Frequent), patternCodes(r4.Frequent)
+	if len(c1) != len(c4) {
+		t.Fatalf("worker counts disagree: %d vs %d patterns", len(c1), len(c4))
+	}
+	for i := range c1 {
+		if c1[i] != c4[i] {
+			t.Fatal("worker counts found different patterns")
+		}
+	}
+}
+
+func TestMineConfigValidation(t *testing.T) {
+	g := graphtest.Figure1Data()
+	bad := []Config{
+		{Support: 0, MaxEdges: 1, Workers: 1},
+		{Support: 1, MaxEdges: 0, Workers: 1},
+		{Support: 1, MaxEdges: 1, Workers: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Mine(g, NewIsoSupport(g), cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestMineDeadline(t *testing.T) {
+	g := graphtest.Random(80, 300, 2, 5)
+	cfg := Config{Support: 2, MaxEdges: 5, Workers: 2, Deadline: time.Now().Add(time.Millisecond)}
+	_, err := Mine(g, NewIsoSupport(g), cfg)
+	if err == nil {
+		t.Skip("machine too fast for a 1ms deadline; nothing to assert")
+	}
+}
+
+func TestPSISupportConstruction(t *testing.T) {
+	g := graphtest.Figure1Data()
+	small := signature.MustBuild(graphtest.Figure1Query().G, 2, 3, signature.Matrix)
+	if _, err := NewPSISupport(g, small); err == nil {
+		t.Error("mismatched signatures accepted")
+	}
+}
+
+func TestEvaluatorNames(t *testing.T) {
+	g := graphtest.Figure1Data()
+	if NewIsoSupport(g).Name() != "subgraph-iso" {
+		t.Error("iso name")
+	}
+	if psiEval(t, g).Name() != "psi" {
+		t.Error("psi name")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := NewPattern(graphtest.Figure1Query().G)
+	if p.String() == "" {
+		t.Error("empty pattern string")
+	}
+	if CanonicalCode(graph.NewBuilder(0, 0).Build()) != "" {
+		t.Error("empty graph code should be empty")
+	}
+}

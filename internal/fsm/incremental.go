@@ -1,0 +1,297 @@
+package fsm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dyngraph"
+	"repro/internal/graph"
+	"repro/internal/signature"
+)
+
+// IncrementalMiner maintains the frequent-pattern set of an evolving
+// graph across edge insertions, in the spirit of the SmartPSI authors'
+// follow-up work on incremental FSM (IncGM+, TKDE 2017).
+//
+// The key observation: under pure insertions MNI support is monotone
+// non-decreasing (new edges only add embeddings), so a frequent pattern
+// can never become infrequent. The miner therefore keeps, besides the
+// frequent set, the *fringe* — the negative border of minimal
+// infrequent patterns — and on Refresh re-evaluates only the fringe:
+// promoted patterns move to the frequent set and their extensions join
+// the fringe. Support evaluation uses PSI with early exit, and the
+// evolving graph's incrementally maintained signatures, so a Refresh
+// after a small batch of insertions costs a fraction of a full re-mine.
+type IncrementalMiner struct {
+	d   *dyngraph.Graph
+	cfg Config
+
+	frequent map[string]Pattern
+	fringe   map[string]Pattern
+	// seededPairs tracks label pairs whose single-edge seed pattern has
+	// been generated, so new label pairs arriving with fresh edges can
+	// be seeded exactly once.
+	seededPairs map[[2]graph.Label]bool
+	// wasFreqLabel tracks labels that were frequent at some previous
+	// refresh; when a label first becomes frequent, every known frequent
+	// pattern gains extension candidates using it.
+	wasFreqLabel map[graph.Label]bool
+
+	// dirtyPairs are the label pairs of edges inserted through AddEdge
+	// since the last refresh: a fringe pattern whose edges avoid every
+	// dirty pair cannot have gained embeddings and is skipped. When the
+	// graph was mutated behind the miner's back (edge counts disagree),
+	// the filter is disabled for the next refresh.
+	dirtyPairs    map[[2]graph.Label]bool
+	trackedEdges  int64
+	everRefreshed bool
+}
+
+// NewIncrementalMiner wraps an evolving graph. Call Refresh to compute
+// the initial frequent set (equivalent to a full mine of the current
+// state).
+func NewIncrementalMiner(d *dyngraph.Graph, cfg Config) (*IncrementalMiner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &IncrementalMiner{
+		d:            d,
+		cfg:          cfg,
+		frequent:     make(map[string]Pattern),
+		fringe:       make(map[string]Pattern),
+		seededPairs:  make(map[[2]graph.Label]bool),
+		wasFreqLabel: make(map[graph.Label]bool),
+		dirtyPairs:   make(map[[2]graph.Label]bool),
+		trackedEdges: d.NumEdges(),
+	}, nil
+}
+
+// Graph returns the underlying evolving graph. Prefer mutating through
+// the miner's AddEdge so refreshes can skip unaffected fringe patterns;
+// direct mutations are detected and handled with a full fringe re-check.
+func (m *IncrementalMiner) Graph() *dyngraph.Graph { return m.d }
+
+// AddEdge inserts an edge through the miner, recording its label pair
+// so the next Refresh only re-evaluates fringe patterns that could have
+// gained embeddings.
+func (m *IncrementalMiner) AddEdge(u, v graph.NodeID) error {
+	if err := m.d.AddEdge(u, v); err != nil {
+		return err
+	}
+	a, b := m.d.Label(u), m.d.Label(v)
+	if a > b {
+		a, b = b, a
+	}
+	m.dirtyPairs[[2]graph.Label{a, b}] = true
+	m.trackedEdges++
+	return nil
+}
+
+// patternPairs returns the set of (sorted) edge label pairs of p.
+func patternPairs(p Pattern) map[[2]graph.Label]bool {
+	out := make(map[[2]graph.Label]bool)
+	for u := graph.NodeID(0); int(u) < p.G.NumNodes(); u++ {
+		for _, v := range p.G.Neighbors(u) {
+			if u >= v {
+				continue
+			}
+			a, b := p.G.Label(u), p.G.Label(v)
+			if a > b {
+				a, b = b, a
+			}
+			out[[2]graph.Label{a, b}] = true
+		}
+	}
+	return out
+}
+
+// Frequent returns the currently known frequent patterns, sorted by
+// canonical code. Valid as of the last Refresh.
+func (m *IncrementalMiner) Frequent() []Pattern {
+	out := make([]Pattern, 0, len(m.frequent))
+	for _, p := range m.frequent {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// FringeSize reports the negative-border size (telemetry/testing).
+func (m *IncrementalMiner) FringeSize() int { return len(m.fringe) }
+
+// RefreshStats reports the work one Refresh performed.
+type RefreshStats struct {
+	Evaluated int // support evaluations run
+	Promoted  int // fringe patterns that became frequent
+	Elapsed   time.Duration
+}
+
+// Refresh brings the frequent set up to date with the graph's current
+// state: it seeds patterns for new frequent label pairs, re-evaluates
+// the fringe, and expands promotions level by level. Monotonicity means
+// already-frequent patterns are never re-checked.
+func (m *IncrementalMiner) Refresh() (RefreshStats, error) {
+	start := time.Now()
+	var stats RefreshStats
+
+	snap, err := m.d.Snapshot()
+	if err != nil {
+		return stats, err
+	}
+	sigs, err := signature.FromDense(m.d.SignatureRows(), m.d.Width(), dyngraph.Depth)
+	if err != nil {
+		return stats, err
+	}
+	eval, err := NewPSISupport(snap, sigs)
+	if err != nil {
+		return stats, err
+	}
+
+	// Decide whether the dirty-pair filter is trustworthy: it is only
+	// when every insertion since the last refresh went through AddEdge
+	// and this is not the initial mine.
+	useDirtyFilter := m.everRefreshed && m.d.NumEdges() == m.trackedEdges
+	dirty := m.dirtyPairs
+	m.dirtyPairs = make(map[[2]graph.Label]bool)
+	m.trackedEdges = m.d.NumEdges()
+	m.everRefreshed = true
+
+	freqLabels := frequentNodeLabels(snap, m.cfg.Support)
+	// fresh marks fringe entries added during this refresh (new seeds,
+	// new-label extensions, promotion extensions): they have never been
+	// evaluated and are exempt from the dirty-pair filter.
+	fresh := make(map[string]bool)
+	m.seedNewPairs(snap, freqLabels, fresh)
+
+	// Labels frequent for the first time open new extension candidates
+	// for every already-frequent pattern.
+	var newLabels []graph.Label
+	for _, l := range freqLabels {
+		if !m.wasFreqLabel[l] {
+			m.wasFreqLabel[l] = true
+			newLabels = append(newLabels, l)
+		}
+	}
+	if len(newLabels) > 0 && len(m.frequent) > 0 {
+		for _, p := range m.frequent {
+			if int(p.G.NumEdges()) >= m.cfg.MaxEdges {
+				continue
+			}
+			for _, ext := range extensions(p, newLabels) {
+				if _, known := m.frequent[ext.Code]; known {
+					continue
+				}
+				if _, known := m.fringe[ext.Code]; known {
+					continue
+				}
+				m.fringe[ext.Code] = ext
+				fresh[ext.Code] = true
+			}
+		}
+	}
+
+	// Re-check the fringe until no promotions occur. The dirty-pair
+	// filter permanently skips pre-existing fringe patterns that no new
+	// edge can have affected; fresh entries are always checked.
+	checked := make(map[string]bool)
+	for {
+		promotedAny := false
+		// Deterministic iteration order.
+		codes := make([]string, 0, len(m.fringe))
+		for code := range m.fringe {
+			codes = append(codes, code)
+		}
+		sort.Strings(codes)
+		for _, code := range codes {
+			p := m.fringe[code]
+			if checked[code] {
+				continue
+			}
+			if useDirtyFilter && !fresh[code] && !touchesDirty(p, dirty) {
+				checked[code] = true // support cannot have changed
+				continue
+			}
+			checked[code] = true
+			frequent, _, err := eval.IsFrequent(p, m.cfg.Support, m.cfg.Deadline)
+			stats.Evaluated++
+			if err != nil {
+				return stats, err
+			}
+			if !frequent {
+				continue
+			}
+			delete(m.fringe, code)
+			m.frequent[code] = p
+			stats.Promoted++
+			promotedAny = true
+			// The promotion's extensions become fringe candidates.
+			if int(p.G.NumEdges()) < m.cfg.MaxEdges {
+				for _, ext := range extensions(p, freqLabels) {
+					if _, known := m.frequent[ext.Code]; known {
+						continue
+					}
+					if _, known := m.fringe[ext.Code]; known {
+						continue
+					}
+					m.fringe[ext.Code] = ext
+					fresh[ext.Code] = true
+				}
+			}
+		}
+		if !promotedAny {
+			break
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+// touchesDirty reports whether any edge-label pair of p received new
+// edges since the last refresh.
+func touchesDirty(p Pattern, dirty map[[2]graph.Label]bool) bool {
+	if len(dirty) == 0 {
+		return false
+	}
+	for pair := range patternPairs(p) {
+		if dirty[pair] {
+			return true
+		}
+	}
+	return false
+}
+
+// seedNewPairs adds single-edge seed patterns for label pairs that now
+// occur frequently enough to possibly be frequent and were never seeded,
+// marking them fresh (always evaluated this refresh).
+func (m *IncrementalMiner) seedNewPairs(snap *graph.Graph, freqLabels []graph.Label, fresh map[string]bool) {
+	for _, p := range seedEdges(snap, freqLabels, m.cfg.Support) {
+		a, b := p.G.Label(0), p.G.Label(1)
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]graph.Label{a, b}
+		if m.seededPairs[key] {
+			continue
+		}
+		m.seededPairs[key] = true
+		if _, known := m.frequent[p.Code]; known {
+			continue
+		}
+		m.fringe[p.Code] = p
+		fresh[p.Code] = true
+	}
+}
+
+// MineIncrementalOnce is a convenience wrapper: full initial mine via
+// the incremental machinery, returning the frequent set.
+func MineIncrementalOnce(d *dyngraph.Graph, cfg Config) ([]Pattern, error) {
+	m, err := NewIncrementalMiner(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.Refresh(); err != nil {
+		return nil, fmt.Errorf("fsm: initial refresh: %w", err)
+	}
+	return m.Frequent(), nil
+}

@@ -1,0 +1,233 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dyngraph"
+	"repro/internal/graph"
+	"repro/internal/graph/graphtest"
+)
+
+// randomDyn builds an evolving graph with n nodes over `labels` labels.
+func randomDyn(t testing.TB, n, labels int, seed int64) (*dyngraph.Graph, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := dyngraph.New(labels)
+	for i := 0; i < n; i++ {
+		if _, err := d.AddNode(graph.Label(rng.Intn(labels))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, rng
+}
+
+func addRandomEdges(t testing.TB, d *dyngraph.Graph, count int, rng *rand.Rand) {
+	t.Helper()
+	added := 0
+	for tries := 0; tries < 50*count && added < count; tries++ {
+		u := graph.NodeID(rng.Intn(d.NumNodes()))
+		v := graph.NodeID(rng.Intn(d.NumNodes()))
+		if u == v || d.HasEdge(u, v) {
+			continue
+		}
+		if err := d.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+		added++
+	}
+}
+
+// fullMineCodes mines the snapshot from scratch and returns the sorted
+// canonical codes (the ground truth the incremental miner must match).
+func fullMineCodes(t testing.TB, d *dyngraph.Graph, cfg Config) []string {
+	t.Helper()
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(snap, NewIsoSupport(snap), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return patternCodes(res.Frequent)
+}
+
+func TestIncrementalMatchesFullMine(t *testing.T) {
+	d, rng := randomDyn(t, 40, 3, 11)
+	addRandomEdges(t, d, 70, rng)
+	cfg := Config{Support: 4, MaxEdges: 3, Workers: 1}
+	m, err := NewIncrementalMiner(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 4; batch++ {
+		if batch > 0 {
+			addRandomEdges(t, d, 15, rng)
+		}
+		stats, err := m.Refresh()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := patternCodes(m.Frequent())
+		want := fullMineCodes(t, d, cfg)
+		if len(got) != len(want) {
+			t.Fatalf("batch %d: incremental %d patterns, full %d (stats %+v)",
+				batch, len(got), len(want), stats)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("batch %d: pattern sets differ at %d", batch, i)
+			}
+		}
+	}
+}
+
+// TestIncrementalProperty: across random graphs and insertion batches
+// the incremental miner always agrees with a full re-mine.
+func TestIncrementalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d, rng := randomDyn(t, 25, 2, seed)
+		addRandomEdges(t, d, 35, rng)
+		cfg := Config{Support: 3, MaxEdges: 2, Workers: 1}
+		m, err := NewIncrementalMiner(d, cfg)
+		if err != nil {
+			return false
+		}
+		for batch := 0; batch < 3; batch++ {
+			if batch > 0 {
+				addRandomEdges(t, d, 10, rng)
+			}
+			if _, err := m.Refresh(); err != nil {
+				return false
+			}
+			got := patternCodes(m.Frequent())
+			want := fullMineCodes(t, d, cfg)
+			if len(got) != len(want) {
+				t.Logf("seed %d batch %d: %d vs %d patterns", seed, batch, len(got), len(want))
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalDoesLessWork: after a refresh with no insertions, the
+// miner evaluates only the fringe, not the frequent set.
+func TestIncrementalWorkShrinks(t *testing.T) {
+	d, rng := randomDyn(t, 50, 3, 21)
+	addRandomEdges(t, d, 120, rng)
+	cfg := Config{Support: 4, MaxEdges: 3, Workers: 1}
+	m, err := NewIncrementalMiner(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := m.Refresh() // nothing changed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Promoted != 0 {
+		t.Errorf("no-op refresh promoted %d patterns", second.Promoted)
+	}
+	// With the dirty-pair filter a no-op refresh evaluates nothing.
+	if second.Evaluated != 0 {
+		t.Errorf("no-op refresh evaluated %d patterns, want 0", second.Evaluated)
+	}
+	_ = first
+	// Mutating through the miner re-checks only affected patterns.
+	var added bool
+	for tries := 0; tries < 500 && !added; tries++ {
+		u := graph.NodeID(rng.Intn(d.NumNodes()))
+		v := graph.NodeID(rng.Intn(d.NumNodes()))
+		if u != v && !d.HasEdge(u, v) {
+			if err := m.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+			added = true
+		}
+	}
+	if !added {
+		t.Skip("graph saturated")
+	}
+	third, err := m.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Evaluated > 0 && third.Evaluated >= first.Evaluated {
+		t.Errorf("single-edge refresh evaluated %d >= initial %d", third.Evaluated, first.Evaluated)
+	}
+	if m.FringeSize() == 0 && len(m.Frequent()) == 0 {
+		t.Error("miner learned nothing at all")
+	}
+	if m.Graph() != d {
+		t.Error("Graph accessor wrong")
+	}
+}
+
+// TestIncrementalMonotone: frequent patterns never disappear across
+// insertion batches.
+func TestIncrementalMonotone(t *testing.T) {
+	d, rng := randomDyn(t, 30, 2, 33)
+	addRandomEdges(t, d, 50, rng)
+	cfg := Config{Support: 3, MaxEdges: 2, Workers: 1}
+	m, err := NewIncrementalMiner(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	prev := map[string]bool{}
+	for _, p := range m.Frequent() {
+		prev[p.Code] = true
+	}
+	for batch := 0; batch < 3; batch++ {
+		addRandomEdges(t, d, 12, rng)
+		if _, err := m.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		cur := map[string]bool{}
+		for _, p := range m.Frequent() {
+			cur[p.Code] = true
+		}
+		for code := range prev {
+			if !cur[code] {
+				t.Fatalf("batch %d: pattern vanished (monotonicity violated)", batch)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestMineIncrementalOnce(t *testing.T) {
+	g := graphtest.Figure1Data()
+	d, err := dyngraph.FromGraph(g, g.NumLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Support: 2, MaxEdges: 2, Workers: 1}
+	got, err := MineIncrementalOnce(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fullMineCodes(t, d, cfg)
+	if len(got) != len(want) {
+		t.Fatalf("incremental-once %d patterns, full %d", len(got), len(want))
+	}
+	if _, err := NewIncrementalMiner(d, Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

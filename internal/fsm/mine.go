@@ -1,0 +1,201 @@
+package fsm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Config controls a mining run.
+type Config struct {
+	// Support is the MNI frequency threshold (>= 1).
+	Support int
+	// MaxEdges bounds the pattern size in edges (the paper caps Weibo
+	// mining at six edges).
+	MaxEdges int
+	// Workers is the parallel evaluation width (>= 1), the stand-in for
+	// ScaleMine's distributed compute nodes.
+	Workers int
+	// Deadline aborts the run when passed (zero: none).
+	Deadline time.Time
+}
+
+func (c Config) validate() error {
+	if c.Support < 1 {
+		return fmt.Errorf("fsm: support %d < 1", c.Support)
+	}
+	if c.MaxEdges < 1 {
+		return fmt.Errorf("fsm: max edges %d < 1", c.MaxEdges)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("fsm: workers %d < 1", c.Workers)
+	}
+	return nil
+}
+
+// Result reports a mining run.
+type Result struct {
+	// Frequent holds the frequent patterns, level by level.
+	Frequent []Pattern
+	// Evaluated is the number of candidate patterns whose support was
+	// computed; Pruned counts canonical-duplicate candidates skipped.
+	Evaluated int
+	Pruned    int
+	Elapsed   time.Duration
+}
+
+// Mine finds all patterns with MNI support >= cfg.Support and at most
+// cfg.MaxEdges edges, evaluating support with eval. Single-node patterns
+// are not reported (mining starts from frequent edges, as usual).
+func Mine(g *graph.Graph, eval SupportEvaluator, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{}
+
+	frequentLabels := frequentNodeLabels(g, cfg.Support)
+	level := seedEdges(g, frequentLabels, cfg.Support)
+
+	seen := make(map[string]struct{})
+	for _, p := range level {
+		seen[p.Code] = struct{}{}
+	}
+
+	for len(level) > 0 {
+		frequent, err := evaluateLevel(level, eval, cfg, res)
+		if err != nil {
+			return res, err
+		}
+		res.Frequent = append(res.Frequent, frequent...)
+		// Generate the next level from this level's frequent patterns.
+		var next []Pattern
+		for _, p := range frequent {
+			if int(p.G.NumEdges()) >= cfg.MaxEdges {
+				continue
+			}
+			for _, ext := range extensions(p, frequentLabels) {
+				if _, dup := seen[ext.Code]; dup {
+					res.Pruned++
+					continue
+				}
+				seen[ext.Code] = struct{}{}
+				next = append(next, ext)
+			}
+		}
+		level = next
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// evaluateLevel computes support for one candidate level with a worker
+// pool.
+func evaluateLevel(level []Pattern, eval SupportEvaluator, cfg Config, res *Result) ([]Pattern, error) {
+	type item struct {
+		idx      int
+		frequent bool
+		err      error
+	}
+	workers := cfg.Workers
+	if workers > len(level) {
+		workers = len(level)
+	}
+	jobs := make(chan int)
+	out := make(chan item, len(level))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				freq, _, err := eval.IsFrequent(level[idx], cfg.Support, cfg.Deadline)
+				out <- item{idx: idx, frequent: freq, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range level {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(out)
+	}()
+	var firstErr error
+	frequentIdx := make([]int, 0, len(level))
+	for it := range out {
+		res.Evaluated++
+		if it.err != nil && firstErr == nil {
+			firstErr = it.err
+		}
+		if it.err == nil && it.frequent {
+			frequentIdx = append(frequentIdx, it.idx)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Ints(frequentIdx) // deterministic output order
+	frequent := make([]Pattern, len(frequentIdx))
+	for i, idx := range frequentIdx {
+		frequent[i] = level[idx]
+	}
+	return frequent, nil
+}
+
+// frequentNodeLabels returns labels carried by at least support nodes.
+func frequentNodeLabels(g *graph.Graph, support int) []graph.Label {
+	var out []graph.Label
+	for l := graph.Label(0); int(l) < g.NumLabels(); l++ {
+		if int(g.LabelFrequency(l)) >= support {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// seedEdges builds the single-edge seed patterns: one per unordered
+// frequent-label pair that actually occurs as an edge often enough to
+// possibly be frequent (cheap occurrence pre-count).
+func seedEdges(g *graph.Graph, labels []graph.Label, support int) []Pattern {
+	type pair struct{ a, b graph.Label }
+	counts := make(map[pair]int)
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		lu := g.Label(u)
+		for _, v := range g.Neighbors(u) {
+			if u >= v {
+				continue
+			}
+			lv := g.Label(v)
+			p := pair{lu, lv}
+			if p.a > p.b {
+				p.a, p.b = p.b, p.a
+			}
+			counts[p]++
+		}
+	}
+	frequentLabel := make(map[graph.Label]bool, len(labels))
+	for _, l := range labels {
+		frequentLabel[l] = true
+	}
+	var out []Pattern
+	for p, c := range counts {
+		// An edge pattern's MNI support is at most its occurrence count.
+		if c < support || !frequentLabel[p.a] || !frequentLabel[p.b] {
+			continue
+		}
+		b := graph.NewBuilder(2, 1)
+		u := b.AddNode(p.a)
+		v := b.AddNode(p.b)
+		if err := b.AddEdge(u, v); err != nil {
+			continue
+		}
+		out = append(out, NewPattern(b.Build()))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}

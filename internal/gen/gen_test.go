@@ -1,0 +1,175 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGenerateYeastShape(t *testing.T) {
+	spec, err := DefaultSpec("yeast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := MustGenerate(spec)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != spec.Nodes {
+		t.Errorf("nodes = %d, want %d", g.NumNodes(), spec.Nodes)
+	}
+	// Edge target is approximate; require within 2%.
+	lo := spec.Edges - spec.Edges/50
+	if g.NumEdges() < lo || g.NumEdges() > spec.Edges {
+		t.Errorf("edges = %d, want within [%d,%d]", g.NumEdges(), lo, spec.Edges)
+	}
+	if g.NumLabels() != spec.Labels {
+		t.Errorf("labels = %d, want %d", g.NumLabels(), spec.Labels)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := DefaultSpec("cora")
+	g1 := MustGenerate(spec)
+	g2 := MustGenerate(spec)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", g1.NumEdges(), g2.NumEdges())
+	}
+	for u := graph.NodeID(0); int(u) < g1.NumNodes(); u++ {
+		if g1.Label(u) != g2.Label(u) || g1.Degree(u) != g2.Degree(u) {
+			t.Fatalf("same seed, node %d differs", u)
+		}
+	}
+}
+
+func TestGenerateDegreeSkew(t *testing.T) {
+	spec, _ := DefaultSpec("human")
+	g := MustGenerate(spec)
+	s := graph.ComputeStats(g, false)
+	// Power-law-ish: the max degree should far exceed the median.
+	if s.MaxDegree < 4*s.DegreeP50 {
+		t.Errorf("degree distribution too flat: max=%d p50=%d", s.MaxDegree, s.DegreeP50)
+	}
+}
+
+func TestGenerateLabelSkew(t *testing.T) {
+	spec, _ := DefaultSpec("cora") // 7 labels, skew 0.7
+	g := MustGenerate(spec)
+	if g.LabelFrequency(0) <= g.LabelFrequency(graph.Label(spec.Labels-1)) {
+		t.Errorf("label 0 freq %d <= label %d freq %d; Zipf head should dominate",
+			g.LabelFrequency(0), spec.Labels-1, g.LabelFrequency(graph.Label(spec.Labels-1)))
+	}
+}
+
+func TestGenerateTrianglesPresent(t *testing.T) {
+	spec, _ := DefaultSpec("yeast")
+	g := MustGenerate(spec)
+	s := graph.ComputeStats(g, true)
+	if s.Triangles == 0 {
+		t.Error("triangle closure produced no triangles")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Name: "x", Nodes: 0, Edges: 1, Labels: 1},
+		{Name: "x", Nodes: 5, Edges: 100, Labels: 1}, // too many edges
+		{Name: "x", Nodes: 5, Edges: 1, Labels: 0},
+		{Name: "x", Nodes: 5, Edges: -1, Labels: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+		if _, err := Generate(s); err == nil {
+			t.Errorf("bad spec %d generated", i)
+		}
+	}
+}
+
+func TestDatasetRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("registry has %d datasets, want 6", len(names))
+	}
+	for _, name := range names {
+		full, err := FullSpec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pubNodes, pubEdges, pubLabels, err := PublishedStats(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Nodes != pubNodes || full.Edges != pubEdges || full.Labels != pubLabels {
+			t.Errorf("%s: FullSpec %d/%d/%d, published %d/%d/%d",
+				name, full.Nodes, full.Edges, full.Labels, pubNodes, pubEdges, pubLabels)
+		}
+		def, err := DefaultSpec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scaling preserves density within rounding.
+		fullDeg := 2 * float64(full.Edges) / float64(full.Nodes)
+		defDeg := 2 * float64(def.Edges) / float64(def.Nodes)
+		if defDeg < 0.9*fullDeg || defDeg > 1.1*fullDeg {
+			t.Errorf("%s: scaled avg degree %.1f, full %.1f", name, defDeg, fullDeg)
+		}
+	}
+	if _, err := DefaultSpec("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := ScaledSpec("yeast", 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, _, _, err := PublishedStats("nope"); err == nil {
+		t.Error("unknown dataset stats accepted")
+	}
+}
+
+func TestSmallUniformLabels(t *testing.T) {
+	g := MustGenerate(Spec{Name: "u", Nodes: 200, Edges: 400, Labels: 4, LabelSkew: 0, Seed: 9})
+	if g.NumLabels() != 4 {
+		t.Errorf("labels = %d", g.NumLabels())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleLabelGraph(t *testing.T) {
+	g := MustGenerate(Spec{Name: "s", Nodes: 50, Edges: 100, Labels: 1, Seed: 3})
+	if g.NumLabels() != 1 {
+		t.Errorf("labels = %d, want 1", g.NumLabels())
+	}
+}
+
+func TestLabelHomophily(t *testing.T) {
+	base := Spec{Name: "h0", Nodes: 600, Edges: 2400, Labels: 5, LabelSkew: 0, Seed: 4}
+	plain := MustGenerate(base)
+	biased := base
+	biased.Name = "h1"
+	biased.LabelHomophily = 0.8
+	homo := MustGenerate(biased)
+	frac := func(g *graph.Graph) float64 {
+		same, total := 0, 0
+		for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+			for _, v := range g.Neighbors(u) {
+				if u < v {
+					total++
+					if g.Label(u) == g.Label(v) {
+						same++
+					}
+				}
+			}
+		}
+		return float64(same) / float64(total)
+	}
+	fp, fh := frac(plain), frac(homo)
+	if fh <= fp {
+		t.Errorf("homophily did not raise same-label fraction: %.3f vs %.3f", fh, fp)
+	}
+	if err := homo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+)
+
+func randomGraphForBinary(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(50)
+	labels := 1 + rng.Intn(6)
+	b := NewBuilder(n, n*2)
+	for i := 0; i < n; i++ {
+		b.AddNode(Label(rng.Intn(labels)))
+	}
+	withEdgeLabels := rng.Intn(2) == 0
+	for tries := 0; tries < n*3; tries++ {
+		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if u == v || b.HasEdge(u, v) {
+			continue
+		}
+		el := NoLabel
+		if withEdgeLabels {
+			el = Label(rng.Intn(3))
+		}
+		if err := b.AddLabeledEdge(u, v, el); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() ||
+		a.NumLabels() != b.NumLabels() || a.HasEdgeLabels() != b.HasEdgeLabels() {
+		return false
+	}
+	for u := NodeID(0); int(u) < a.NumNodes(); u++ {
+		if a.Label(u) != b.Label(u) || a.Degree(u) != b.Degree(u) {
+			return false
+		}
+		na, nb := a.Neighbors(u), b.Neighbors(u)
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+			if a.EdgeLabelAt(u, i) != b.EdgeLabelAt(u, i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraphForBinary(seed)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		return graphsEqual(g, g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	g := randomGraphForBinary(7)
+	path := filepath.Join(t.TempDir(), "g.psig")
+	if err := SaveBinary(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Error("file round trip changed the graph")
+	}
+	if _, err := LoadBinary(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"short magic", "PS"},
+		{"bad magic", "NOPE" + strings.Repeat("\x00", 64)},
+		{"truncated header", "PSIG\x01\x00\x00"},
+	}
+	for _, c := range cases {
+		if _, err := ReadBinary(strings.NewReader(c.data)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Bad version.
+	g := randomGraphForBinary(3)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version field
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Corrupt an adjacency entry so validation must fire.
+	var buf2 bytes.Buffer
+	if err := WriteBinary(&buf2, g); err != nil {
+		t.Fatal(err)
+	}
+	d2 := buf2.Bytes()
+	d2[len(d2)-1] ^= 0xFF
+	if _, err := ReadBinary(bytes.NewReader(d2)); err == nil {
+		t.Error("corrupted payload accepted")
+	}
+}
+
+func TestBinaryEmptyGraph(t *testing.T) {
+	g := NewBuilder(0, 0).Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 0 || g2.NumEdges() != 0 {
+		t.Error("empty graph round trip failed")
+	}
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Multi-graph LG files hold a sequence of graphs, each introduced by a
+// "t # <index>" record and optionally carrying a "p <id>" pivot record —
+// the format query workloads are stored in.
+
+// ParseQuerySetLG reads a sequence of pivoted queries from r. Queries
+// without a "p" record default to pivot 0.
+func ParseQuerySetLG(r io.Reader) ([]Query, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []Query
+	var body strings.Builder
+	pivot := NodeID(0)
+	started := false
+	lineNo := 0
+
+	flush := func() error {
+		if !started {
+			return nil
+		}
+		g, err := ParseLG(strings.NewReader(body.String()))
+		if err != nil {
+			return fmt.Errorf("query %d: %w", len(out), err)
+		}
+		q, err := NewQuery(g, pivot)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", len(out), err)
+		}
+		out = append(out, q)
+		body.Reset()
+		pivot = 0
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line[0] == '#':
+			continue
+		case line[0] == 't':
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			started = true
+		case strings.HasPrefix(line, "p "):
+			id, err := strconv.Atoi(strings.Fields(line)[1])
+			if err != nil {
+				return nil, fmt.Errorf("lg:%d: bad pivot: %v", lineNo, err)
+			}
+			pivot = NodeID(id)
+		default:
+			if !started {
+				return nil, fmt.Errorf("lg:%d: record before first 't' header", lineNo)
+			}
+			body.WriteString(line)
+			body.WriteByte('\n')
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteQuerySetLG writes queries to w in multi-graph LG format, one
+// "t # <i>" section per query with its pivot record.
+func WriteQuerySetLG(w io.Writer, queries []Query) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for i, q := range queries {
+		if _, err := fmt.Fprintf(bw, "t # %d\n", i); err != nil {
+			return err
+		}
+		g := q.G
+		for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+			if _, err := fmt.Fprintf(bw, "v %d %s\n", u, g.nodeLabels.Name(g.Label(u))); err != nil {
+				return err
+			}
+		}
+		for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+			for j, v := range g.Neighbors(u) {
+				if u >= v {
+					continue
+				}
+				if l := g.EdgeLabelAt(u, j); l != NoLabel {
+					if _, err := fmt.Fprintf(bw, "e %d %d %s\n", u, v, g.edgeTable.Name(l)); err != nil {
+						return err
+					}
+				} else if _, err := fmt.Fprintf(bw, "e %d %d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "p %d\n", q.Pivot); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

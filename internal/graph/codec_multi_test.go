@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const multiLG = `t # 0
+v 0 A
+v 1 B
+e 0 1
+p 1
+t # 1
+v 0 C
+v 1 C
+v 2 C
+e 0 1
+e 1 2
+`
+
+func TestParseQuerySetLG(t *testing.T) {
+	qs, err := ParseQuerySetLG(strings.NewReader(multiLG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Fatalf("parsed %d queries, want 2", len(qs))
+	}
+	if qs[0].Pivot != 1 || qs[0].Size() != 2 {
+		t.Errorf("query 0: pivot=%d size=%d", qs[0].Pivot, qs[0].Size())
+	}
+	if qs[1].Pivot != 0 || qs[1].Size() != 3 {
+		t.Errorf("query 1: pivot=%d size=%d (default pivot expected)", qs[1].Pivot, qs[1].Size())
+	}
+}
+
+func TestParseQuerySetErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"record before header", "v 0 A\n"},
+		{"bad pivot", "t # 0\nv 0 A\np x\n"},
+		{"pivot out of range", "t # 0\nv 0 A\np 5\n"},
+		{"bad body", "t # 0\nv 0\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseQuerySetLG(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Empty input: zero queries, no error.
+	qs, err := ParseQuerySetLG(strings.NewReader(""))
+	if err != nil || len(qs) != 0 {
+		t.Errorf("empty input: %d queries, err %v", len(qs), err)
+	}
+}
+
+func TestQuerySetRoundTrip(t *testing.T) {
+	qs, err := ParseQuerySetLG(strings.NewReader(multiLG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteQuerySetLG(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	qs2, err := ParseQuerySetLG(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if len(qs2) != len(qs) {
+		t.Fatalf("round trip: %d queries, want %d", len(qs2), len(qs))
+	}
+	for i := range qs {
+		if qs2[i].Pivot != qs[i].Pivot || qs2[i].Size() != qs[i].Size() ||
+			qs2[i].G.NumEdges() != qs[i].G.NumEdges() {
+			t.Errorf("query %d changed in round trip", i)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleLG = `# a comment
+t # 0
+v 0 A
+v 1 B
+v 2 C
+e 0 1
+e 1 2 bond
+`
+
+func TestParseLG(t *testing.T) {
+	g, err := ParseLG(strings.NewReader(sampleLG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.NodeLabelTable().Name(g.Label(0)) != "A" {
+		t.Errorf("node 0 label = %q", g.NodeLabelTable().Name(g.Label(0)))
+	}
+	if !g.HasEdgeLabels() {
+		t.Fatal("expected edge labels")
+	}
+	l, ok := g.EdgeLabel(1, 2)
+	if !ok || g.EdgeLabelTable().Name(l) != "bond" {
+		t.Errorf("edge (1,2) label = %v %v", l, ok)
+	}
+	if l, ok := g.EdgeLabel(0, 1); !ok || l != NoLabel {
+		t.Errorf("edge (0,1) label = %v %v, want NoLabel", l, ok)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseLGErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"sparse ids", "v 0 A\nv 2 B\n"},
+		{"bad node id", "v x A\n"},
+		{"v arity", "v 0\n"},
+		{"e arity", "v 0 A\ne 0\n"},
+		{"bad edge src", "v 0 A\nv 1 A\ne x 1\n"},
+		{"bad edge dst", "v 0 A\nv 1 A\ne 0 x\n"},
+		{"unknown record", "q 1 2\n"},
+		{"self loop", "v 0 A\ne 0 0\n"},
+		{"dangling edge", "v 0 A\ne 0 3\n"},
+		{"dup edge", "v 0 A\nv 1 A\ne 0 1\ne 1 0\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseLG(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestLGRoundTrip(t *testing.T) {
+	g, err := ParseLG(strings.NewReader(sampleLG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLG(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseLG(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		n1 := g.NodeLabelTable().Name(g.Label(u))
+		n2 := g2.NodeLabelTable().Name(g2.Label(u))
+		if n1 != n2 {
+			t.Errorf("node %d label %q != %q", u, n1, n2)
+		}
+	}
+}
+
+func TestSaveLoadLG(t *testing.T) {
+	g, err := ParseLG(strings.NewReader(sampleLG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.lg")
+	if err := SaveLG(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadLG(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Error("save/load changed the graph")
+	}
+	if _, err := LoadLG(filepath.Join(t.TempDir(), "missing.lg")); !os.IsNotExist(err) {
+		t.Errorf("missing file error = %v", err)
+	}
+}
+
+func TestParseQueryLG(t *testing.T) {
+	in := sampleLG + "p 1\n"
+	q, err := ParseQueryLG(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pivot != 1 {
+		t.Errorf("pivot = %d, want 1", q.Pivot)
+	}
+	// Default pivot.
+	q, err = ParseQueryLG(strings.NewReader(sampleLG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pivot != 0 {
+		t.Errorf("default pivot = %d, want 0", q.Pivot)
+	}
+	if _, err := ParseQueryLG(strings.NewReader(sampleLG + "p x\n")); err == nil {
+		t.Error("bad pivot accepted")
+	}
+	if _, err := ParseQueryLG(strings.NewReader(sampleLG + "p 9\n")); err == nil {
+		t.Error("out-of-range pivot accepted")
+	}
+}

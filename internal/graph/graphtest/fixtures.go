@@ -1,0 +1,150 @@
+// Package graphtest provides the worked examples from the SmartPSI paper
+// (Figures 1 and 2) as reusable fixtures, plus small deterministic random
+// graphs for tests across the repository.
+package graphtest
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Labels used by the paper figures.
+const (
+	LabelA graph.Label = 0
+	LabelB graph.Label = 1
+	LabelC graph.Label = 2
+	LabelD graph.Label = 3
+)
+
+func mustEdge(b *graph.Builder, u, v graph.NodeID) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// Figure1Query returns the triangle query S(v1, v2, v3) of paper Figure
+// 1(a): v1 labeled A (pivot), v2 labeled B, v3 labeled C, fully connected.
+func Figure1Query() graph.Query {
+	b := graph.NewBuilder(3, 3)
+	v1 := b.AddNode(LabelA)
+	v2 := b.AddNode(LabelB)
+	v3 := b.AddNode(LabelC)
+	mustEdge(b, v1, v2)
+	mustEdge(b, v2, v3)
+	mustEdge(b, v1, v3)
+	q, err := graph.NewQuery(b.Build(), v1)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Figure1Data returns the data graph of paper Figure 1(b). It has exactly
+// five embeddings of the Figure 1 query and pivot bindings {u1, u6}
+// (node ids 0 and 5 here).
+func Figure1Data() *graph.Graph {
+	b := graph.NewBuilder(6, 10)
+	u1 := b.AddNode(LabelA) // id 0
+	u2 := b.AddNode(LabelB) // id 1
+	u3 := b.AddNode(LabelC) // id 2
+	u4 := b.AddNode(LabelC) // id 3
+	u5 := b.AddNode(LabelB) // id 4
+	u6 := b.AddNode(LabelA) // id 5
+	mustEdge(b, u1, u2)
+	mustEdge(b, u1, u3)
+	mustEdge(b, u1, u4)
+	mustEdge(b, u1, u5)
+	mustEdge(b, u2, u3)
+	mustEdge(b, u2, u4)
+	mustEdge(b, u5, u3)
+	mustEdge(b, u5, u4)
+	mustEdge(b, u6, u5)
+	mustEdge(b, u6, u3)
+	return b.Build()
+}
+
+// Figure1PivotBindings are the expected PSI results for Figure 1:
+// nodes u1 (id 0) and u6 (id 5).
+func Figure1PivotBindings() []graph.NodeID { return []graph.NodeID{0, 5} }
+
+// Figure1EmbeddingCount is the number of full subgraph-isomorphism
+// embeddings of the Figure 1 query in the Figure 1 data graph.
+const Figure1EmbeddingCount = 5
+
+// Figure2Query returns the 5-node query of paper Figure 2(a):
+// v0(A)–v1(B), v1–v2(B), v1–v3(C), v2–v3, v3–v4(D), pivot v1.
+// Its matrix-based NS^2 rows are the worked example of Section 3.1.
+func Figure2Query() graph.Query {
+	b := graph.NewBuilder(5, 5)
+	v0 := b.AddNode(LabelA)
+	v1 := b.AddNode(LabelB)
+	v2 := b.AddNode(LabelB)
+	v3 := b.AddNode(LabelC)
+	v4 := b.AddNode(LabelD)
+	mustEdge(b, v0, v1)
+	mustEdge(b, v1, v2)
+	mustEdge(b, v1, v3)
+	mustEdge(b, v2, v3)
+	mustEdge(b, v3, v4)
+	q, err := graph.NewQuery(b.Build(), v1)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Figure2NS2 is the expected matrix-based NS^2 of the Figure 2 query, one
+// row per node over labels (A, B, C, D). Rows v0, v1, v2 and v4 are
+// exactly as printed in the paper. The paper prints row v3 as
+// (1/4, 13/4, 2, 1), which double-counts ½·NS^1(v2); applying the stated
+// recurrence NS^2(v3) = NS^1(v3) + ½·(NS^1(v1)+NS^1(v2)+NS^1(v4)) yields
+// (1/4, 5/2, 7/4, 1), the value used here.
+var Figure2NS2 = [][]float64{
+	{5. / 4, 5. / 4, 1. / 4, 0},
+	{1, 3, 5. / 4, 1. / 4},
+	{1. / 4, 11. / 4, 5. / 4, 1. / 4},
+	{1. / 4, 5. / 2, 7. / 4, 1},
+	{0, 1. / 2, 1, 5. / 4},
+}
+
+// Figure2NS1 is the expected matrix-based NS^1 of the Figure 2 query.
+var Figure2NS1 = [][]float64{
+	{1, 1. / 2, 0, 0},
+	{1. / 2, 3. / 2, 1. / 2, 0},
+	{0, 3. / 2, 1. / 2, 0},
+	{0, 1, 1, 1. / 2},
+	{0, 0, 1. / 2, 1},
+}
+
+// Random returns a connected-ish Erdős–Rényi-style labeled graph with n
+// nodes, approximately m distinct edges, and the given label alphabet
+// size, generated deterministically from seed.
+func Random(n, m, labels int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, m)
+	for i := 0; i < n; i++ {
+		b.AddNode(graph.Label(rng.Intn(labels)))
+	}
+	// A random spanning path keeps most nodes connected.
+	perm := rng.Perm(n)
+	for i := 1; i < n && i <= m; i++ {
+		u, v := graph.NodeID(perm[i-1]), graph.NodeID(perm[i])
+		if !b.HasEdge(u, v) {
+			if err := b.AddEdge(u, v); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for tries := 0; tries < 20*m && b.NumEdges() < m; tries++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v || b.HasEdge(u, v) {
+			continue
+		}
+		if err := b.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats summarizes a graph's structural characteristics, mirroring the
+// columns of Table 3 in the paper plus degree-distribution detail.
+type Stats struct {
+	Nodes     int
+	Edges     int64
+	Labels    int
+	MaxDegree int32
+	AvgDegree float64
+	Triangles int64 // counted only when ComputeStats is asked to
+	DegreeP50 int32
+	DegreeP90 int32
+	DegreeP99 int32
+}
+
+// ComputeStats returns structural statistics for g. Triangle counting is
+// O(sum of d^2) and skipped unless countTriangles is set.
+func ComputeStats(g *Graph, countTriangles bool) Stats {
+	n := g.NumNodes()
+	s := Stats{
+		Nodes:     n,
+		Edges:     g.NumEdges(),
+		Labels:    g.NumLabels(),
+		MaxDegree: g.MaxDegree(),
+	}
+	if n == 0 {
+		return s
+	}
+	s.AvgDegree = 2 * float64(g.NumEdges()) / float64(n)
+	degs := make([]int32, n)
+	for u := 0; u < n; u++ {
+		degs[u] = g.Degree(NodeID(u))
+	}
+	sort.Slice(degs, func(i, j int) bool { return degs[i] < degs[j] })
+	pct := func(p float64) int32 {
+		i := int(p * float64(n-1))
+		return degs[i]
+	}
+	s.DegreeP50, s.DegreeP90, s.DegreeP99 = pct(0.50), pct(0.90), pct(0.99)
+	if countTriangles {
+		s.Triangles = countTrianglesOf(g)
+	}
+	return s
+}
+
+func countTrianglesOf(g *Graph) int64 {
+	var total int64
+	n := g.NumNodes()
+	for u := NodeID(0); int(u) < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if w > v && g.HasEdge(u, w) {
+					total++
+				}
+			}
+		}
+	}
+	return total
+}
+
+// String renders the stats as a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d edges=%d labels=%d avgDeg=%.2f maxDeg=%d p50=%d p90=%d p99=%d",
+		s.Nodes, s.Edges, s.Labels, s.AvgDegree, s.MaxDegree, s.DegreeP50, s.DegreeP90, s.DegreeP99)
+}

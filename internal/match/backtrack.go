@@ -1,0 +1,61 @@
+package match
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Backtracking is the classic label/degree-filtered backtracking matcher
+// in the lineage of Ullmann's algorithm: candidates come straight from
+// the data graph's label index and neighbor lists, the visit order is
+// chosen once by global label selectivity, and there is no candidate
+// precomputation. It is the slowest competitor and the reference other
+// engines are validated against.
+type Backtracking struct {
+	g *graph.Graph
+	q *graph.Graph
+}
+
+// NewBacktracking returns a backtracking engine for query q over g.
+// The query must be connected and non-empty.
+func NewBacktracking(g *graph.Graph, q *graph.Graph) (*Backtracking, error) {
+	if q.NumNodes() == 0 {
+		return nil, fmt.Errorf("match: empty query")
+	}
+	if !graph.IsConnected(q) {
+		return nil, fmt.Errorf("match: disconnected query")
+	}
+	return &Backtracking{g: g, q: q}, nil
+}
+
+// Name implements Engine.
+func (b *Backtracking) Name() string { return "backtracking" }
+
+// Enumerate implements Engine.
+func (b *Backtracking) Enumerate(budget Budget, fn VisitFunc) error {
+	start := b.startVertex()
+	order := orderBySelectivity(b.q, start, func(v graph.NodeID) int64 {
+		return int64(b.g.LabelFrequency(b.q.Label(v)))
+	})
+	startCands := b.g.NodesWithLabel(b.q.Label(start))
+	return enumerate(b.g, b.q, order, nil, startCands, budget, fn)
+}
+
+// startVertex picks the query vertex minimizing freq(label)/degree, the
+// standard selectivity heuristic.
+func (b *Backtracking) startVertex() graph.NodeID {
+	best := graph.NodeID(0)
+	bestScore := float64(1 << 62)
+	for v := graph.NodeID(0); int(v) < b.q.NumNodes(); v++ {
+		deg := b.q.Degree(v)
+		if deg == 0 {
+			deg = 1
+		}
+		score := float64(b.g.LabelFrequency(b.q.Label(v))) / float64(deg)
+		if score < bestScore {
+			best, bestScore = v, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,131 @@
+package match
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/graphtest"
+)
+
+// benchQuery is a 4-node connected query extracted deterministically
+// from the benchmark data graph.
+func benchFixture(b *testing.B) (*graph.Graph, *graph.Graph, graph.Query) {
+	b.Helper()
+	g := graphtest.Random(800, 3200, 4, 77)
+	comp := graph.ConnectedComponent(g, 0)
+	sub, _, err := graph.InducedSubgraph(g, comp[:4])
+	if err != nil || !graph.IsConnected(sub) {
+		// Deterministic seed: this does not happen; guard anyway.
+		b.Skip("fixture query disconnected")
+	}
+	q, err := graph.NewQuery(sub, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, sub, q
+}
+
+func BenchmarkBacktrackingEnumerate(b *testing.B) {
+	g, sub, _ := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewBacktracking(g, sub)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := CountEmbeddings(e, Budget{MaxEmbeddings: 100_000}); err != nil && err != ErrBudget {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTurboIsoEnumerate(b *testing.B) {
+	g, sub, _ := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewTurboIso(g, sub)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := CountEmbeddings(e, Budget{MaxEmbeddings: 100_000}); err != nil && err != ErrBudget {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCFLEnumerate(b *testing.B) {
+	g, sub, _ := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewCFL(g, sub)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := CountEmbeddings(e, Budget{MaxEmbeddings: 100_000}); err != nil && err != ErrBudget {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphQLEnumerate(b *testing.B) {
+	g, sub, _ := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewGraphQL(g, sub)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := CountEmbeddings(e, Budget{MaxEmbeddings: 100_000}); err != nil && err != ErrBudget {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTurboIsoPlusPSI(b *testing.B) {
+	g, _, q := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewTurboIsoPlus(g, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := e.PivotBindings(Budget{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTurboIsoRegionSizes(t *testing.T) {
+	g := graphtest.Figure1Data()
+	q := graphtest.Figure1Query()
+	ti, err := NewTurboIso(g, q.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start vertex candidates root regions; u1 (node 0) roots one.
+	var anyRegion bool
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		if g.Label(u) != q.G.Label(ti.start) {
+			continue
+		}
+		if sizes := ti.sortedSetSizes(u); sizes != nil {
+			anyRegion = true
+			if len(sizes) != q.G.NumNodes() {
+				t.Errorf("region from %d has %d sets, want %d", u, len(sizes), q.G.NumNodes())
+			}
+			for _, s := range sizes {
+				if s < 1 {
+					t.Errorf("region from %d has empty candidate set", u)
+				}
+			}
+		}
+	}
+	if !anyRegion {
+		t.Error("no candidate regions on the Figure 1 fixture")
+	}
+}

@@ -1,0 +1,151 @@
+package match
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/graph/graphtest"
+)
+
+func TestGraphQLFigure1(t *testing.T) {
+	g := graphtest.Figure1Data()
+	q := graphtest.Figure1Query()
+	e, err := NewGraphQL(g, q.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountEmbeddings(e, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != graphtest.Figure1EmbeddingCount {
+		t.Errorf("embeddings = %d, want %d", n, graphtest.Figure1EmbeddingCount)
+	}
+	bindings, _, err := PivotBindings(e, q, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(bindings, func(i, j int) bool { return bindings[i] < bindings[j] })
+	want := graphtest.Figure1PivotBindings()
+	if len(bindings) != 2 || bindings[0] != want[0] || bindings[1] != want[1] {
+		t.Errorf("bindings = %v, want %v", bindings, want)
+	}
+}
+
+func TestGraphQLAgainstBacktracking(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(15, 35, 3, seed)
+		comp := graph.ConnectedComponent(g, graph.NodeID(rng.Intn(g.NumNodes())))
+		size := 3 + rng.Intn(3)
+		if len(comp) < size {
+			return true
+		}
+		sub, _, err := graph.InducedSubgraph(g, comp[:size])
+		if err != nil || !graph.IsConnected(sub) {
+			return true
+		}
+		gq, err := NewGraphQL(g, sub)
+		if err != nil {
+			return false
+		}
+		bt, err := NewBacktracking(g, sub)
+		if err != nil {
+			return false
+		}
+		nGQ, err := CountEmbeddings(gq, Budget{})
+		if err != nil {
+			return false
+		}
+		nBT, err := CountEmbeddings(bt, Budget{})
+		if err != nil {
+			return false
+		}
+		if nGQ != nBT {
+			t.Logf("seed %d: graphql %d, backtracking %d", seed, nGQ, nBT)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphQLProfileFiltering(t *testing.T) {
+	// Data: two A nodes; one has neighbors {B, C}, the other only {B}.
+	// Query node A requires profile {B, C}: only the first can host it.
+	b := graph.NewBuilder(5, 3)
+	a1 := b.AddNode(0)
+	bn := b.AddNode(1)
+	cn := b.AddNode(2)
+	a2 := b.AddNode(0)
+	b2 := b.AddNode(1)
+	for _, e := range [][2]graph.NodeID{{a1, bn}, {a1, cn}, {a2, b2}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	qb := graph.NewBuilder(3, 2)
+	qa := qb.AddNode(0)
+	qbn := qb.AddNode(1)
+	qcn := qb.AddNode(2)
+	if err := qb.AddEdge(qa, qbn); err != nil {
+		t.Fatal(err)
+	}
+	if err := qb.AddEdge(qa, qcn); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewGraphQL(g, qb.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := e.CandidateSetSizes()
+	if sizes[0] != 1 {
+		t.Errorf("A-node candidates = %d, want 1 (profile filter)", sizes[0])
+	}
+}
+
+func TestContainsProfile(t *testing.T) {
+	cases := []struct {
+		a, b []graph.Label
+		want bool
+	}{
+		{[]graph.Label{1, 2, 3}, []graph.Label{1, 3}, true},
+		{[]graph.Label{1, 2, 3}, []graph.Label{1, 1}, false}, // multiset: need two 1s
+		{[]graph.Label{1, 1, 2}, []graph.Label{1, 1}, true},
+		{[]graph.Label{1, 2}, []graph.Label{}, true},
+		{[]graph.Label{}, []graph.Label{0}, false},
+		{[]graph.Label{2, 4, 4, 7}, []graph.Label{4, 7}, true},
+		{[]graph.Label{2, 4, 4, 7}, []graph.Label{4, 8}, false},
+	}
+	for i, c := range cases {
+		if got := containsProfile(c.a, c.b); got != c.want {
+			t.Errorf("case %d: containsProfile(%v,%v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestGraphQLConstruction(t *testing.T) {
+	g := graphtest.Figure1Data()
+	if _, err := NewGraphQL(g, graph.NewBuilder(0, 0).Build()); err == nil {
+		t.Error("empty query accepted")
+	}
+	db := graph.NewBuilder(2, 0)
+	db.AddNode(0)
+	db.AddNode(1)
+	if _, err := NewGraphQL(g, db.Build()); err == nil {
+		t.Error("disconnected query accepted")
+	}
+	e, err := NewGraphQL(g, graphtest.Figure1Query().G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "graphql" {
+		t.Error("name wrong")
+	}
+}

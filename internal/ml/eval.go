@@ -1,0 +1,162 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// ConfusionMatrix tabulates predictions: Counts[actual][predicted].
+type ConfusionMatrix struct {
+	Counts [][]int64
+}
+
+// NewConfusionMatrix returns a zeroed numClasses x numClasses matrix.
+func NewConfusionMatrix(numClasses int) *ConfusionMatrix {
+	m := &ConfusionMatrix{Counts: make([][]int64, numClasses)}
+	for i := range m.Counts {
+		m.Counts[i] = make([]int64, numClasses)
+	}
+	return m
+}
+
+// Observe records one (actual, predicted) pair.
+func (m *ConfusionMatrix) Observe(actual, predicted int) {
+	m.Counts[actual][predicted]++
+}
+
+// Total returns the number of observations.
+func (m *ConfusionMatrix) Total() int64 {
+	var n int64
+	for _, row := range m.Counts {
+		for _, c := range row {
+			n += c
+		}
+	}
+	return n
+}
+
+// Accuracy returns the fraction on the diagonal (1.0 when empty).
+func (m *ConfusionMatrix) Accuracy() float64 {
+	total := m.Total()
+	if total == 0 {
+		return 1
+	}
+	var diag int64
+	for i := range m.Counts {
+		diag += m.Counts[i][i]
+	}
+	return float64(diag) / float64(total)
+}
+
+// Precision returns the precision of class c (1.0 when c is never
+// predicted).
+func (m *ConfusionMatrix) Precision(c int) float64 {
+	var predicted int64
+	for a := range m.Counts {
+		predicted += m.Counts[a][c]
+	}
+	if predicted == 0 {
+		return 1
+	}
+	return float64(m.Counts[c][c]) / float64(predicted)
+}
+
+// Recall returns the recall of class c (1.0 when c never occurs).
+func (m *ConfusionMatrix) Recall(c int) float64 {
+	var actual int64
+	for _, p := range m.Counts[c] {
+		actual += p
+	}
+	if actual == 0 {
+		return 1
+	}
+	return float64(m.Counts[c][c]) / float64(actual)
+}
+
+// F1 returns the harmonic mean of precision and recall for class c.
+func (m *ConfusionMatrix) F1(c int) float64 {
+	p, r := m.Precision(c), m.Recall(c)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix compactly.
+func (m *ConfusionMatrix) String() string {
+	var sb strings.Builder
+	for a, row := range m.Counts {
+		fmt.Fprintf(&sb, "actual %d:", a)
+		for _, c := range row {
+			fmt.Fprintf(&sb, " %d", c)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Evaluate runs clf over d and returns the confusion matrix.
+func Evaluate(clf Classifier, d Dataset) *ConfusionMatrix {
+	m := NewConfusionMatrix(d.NumClasses)
+	for i, x := range d.X {
+		m.Observe(d.Y[i], clf.Predict(x))
+	}
+	return m
+}
+
+// Trainer fits a classifier on a dataset; the closures over
+// TrainForest/TrainSVM/TrainNN used by CrossValidate.
+type Trainer func(train Dataset) (Classifier, error)
+
+// CrossValidate runs k-fold cross validation and returns the per-fold
+// accuracies. Folds are a deterministic shuffle of d by seed.
+func CrossValidate(d Dataset, k int, seed int64, train Trainer) ([]float64, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("ml: k = %d folds, need >= 2", k)
+	}
+	if d.Len() < k {
+		return nil, fmt.Errorf("ml: %d rows cannot fill %d folds", d.Len(), k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(d.Len())
+	accs := make([]float64, 0, k)
+	for fold := 0; fold < k; fold++ {
+		var trainSet, testSet Dataset
+		trainSet.NumClasses = d.NumClasses
+		testSet.NumClasses = d.NumClasses
+		for i, p := range perm {
+			if i%k == fold {
+				testSet.X = append(testSet.X, d.X[p])
+				testSet.Y = append(testSet.Y, d.Y[p])
+			} else {
+				trainSet.X = append(trainSet.X, d.X[p])
+				trainSet.Y = append(trainSet.Y, d.Y[p])
+			}
+		}
+		clf, err := train(trainSet)
+		if err != nil {
+			return nil, fmt.Errorf("ml: fold %d: %w", fold, err)
+		}
+		accs = append(accs, Accuracy(clf, testSet))
+	}
+	return accs, nil
+}
+
+// MeanStd returns the mean and population standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std /= float64(len(xs))
+	return mean, math.Sqrt(std)
+}

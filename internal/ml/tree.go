@@ -1,0 +1,186 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// TreeConfig controls CART decision-tree induction.
+type TreeConfig struct {
+	// MaxDepth bounds the tree height (<=0: unbounded).
+	MaxDepth int
+	// MinLeaf is the minimum sample count of a leaf (default 1).
+	MinLeaf int
+	// FeatureFrac is the fraction of features considered per split
+	// (<=0 or >=1: all). Random forests use sqrt-fraction subsampling.
+	FeatureFrac float64
+	// rng supplies feature subsampling; nil means deterministic
+	// all-features splitting.
+	rng *rand.Rand
+}
+
+// Tree is a trained CART decision tree over numeric features, split by
+// Gini impurity.
+type Tree struct {
+	nodes      []treeNode
+	numClasses int
+}
+
+type treeNode struct {
+	feature   int     // -1 for leaves
+	threshold float64 // go left when x[feature] <= threshold
+	left      int32
+	right     int32
+	class     int // leaf prediction
+}
+
+// TrainTree fits a CART tree on d.
+func TrainTree(d Dataset, cfg TreeConfig) (*Tree, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ml: empty training set")
+	}
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	t := &Tree{numClasses: d.NumClasses}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t.build(d, idx, cfg, 0)
+	return t, nil
+}
+
+// Name implements Classifier.
+func (t *Tree) Name() string { return "decision-tree" }
+
+// Predict implements Classifier.
+func (t *Tree) Predict(x []float64) int {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.class
+		}
+		if n.feature < len(x) && x[n.feature] <= n.threshold {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// NumNodes returns the number of tree nodes (testing/inspection).
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// build grows the subtree over rows idx and returns its node index.
+func (t *Tree) build(d Dataset, idx []int, cfg TreeConfig, depth int) int32 {
+	ys := make([]int, len(idx))
+	for i, r := range idx {
+		ys[i] = d.Y[r]
+	}
+	cls, pure := majority(ys, d.NumClasses)
+	nodeID := int32(len(t.nodes))
+	t.nodes = append(t.nodes, treeNode{feature: -1, class: cls})
+	if pure || len(idx) < 2*cfg.MinLeaf || (cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) {
+		return nodeID
+	}
+	feature, threshold, ok := t.bestSplit(d, idx, cfg)
+	if !ok {
+		return nodeID
+	}
+	var left, right []int
+	for _, r := range idx {
+		if d.X[r][feature] <= threshold {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) < cfg.MinLeaf || len(right) < cfg.MinLeaf {
+		return nodeID
+	}
+	l := t.build(d, left, cfg, depth+1)
+	r := t.build(d, right, cfg, depth+1)
+	t.nodes[nodeID].feature = feature
+	t.nodes[nodeID].threshold = threshold
+	t.nodes[nodeID].left = l
+	t.nodes[nodeID].right = r
+	return nodeID
+}
+
+// bestSplit finds the (feature, threshold) minimizing weighted Gini
+// impurity over the candidate features.
+func (t *Tree) bestSplit(d Dataset, idx []int, cfg TreeConfig) (feature int, threshold float64, ok bool) {
+	nf := d.NumFeatures()
+	features := make([]int, nf)
+	for i := range features {
+		features[i] = i
+	}
+	if cfg.FeatureFrac > 0 && cfg.FeatureFrac < 1 && cfg.rng != nil {
+		k := int(cfg.FeatureFrac * float64(nf))
+		if k < 1 {
+			k = 1
+		}
+		cfg.rng.Shuffle(nf, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:k]
+	}
+
+	bestGini := 2.0 // impurity is in [0,1); 2 means "none found"
+	type fv struct {
+		v float64
+		y int
+	}
+	vals := make([]fv, len(idx))
+	countsL := make([]float64, d.NumClasses)
+	countsR := make([]float64, d.NumClasses)
+	for _, f := range features {
+		for i, r := range idx {
+			vals[i] = fv{v: d.X[r][f], y: d.Y[r]}
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+		for c := range countsL {
+			countsL[c] = 0
+			countsR[c] = 0
+		}
+		for _, e := range vals {
+			countsR[e.y]++
+		}
+		nL, nR := 0.0, float64(len(vals))
+		for i := 0; i < len(vals)-1; i++ {
+			countsL[vals[i].y]++
+			countsR[vals[i].y]--
+			nL++
+			nR--
+			if vals[i].v == vals[i+1].v {
+				continue // can't split between equal values
+			}
+			g := (nL*gini(countsL, nL) + nR*gini(countsR, nR)) / float64(len(vals))
+			if g < bestGini {
+				bestGini = g
+				feature = f
+				threshold = (vals[i].v + vals[i+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// gini returns the Gini impurity of the class histogram counts with
+// total n.
+func gini(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	s := 1.0
+	for _, c := range counts {
+		p := c / n
+		s -= p * p
+	}
+	return s
+}

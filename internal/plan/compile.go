@@ -1,0 +1,98 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// EdgeCheck is one adjacency constraint a candidate binding must satisfy:
+// the candidate must be adjacent (with the given edge label, if any) to
+// the data node bound at plan position Pos.
+type EdgeCheck struct {
+	Pos       int
+	EdgeLabel graph.Label
+}
+
+// Step is the compiled program for one plan position: which query node is
+// bound, what its label and degree are, which earlier binding anchors the
+// candidate generation, and the remaining adjacency checks.
+type Step struct {
+	QueryNode graph.NodeID
+	Label     graph.Label
+	Degree    int32 // degree of QueryNode in the query graph
+	// Anchor is the plan position whose binding generates candidates
+	// (candidates are that data node's neighbors with label Label).
+	// -1 for position 0, whose candidate is supplied by the caller.
+	Anchor int
+	// AnchorEdgeLabel is the required label of the query edge between
+	// QueryNode and the anchor's query node (NoLabel when unlabeled).
+	AnchorEdgeLabel graph.Label
+	// Checks are the adjacency constraints against earlier bindings,
+	// excluding the anchor (already satisfied by construction).
+	Checks []EdgeCheck
+}
+
+// Compiled is a plan lowered to the step program executed by the PSI
+// evaluators.
+type Compiled struct {
+	Query graph.Query
+	Order Plan
+	Steps []Step
+}
+
+// Compile validates p for q and lowers it into a step program. The
+// anchor chosen for each step is the earliest adjacent bound position —
+// bindings made earlier are the most constrained, keeping candidate sets
+// small.
+func Compile(q graph.Query, p Plan) (*Compiled, error) {
+	if err := Validate(q, p); err != nil {
+		return nil, err
+	}
+	pos := make([]int, q.G.NumNodes())
+	for i, v := range p {
+		pos[v] = i
+	}
+	c := &Compiled{Query: q, Order: p, Steps: make([]Step, len(p))}
+	for i, v := range p {
+		st := Step{
+			QueryNode:       v,
+			Label:           q.G.Label(v),
+			Degree:          q.G.Degree(v),
+			Anchor:          -1,
+			AnchorEdgeLabel: graph.NoLabel,
+		}
+		if i > 0 {
+			for j, w := range q.G.Neighbors(v) {
+				pw := pos[w]
+				if pw >= i {
+					continue
+				}
+				el := q.G.EdgeLabelAt(v, j)
+				if st.Anchor < 0 || pw < st.Anchor {
+					if st.Anchor >= 0 {
+						// Demote the previous anchor to a plain check.
+						st.Checks = append(st.Checks, EdgeCheck{Pos: st.Anchor, EdgeLabel: st.AnchorEdgeLabel})
+					}
+					st.Anchor, st.AnchorEdgeLabel = pw, el
+				} else {
+					st.Checks = append(st.Checks, EdgeCheck{Pos: pw, EdgeLabel: el})
+				}
+			}
+			if st.Anchor < 0 {
+				return nil, fmt.Errorf("plan: position %d has no bound anchor", i)
+			}
+		}
+		c.Steps[i] = st
+	}
+	return c, nil
+}
+
+// MustCompile is Compile for known-good plans; it panics on error.
+func MustCompile(q graph.Query, p Plan) *Compiled {
+	c, err := Compile(q, p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,128 @@
+package psi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/graph/graphtest"
+	"repro/internal/plan"
+)
+
+// TestNoSigPruneEquivalent: disabling Proposition 3.2 pruning must never
+// change results, only work done.
+func TestNoSigPruneEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(16, 40, 3, seed)
+		comp := graph.ConnectedComponent(g, graph.NodeID(rng.Intn(g.NumNodes())))
+		if len(comp) < 4 {
+			return true
+		}
+		sub, _, err := graph.InducedSubgraph(g, comp[:4])
+		if err != nil || !graph.IsConnected(sub) {
+			return true
+		}
+		q, _ := graph.NewQuery(sub, 0)
+		e := newEvalQuiet(g, q)
+		c, err := plan.Compile(q, plan.Heuristic(q, g))
+		if err != nil {
+			return false
+		}
+		st := NewState(q.Size())
+		for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+			with, err := e.Evaluate(st, c, u, Pessimistic, Limits{})
+			if err != nil {
+				return false
+			}
+			without, err := e.EvaluateNoSigPrune(st, c, u, Limits{})
+			if err != nil {
+				return false
+			}
+			if with != without {
+				t.Logf("seed %d node %d: pruned=%v unpruned=%v", seed, u, with, without)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoSuperEquivalent: skipping the super-optimistic pass must never
+// change results.
+func TestNoSuperEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(18, 50, 2, seed)
+		comp := graph.ConnectedComponent(g, graph.NodeID(rng.Intn(g.NumNodes())))
+		if len(comp) < 4 {
+			return true
+		}
+		sub, _, err := graph.InducedSubgraph(g, comp[:4])
+		if err != nil || !graph.IsConnected(sub) {
+			return true
+		}
+		q, _ := graph.NewQuery(sub, 0)
+		e := newEvalQuiet(g, q)
+		c, err := plan.Compile(q, plan.Heuristic(q, g))
+		if err != nil {
+			return false
+		}
+		st := NewState(q.Size())
+		for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+			with, err := e.Evaluate(st, c, u, Optimistic, Limits{})
+			if err != nil {
+				return false
+			}
+			without, err := e.EvaluateNoSuper(st, c, u, Optimistic, Limits{})
+			if err != nil {
+				return false
+			}
+			if with != without {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkEvaluateOptimistic / Pessimistic measure single-node
+// evaluation cost on the Figure 1 fixture (microbenchmark baseline).
+func benchmarkEvaluate(b *testing.B, mode Mode) {
+	g := graphtest.Figure1Data()
+	q := graphtest.Figure1Query()
+	e := newEvalQuiet(g, q)
+	c := plan.MustCompile(q, plan.Plan{0, 1, 2})
+	st := NewState(q.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Evaluate(st, c, 0, mode, Limits{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateOptimistic(b *testing.B)  { benchmarkEvaluate(b, Optimistic) }
+func BenchmarkEvaluatePessimistic(b *testing.B) { benchmarkEvaluate(b, Pessimistic) }
+
+func BenchmarkRace(b *testing.B) {
+	g := graphtest.Figure1Data()
+	q := graphtest.Figure1Query()
+	e := newEvalQuiet(g, q)
+	c := plan.MustCompile(q, plan.Plan{0, 1, 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Race(c, 0, Limits{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

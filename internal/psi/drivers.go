@@ -1,0 +1,88 @@
+package psi
+
+import (
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// Strategy selects how a whole-graph PSI evaluation picks the per-node
+// method. These are the single-strategy competitors of Figures 9 and 10;
+// the learned strategy lives in package smartpsi.
+type Strategy int
+
+const (
+	// OptimisticOnly evaluates every candidate with the optimistic method.
+	OptimisticOnly Strategy = iota
+	// PessimisticOnly evaluates every candidate with the pessimistic method.
+	PessimisticOnly
+	// TwoThreaded races both methods per candidate (Section 4.1).
+	TwoThreaded
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case OptimisticOnly:
+		return "optimistic-only"
+	case PessimisticOnly:
+		return "pessimistic-only"
+	case TwoThreaded:
+		return "two-threaded"
+	default:
+		return "unknown-strategy"
+	}
+}
+
+// Result is the outcome of a whole-graph PSI evaluation: the distinct
+// data nodes that bind the query pivot, plus work counters.
+type Result struct {
+	Bindings   []graph.NodeID
+	Candidates int   // label-matching nodes examined
+	Stats      Stats // zero for TwoThreaded (per-goroutine states are discarded)
+	Elapsed    time.Duration
+}
+
+// EvaluateAll runs the full PSI query with a fixed strategy and the
+// heuristic plan — the paper's optimistic-only, pessimistic-only and
+// two-threaded baselines. A deadline of zero means no limit.
+func EvaluateAll(e *Evaluator, strategy Strategy, deadline time.Time) (Result, error) {
+	c, err := plan.Compile(e.query, plan.Heuristic(e.query, e.g))
+	if err != nil {
+		return Result{}, err
+	}
+	return EvaluateAllWithPlan(e, strategy, c, deadline)
+}
+
+// EvaluateAllWithPlan is EvaluateAll with a caller-chosen compiled plan.
+func EvaluateAllWithPlan(e *Evaluator, strategy Strategy, c *plan.Compiled, deadline time.Time) (Result, error) {
+	start := time.Now()
+	limits := Limits{Deadline: deadline}
+	var res Result
+	st := NewState(e.query.Size())
+	pivotLabel := e.query.G.Label(e.query.Pivot)
+	for _, u := range e.g.NodesWithLabel(pivotLabel) {
+		res.Candidates++
+		var valid bool
+		var err error
+		switch strategy {
+		case OptimisticOnly:
+			valid, err = e.Evaluate(st, c, u, Optimistic, limits)
+		case PessimisticOnly:
+			valid, err = e.Evaluate(st, c, u, Pessimistic, limits)
+		case TwoThreaded:
+			var rr RaceResult
+			rr, err = e.Race(c, u, limits)
+			valid = rr.Valid
+		}
+		if err != nil {
+			return res, err
+		}
+		if valid {
+			res.Bindings = append(res.Bindings, u)
+		}
+	}
+	res.Stats = st.Stats()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

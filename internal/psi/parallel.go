@@ -1,0 +1,93 @@
+package psi
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// EvaluateAllParallel is EvaluateAll with a worker pool: candidates are
+// partitioned across `workers` goroutines, each with its own State. Only
+// the single-method strategies benefit (TwoThreaded already spawns its
+// own goroutines per node and is rejected). Bindings are returned in
+// ascending order; per-worker stats are summed.
+func EvaluateAllParallel(e *Evaluator, strategy Strategy, workers int, deadline time.Time) (Result, error) {
+	if strategy == TwoThreaded {
+		return Result{}, errTwoThreadedParallel
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	c, err := plan.Compile(e.query, plan.Heuristic(e.query, e.g))
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	limits := Limits{Deadline: deadline}
+	candidates := e.g.NodesWithLabel(e.query.G.Label(e.query.Pivot))
+	res := Result{Candidates: len(candidates)}
+	if len(candidates) == 0 {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	chunk := (len(candidates) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(candidates) {
+			hi = len(candidates)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, nodes []graph.NodeID) {
+			defer wg.Done()
+			st := NewState(e.query.Size())
+			var local []graph.NodeID
+			mode := Optimistic
+			if strategy == PessimisticOnly {
+				mode = Pessimistic
+			}
+			for _, u := range nodes {
+				valid, err := e.Evaluate(st, c, u, mode, limits)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if valid {
+					local = append(local, u)
+				}
+			}
+			mu.Lock()
+			res.Bindings = append(res.Bindings, local...)
+			res.Stats.Add(st.Stats())
+			mu.Unlock()
+		}(w, candidates[lo:hi])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	sort.Slice(res.Bindings, func(i, j int) bool { return res.Bindings[i] < res.Bindings[j] })
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+var errTwoThreadedParallel = errorString("psi: TwoThreaded cannot be combined with EvaluateAllParallel")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

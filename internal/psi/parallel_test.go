@@ -1,0 +1,72 @@
+package psi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/graph/graphtest"
+)
+
+func TestEvaluateAllParallelAgrees(t *testing.T) {
+	g := graphtest.Random(200, 600, 3, 31)
+	// The Figure 1 triangle query works over this graph's label space
+	// (labels 0, 1, 2 all occur).
+	q := graphtest.Figure1Query()
+	e := newEvalQuiet(g, q)
+	seq, err := EvaluateAll(e, PessimisticOnly, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		par, err := EvaluateAllParallel(e, PessimisticOnly, workers, time.Time{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par.Bindings) != len(seq.Bindings) {
+			t.Fatalf("workers=%d: %d bindings, want %d", workers, len(par.Bindings), len(seq.Bindings))
+		}
+		for i := range seq.Bindings {
+			if par.Bindings[i] != seq.Bindings[i] {
+				t.Fatalf("workers=%d: binding %d differs", workers, i)
+			}
+		}
+		if par.Candidates != seq.Candidates {
+			t.Errorf("workers=%d: candidates %d, want %d", workers, par.Candidates, seq.Candidates)
+		}
+	}
+	// Optimistic strategy also agrees.
+	parOpt, err := EvaluateAllParallel(e, OptimisticOnly, 4, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parOpt.Bindings) != len(seq.Bindings) {
+		t.Errorf("optimistic parallel: %d bindings, want %d", len(parOpt.Bindings), len(seq.Bindings))
+	}
+}
+
+func TestEvaluateAllParallelRejectsTwoThreaded(t *testing.T) {
+	g := graphtest.Figure1Data()
+	q := graphtest.Figure1Query()
+	e := newEvalQuiet(g, q)
+	if _, err := EvaluateAllParallel(e, TwoThreaded, 2, time.Time{}); err == nil {
+		t.Error("TwoThreaded accepted")
+	}
+}
+
+func TestEvaluateAllParallelDeadline(t *testing.T) {
+	g := graphtest.Random(300, 2000, 1, 9)
+	qb := graphtest.Random(5, 6, 1, 10)
+	if !graph.IsConnected(qb) {
+		t.Skip("random query disconnected for this seed")
+	}
+	q, err := graph.NewQuery(qb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEvalQuiet(g, q)
+	_, err = EvaluateAllParallel(e, PessimisticOnly, 4, time.Now().Add(-time.Second))
+	if err != ErrDeadline {
+		t.Errorf("expired deadline: err = %v, want ErrDeadline", err)
+	}
+}

@@ -1,0 +1,56 @@
+package psi
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// RaceResult reports the outcome of a two-threaded evaluation of one
+// candidate node.
+type RaceResult struct {
+	Valid  bool
+	Winner Mode          // the method that finished first
+	Took   time.Duration // wall time of the winning method
+}
+
+// Race evaluates candidate u with the optimistic and pessimistic methods
+// concurrently (the Section 4.1 baseline): each runs in its own
+// goroutine, the first to finish cancels the other. Both goroutines get
+// fresh States, so the cost the paper criticizes — double resource use
+// plus per-node thread churn — is faithfully reproduced.
+func (e *Evaluator) Race(c *plan.Compiled, u graph.NodeID, limits Limits) (RaceResult, error) {
+	type outcome struct {
+		valid bool
+		err   error
+		mode  Mode
+		took  time.Duration
+	}
+	results := make(chan outcome, 2)
+	var stop atomic.Bool
+	start := time.Now()
+	for _, mode := range []Mode{Optimistic, Pessimistic} {
+		go func(m Mode) {
+			st := NewState(e.query.Size())
+			lim := limits
+			lim.Stop = &stop
+			valid, err := e.Evaluate(st, c, u, m, lim)
+			results <- outcome{valid: valid, err: err, mode: m, took: time.Since(start)}
+		}(mode)
+	}
+	first := <-results
+	if first.err == nil {
+		stop.Store(true)
+		<-results // reap the loser
+		return RaceResult{Valid: first.valid, Winner: first.mode, Took: first.took}, nil
+	}
+	// The first finisher failed (deadline/external stop); the second may
+	// still have succeeded before noticing.
+	second := <-results
+	if second.err == nil {
+		return RaceResult{Valid: second.valid, Winner: second.mode, Took: second.took}, nil
+	}
+	return RaceResult{}, first.err
+}

@@ -1,0 +1,55 @@
+package smartpsi
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/psi"
+	"repro/internal/workload"
+)
+
+// TestEvaluateBudgetExpires: an already-expired budget aborts with
+// psi.ErrDeadline on the slow fixture, in both the ML and the
+// small-candidate paths.
+func TestEvaluateBudgetExpires(t *testing.T) {
+	g, q := slowFixture(t)
+	// ML path (enough single-label candidates to train on).
+	e, err := NewEngine(g, Options{Seed: 4, MinTrainNodes: 10, PlanSamples: 2, MaxTrainNodes: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EvaluateBudget(q, time.Now().Add(-time.Second)); err != psi.ErrDeadline {
+		t.Errorf("expired budget (ML path): err = %v, want ErrDeadline", err)
+	}
+	// Small-candidate fallback path.
+	e2, err := NewEngine(g, Options{Seed: 4, MinTrainNodes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.EvaluateBudget(q, time.Now().Add(-time.Second)); err != psi.ErrDeadline {
+		t.Errorf("expired budget (fallback path): err = %v, want ErrDeadline", err)
+	}
+}
+
+// TestEvaluateBudgetGenerous: a generous budget changes nothing.
+func TestEvaluateBudgetGenerous(t *testing.T) {
+	e := coraEngine(t, Options{Seed: 7, PlanSamples: 2})
+	rng := rand.New(rand.NewSource(13))
+	query, err := workload.ExtractQuery(e.Graph(), 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbounded, err := e.Evaluate(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := e.EvaluateBudget(query, time.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unbounded.Bindings) != len(bounded.Bindings) {
+		t.Errorf("budget changed result: %d vs %d bindings",
+			len(unbounded.Bindings), len(bounded.Bindings))
+	}
+}

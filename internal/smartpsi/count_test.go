@@ -1,0 +1,66 @@
+package smartpsi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph/graphtest"
+	"repro/internal/psi"
+)
+
+func TestCountBindingsAtLeast(t *testing.T) {
+	g := graphtest.Figure1Data()
+	e, err := NewEngine(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := graphtest.Figure1Query() // exactly 2 bindings: u1, u6
+
+	res, err := e.CountBindingsAtLeast(q, 1, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached || res.Count != 1 {
+		t.Errorf("threshold 1: reached=%v count=%d", res.Reached, res.Count)
+	}
+	// Early exit: with threshold 1 only one candidate need be examined.
+	if res.Examined != 1 {
+		t.Errorf("threshold 1 examined %d candidates, want 1", res.Examined)
+	}
+
+	res, err = e.CountBindingsAtLeast(q, 2, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached || res.Count != 2 {
+		t.Errorf("threshold 2: reached=%v count=%d", res.Reached, res.Count)
+	}
+
+	res, err = e.CountBindingsAtLeast(q, 3, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached {
+		t.Error("threshold 3 reported reached (only 2 bindings exist)")
+	}
+	// Unreachability short-circuit: with 2 candidates and threshold 3,
+	// no candidate needs evaluation at all.
+	if res.Examined != 0 {
+		t.Errorf("unreachable threshold examined %d candidates, want 0", res.Examined)
+	}
+}
+
+func TestCountBindingsErrors(t *testing.T) {
+	g := graphtest.Figure1Data()
+	e, err := NewEngine(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := graphtest.Figure1Query()
+	if _, err := e.CountBindingsAtLeast(q, 0, time.Time{}); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, err := e.CountBindingsAtLeast(q, 1, time.Now().Add(-time.Second)); err != psi.ErrDeadline {
+		t.Errorf("expired deadline: err = %v, want ErrDeadline", err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package smartpsi implements the paper's full system (Section 4.2): a
+// PSI engine that trains, per query, a Random-Forest node-type
+// classifier (model α) to pick the optimistic or pessimistic evaluation
+// method per candidate node, and a multi-class plan classifier (model β)
+// to pick a search order, with a signature-keyed prediction cache and a
+// preemptive query processor that detects and recovers from wrong
+// predictions (Section 4.3).
+package smartpsi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/ml"
+	"repro/internal/signature"
+)
+
+// Options configures an Engine. The zero value gives the paper's
+// defaults.
+type Options struct {
+	// SignatureDepth is the propagation depth D (default 2).
+	SignatureDepth int
+	// SignatureMethod picks the signature construction (default Matrix,
+	// the paper's optimized strategy).
+	SignatureMethod signature.Method
+	// TrainFraction is the share of candidate nodes used for training
+	// (default 0.10), capped by MaxTrainNodes.
+	TrainFraction float64
+	// MaxTrainNodes caps the training set (default 1000, the paper's
+	// experimental setting).
+	MaxTrainNodes int
+	// MinTrainNodes is the smallest candidate set worth training on;
+	// below it the engine just evaluates every candidate pessimistically
+	// with the heuristic plan (default 64 — with fewer candidates the
+	// models cannot amortize their training cost).
+	MinTrainNodes int
+	// PlanSamples is the number of candidate plans evaluated for model β
+	// (default 6; the heuristic plan is always among them).
+	PlanSamples int
+	// PlanSweepNodes caps how many training nodes run the full per-plan
+	// sweep that labels model β (default 100). Remaining training nodes
+	// are evaluated once, under the heuristic plan, for model α only —
+	// keeping the Table 4 overhead proportional to the plan count on
+	// large candidate sets.
+	PlanSweepNodes int
+	// PlanTimeLimit is the initial per-plan time limit during β training
+	// (default 2ms), doubled until some plan finishes (Section 4.2.2).
+	PlanTimeLimit time.Duration
+	// Forest configures both classifiers.
+	Forest ml.ForestConfig
+	// Threads is the number of candidate-evaluation workers (default 1;
+	// Figure 9 uses 2 for parity with the two-threaded baseline).
+	Threads int
+	// Seed drives all sampling (training-set choice, plan sampling).
+	Seed int64
+
+	// Ablation switches (all false in the full system).
+	DisableCache      bool // skip the Section 4.2.3 prediction cache
+	DisablePlanModel  bool // always use the heuristic plan (no model β)
+	DisablePreemption bool // no Section 4.3 detection & recovery
+	DisableTypeModel  bool // always predict "invalid" (pessimistic only)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SignatureDepth <= 0 {
+		o.SignatureDepth = signature.DefaultDepth
+	}
+	if o.TrainFraction <= 0 {
+		o.TrainFraction = 0.10
+	}
+	if o.MaxTrainNodes <= 0 {
+		o.MaxTrainNodes = 1000
+	}
+	if o.MinTrainNodes <= 0 {
+		o.MinTrainNodes = 64
+	}
+	if o.PlanSamples <= 0 {
+		o.PlanSamples = 6
+	}
+	if o.PlanSweepNodes <= 0 {
+		o.PlanSweepNodes = 100
+	}
+	if o.PlanTimeLimit <= 0 {
+		o.PlanTimeLimit = 2 * time.Millisecond
+	}
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	return o
+}
+
+// Engine evaluates PSI queries over one data graph. Constructing an
+// Engine loads the graph and computes all node signatures once
+// (SmartPSI's startup phase); each Evaluate call then trains its
+// per-query models and runs the candidates.
+//
+// An Engine is immutable after construction and safe for concurrent
+// Evaluate calls; every call builds its own models, cache and scratch.
+type Engine struct {
+	g    *graph.Graph
+	sigs *signature.Signatures
+	opts Options
+
+	// SignatureBuildTime records the one-off startup cost (Figure 8).
+	SignatureBuildTime time.Duration
+}
+
+// NewEngine builds an engine over g, computing node signatures with the
+// configured method.
+func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	sigs, err := signature.Build(g, opts.SignatureDepth, g.NumLabels(), opts.SignatureMethod)
+	if err != nil {
+		return nil, fmt.Errorf("smartpsi: %w", err)
+	}
+	return &Engine{
+		g:                  g,
+		sigs:               sigs,
+		opts:               opts,
+		SignatureBuildTime: time.Since(start),
+	}, nil
+}
+
+// NewEngineWithSignatures builds an engine that reuses externally
+// maintained signatures (e.g. package dyngraph's incrementally updated
+// rows) instead of recomputing them. The signatures must cover every
+// node of g, be at least as wide as g's label alphabet, and have been
+// built with the matrix recurrence at the options' depth — query-side
+// signatures are always matrix-built, and satisfaction is only sound
+// when both sides count walks the same way.
+func NewEngineWithSignatures(g *graph.Graph, sigs *signature.Signatures, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	opts.SignatureMethod = signature.Matrix
+	if sigs.NumNodes() != g.NumNodes() {
+		return nil, fmt.Errorf("smartpsi: signatures cover %d nodes, graph has %d", sigs.NumNodes(), g.NumNodes())
+	}
+	if sigs.Width() < g.NumLabels() {
+		return nil, fmt.Errorf("smartpsi: signature width %d < graph labels %d", sigs.Width(), g.NumLabels())
+	}
+	if sigs.Depth() != opts.SignatureDepth {
+		return nil, fmt.Errorf("smartpsi: signature depth %d, options want %d", sigs.Depth(), opts.SignatureDepth)
+	}
+	return &Engine{g: g, sigs: sigs, opts: opts}, nil
+}
+
+// Graph returns the engine's data graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Signatures returns the engine's data-node signatures.
+func (e *Engine) Signatures() *signature.Signatures { return e.sigs }
+
+// Options returns the engine's effective (defaulted) options.
+func (e *Engine) Options() Options { return e.opts }

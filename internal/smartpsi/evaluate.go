@@ -1,0 +1,560 @@
+package smartpsi
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/ml"
+	"repro/internal/plan"
+	"repro/internal/psi"
+	"repro/internal/signature"
+)
+
+// Result reports one PSI query evaluation.
+type Result struct {
+	// Bindings are the distinct valid pivot bindings, ascending.
+	Bindings []graph.NodeID
+	// Candidates is the number of label-matching nodes examined.
+	Candidates int
+
+	// TrainTime covers training-node evaluation and model fitting;
+	// ModelTime covers runtime prediction; together they are the
+	// "training and prediction overhead" of Table 4.
+	TrainTime time.Duration
+	ModelTime time.Duration
+	// EvalTime is the candidate-evaluation wall time (excluding training).
+	EvalTime time.Duration
+	// TotalTime is the whole Evaluate call.
+	TotalTime time.Duration
+
+	// TrainedNodes is the training-set size; PlanClasses the number of
+	// sampled plans (model β classes).
+	TrainedNodes int
+	PlanClasses  int
+
+	// Alpha reports model α's accuracy on the non-training candidates
+	// (prediction vs ground truth established by the evaluation itself).
+	Alpha AccuracyReport
+
+	// CacheHits/CacheMisses count prediction-cache lookups.
+	CacheHits, CacheMisses int64
+	// Flips counts preemptions into the opposite method (state 2);
+	// Fallbacks counts state-3 heuristic-plan restarts.
+	Flips, Fallbacks int64
+	// UsedML is false when the candidate set was too small to train on
+	// and the engine fell back to pessimistic evaluation throughout.
+	UsedML bool
+}
+
+// AccuracyReport is a correct/total counter pair.
+type AccuracyReport struct {
+	Correct, Total int64
+}
+
+// Accuracy returns the fraction correct (1.0 when empty).
+func (a AccuracyReport) Accuracy() float64 {
+	if a.Total == 0 {
+		return 1
+	}
+	return float64(a.Correct) / float64(a.Total)
+}
+
+// minDeadline floors the preemption budget so timer quantization cannot
+// starve legitimate evaluations.
+const minDeadline = 200 * time.Microsecond
+
+// Evaluate runs the full SmartPSI pipeline on q with no time budget.
+func (e *Engine) Evaluate(q graph.Query) (*Result, error) {
+	return e.EvaluateBudget(q, time.Time{})
+}
+
+// EvaluateBudget is Evaluate bounded by a global deadline (zero: none).
+// When the deadline passes mid-query the evaluation aborts with
+// psi.ErrDeadline; partial results are discarded, matching how the
+// paper's 24-hour task limit censors runs.
+func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, error) {
+	start := time.Now()
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("smartpsi: %w", err)
+	}
+	if q.G.NumLabels() > e.sigs.Width() {
+		return nil, fmt.Errorf("smartpsi: query uses %d labels, data graph only %d", q.G.NumLabels(), e.sigs.Width())
+	}
+	qSigs, err := signature.Build(q.G, e.opts.SignatureDepth, e.sigs.Width(), e.opts.SignatureMethod)
+	if err != nil {
+		return nil, fmt.Errorf("smartpsi: %w", err)
+	}
+	ev, err := psi.NewEvaluator(e.g, q, e.sigs, qSigs)
+	if err != nil {
+		return nil, fmt.Errorf("smartpsi: %w", err)
+	}
+
+	res := &Result{}
+	candidates := e.g.NodesWithLabel(q.G.Label(q.Pivot))
+	res.Candidates = len(candidates)
+	if len(candidates) == 0 {
+		res.TotalTime = time.Since(start)
+		return res, nil
+	}
+
+	rng := rand.New(rand.NewSource(e.opts.Seed))
+	plans, compiled, err := e.samplePlans(q, rng)
+	if err != nil {
+		return nil, err
+	}
+	res.PlanClasses = len(plans)
+
+	valid := make(map[graph.NodeID]bool, len(candidates))
+	var validMu sync.Mutex
+
+	if len(candidates) < e.opts.MinTrainNodes {
+		// Too few candidates to train on: evaluate everything
+		// pessimistically with the heuristic plan (compiled[0]).
+		evalStart := time.Now()
+		st := psi.NewState(q.Size())
+		for _, u := range candidates {
+			ok, err := ev.Evaluate(st, compiled[0], u, psi.Pessimistic, psi.Limits{Deadline: deadline})
+			if err != nil {
+				return nil, err
+			}
+			valid[u] = ok
+		}
+		res.EvalTime = time.Since(evalStart)
+		e.collect(res, valid)
+		res.TotalTime = time.Since(start)
+		return res, nil
+	}
+	res.UsedML = true
+
+	// ----- Training phase (Sections 4.2.1, 4.2.2) -----
+	trainStart := time.Now()
+	shuffled := append([]graph.NodeID(nil), candidates...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	trainCount := int(e.opts.TrainFraction * float64(len(candidates)))
+	if trainCount > e.opts.MaxTrainNodes {
+		trainCount = e.opts.MaxTrainNodes
+	}
+	const minTrainFloor = 16 // enough rows for the forests to be useful
+	if trainCount < minTrainFloor {
+		trainCount = minTrainFloor
+	}
+	if trainCount > len(candidates)/2 {
+		trainCount = len(candidates) / 2
+	}
+	trainNodes := shuffled[:trainCount]
+	res.TrainedNodes = trainCount
+
+	timing := newPlanTiming(len(plans))
+	alphaDS := ml.Dataset{NumClasses: 2}
+	betaDS := ml.Dataset{NumClasses: len(plans)}
+	st := psi.NewState(q.Size())
+	for i, u := range trainNodes {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, psi.ErrDeadline
+		}
+		var isValid bool
+		var bestPlan int
+		if i < e.opts.PlanSweepNodes {
+			// Full per-plan sweep: labels both models.
+			isValid, bestPlan, err = e.trainOne(ev, st, compiled, u, timing, deadline)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			// Single heuristic-plan evaluation: labels model α only.
+			t0 := time.Now()
+			isValid, err = ev.Evaluate(st, compiled[0], u, psi.Pessimistic, psi.Limits{Deadline: deadline})
+			if err != nil {
+				return nil, err
+			}
+			timing.record(psi.Pessimistic, 0, time.Since(t0))
+			bestPlan = -1
+		}
+		valid[u] = isValid
+		row := e.sigs.Row(u)
+		cls := 0
+		if isValid {
+			cls = 1
+		}
+		alphaDS.X = append(alphaDS.X, row)
+		alphaDS.Y = append(alphaDS.Y, cls)
+		if bestPlan >= 0 {
+			betaDS.X = append(betaDS.X, row)
+			betaDS.Y = append(betaDS.Y, bestPlan)
+		}
+	}
+
+	var alphaModel, betaModel *ml.Forest
+	if !e.opts.DisableTypeModel {
+		alphaModel, err = ml.TrainForest(alphaDS, e.forestConfig())
+		if err != nil {
+			return nil, fmt.Errorf("smartpsi: model α: %w", err)
+		}
+	}
+	if !e.opts.DisablePlanModel {
+		betaModel, err = ml.TrainForest(betaDS, e.forestConfig())
+		if err != nil {
+			return nil, fmt.Errorf("smartpsi: model β: %w", err)
+		}
+	}
+	res.TrainTime = time.Since(trainStart)
+
+	// ----- Prediction + preemptive evaluation (Sections 4.2.3, 4.3) -----
+	evalStart := time.Now()
+	remaining := shuffled[trainCount:]
+	var cache sync.Map // signature key -> decision
+	var mu sync.Mutex  // guards the shared counters below
+	var modelNanos int64
+
+	workers := e.opts.Threads
+	if workers > len(remaining) {
+		workers = len(remaining)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (len(remaining) + workers - 1) / workers
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(remaining) {
+			hi = len(remaining)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, nodes []graph.NodeID) {
+			defer wg.Done()
+			wst := psi.NewState(q.Size())
+			local := workerCounters{}
+			for _, u := range nodes {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					errs[w] = psi.ErrDeadline
+					return
+				}
+				ok, err := e.evaluateOne(ev, wst, compiled, u, alphaModel, betaModel, timing, &cache, &local, deadline)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				validMu.Lock()
+				valid[u] = ok
+				validMu.Unlock()
+			}
+			mu.Lock()
+			res.CacheHits += local.cacheHits
+			res.CacheMisses += local.cacheMisses
+			res.Flips += local.flips
+			res.Fallbacks += local.fallbacks
+			res.Alpha.Correct += local.alphaCorrect
+			res.Alpha.Total += local.alphaTotal
+			modelNanos += local.modelNanos
+			mu.Unlock()
+		}(w, remaining[lo:hi])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.EvalTime = time.Since(evalStart)
+	res.ModelTime = time.Duration(modelNanos)
+	e.collect(res, valid)
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+func (e *Engine) forestConfig() ml.ForestConfig {
+	cfg := e.opts.Forest
+	if cfg.Seed == 0 {
+		cfg.Seed = e.opts.Seed + 1
+	}
+	return cfg
+}
+
+func (e *Engine) samplePlans(q graph.Query, rng *rand.Rand) ([]plan.Plan, []*plan.Compiled, error) {
+	samples := plan.Sample(q, e.g, e.opts.PlanSamples, rng)
+	compiled := make([]*plan.Compiled, len(samples))
+	for i, p := range samples {
+		c, err := plan.Compile(q, p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("smartpsi: plan %d: %w", i, err)
+		}
+		compiled[i] = c
+	}
+	return samples, compiled, nil
+}
+
+func (e *Engine) collect(res *Result, valid map[graph.NodeID]bool) {
+	for u, ok := range valid {
+		if ok {
+			res.Bindings = append(res.Bindings, u)
+		}
+	}
+	sort.Slice(res.Bindings, func(i, j int) bool { return res.Bindings[i] < res.Bindings[j] })
+}
+
+// trainOne evaluates a training node under every sampled plan with the
+// escalating time limit of Section 4.2.2, returning its ground-truth
+// validity and the fastest plan's index.
+func (e *Engine) trainOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.Compiled, u graph.NodeID, timing *planTiming, global time.Time) (bool, int, error) {
+	type planResult struct {
+		done  bool
+		valid bool
+		took  time.Duration
+	}
+	results := make([]planResult, len(compiled))
+	limit := e.opts.PlanTimeLimit
+	// Cap the whole sweep for one node: expensive nodes would otherwise
+	// burn escalation rounds across every plan (each retry restarts from
+	// scratch); past the cap the node is labeled by a single unlimited
+	// heuristic-plan run and contributes to model α only.
+	sweepDeadline := time.Now().Add(32 * e.opts.PlanTimeLimit)
+	const maxEscalations = 24
+	anyDone := false
+	for esc := 0; esc < maxEscalations && !anyDone && time.Now().Before(sweepDeadline); esc++ {
+		for i, c := range compiled {
+			if results[i].done {
+				anyDone = true
+				continue
+			}
+			t0 := time.Now()
+			lim := t0.Add(limit)
+			if !global.IsZero() && global.Before(lim) {
+				lim = global
+			}
+			// The pessimistic method labels training nodes (Section
+			// 4.2.1: more stable on average).
+			ok, err := ev.Evaluate(st, c, u, psi.Pessimistic, psi.Limits{Deadline: lim})
+			took := time.Since(t0)
+			if err == psi.ErrDeadline {
+				if !global.IsZero() && time.Now().After(global) {
+					return false, 0, psi.ErrDeadline
+				}
+				continue
+			}
+			if err != nil {
+				return false, 0, err
+			}
+			results[i] = planResult{done: true, valid: ok, took: took}
+			timing.record(psi.Pessimistic, i, took)
+			anyDone = true
+		}
+		limit *= 2
+	}
+	if !anyDone {
+		// Pathological node: evaluate plan 0 (heuristic) with only the
+		// global budget.
+		t0 := time.Now()
+		ok, err := ev.Evaluate(st, compiled[0], u, psi.Pessimistic, psi.Limits{Deadline: global})
+		if err != nil {
+			return false, 0, err
+		}
+		took := time.Since(t0)
+		timing.record(psi.Pessimistic, 0, took)
+		return ok, 0, nil
+	}
+	best, bestTook := -1, time.Duration(0)
+	var validity bool
+	for i, r := range results {
+		if r.done && (best < 0 || r.took < bestTook) {
+			best, bestTook = i, r.took
+			validity = r.valid
+		}
+	}
+	return validity, best, nil
+}
+
+type workerCounters struct {
+	cacheHits, cacheMisses   int64
+	flips, fallbacks         int64
+	alphaCorrect, alphaTotal int64
+	modelNanos               int64
+	votesScratch             []int // forest-vote scratch, reused per worker
+}
+
+func (w *workerCounters) votes(n int) []int {
+	if cap(w.votesScratch) < n {
+		w.votesScratch = make([]int, n)
+	}
+	return w.votesScratch[:n]
+}
+
+type decision struct {
+	mode    psi.Mode
+	planIdx int
+}
+
+// evaluateOne runs the prediction + preemptive pipeline for one
+// candidate node.
+func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.Compiled,
+	u graph.NodeID, alphaModel, betaModel *ml.Forest, timing *planTiming,
+	cache *sync.Map, local *workerCounters, global time.Time) (bool, error) {
+
+	row := e.sigs.Row(u)
+	var dec decision
+	cached := false
+	var key uint64
+	if !e.opts.DisableCache {
+		key = signature.Key(row)
+		if v, ok := cache.Load(key); ok {
+			dec = v.(decision)
+			cached = true
+			local.cacheHits++
+		}
+	}
+	predicted := false
+	if !cached {
+		local.cacheMisses++
+		t0 := time.Now()
+		dec.mode = psi.Pessimistic
+		if alphaModel != nil {
+			if alphaModel.PredictInto(row, local.votes(alphaModel.NumClasses())) == 1 {
+				dec.mode = psi.Optimistic
+			}
+			predicted = true
+		}
+		dec.planIdx = 0
+		if betaModel != nil {
+			dec.planIdx = betaModel.PredictInto(row, local.votes(betaModel.NumClasses()))
+			if dec.planIdx >= len(compiled) {
+				dec.planIdx = 0
+			}
+		}
+		local.modelNanos += time.Since(t0).Nanoseconds()
+	}
+
+	// capDeadline bounds a state's deadline by the global budget.
+	capDeadline := func(d time.Time) time.Time {
+		if d.IsZero() || (!global.IsZero() && global.Before(d)) {
+			return global
+		}
+		return d
+	}
+	globalExpired := func() bool {
+		return !global.IsZero() && time.Now().After(global)
+	}
+
+	// State 1: predicted method and plan, with the MaxTime budget.
+	deadline := time.Time{}
+	if !e.opts.DisablePreemption {
+		deadline = time.Now().Add(timing.maxTime(dec.mode, dec.planIdx))
+	}
+	t0 := time.Now()
+	ok, err := ev.Evaluate(st, compiled[dec.planIdx], u, dec.mode, psi.Limits{Deadline: capDeadline(deadline)})
+	if err == nil {
+		timing.record(dec.mode, dec.planIdx, time.Since(t0))
+		if !cached && !e.opts.DisableCache {
+			cache.Store(key, dec)
+		}
+		e.scoreAlpha(local, predicted, dec.mode, ok)
+		return ok, nil
+	}
+	if err != psi.ErrDeadline || globalExpired() {
+		return false, err
+	}
+
+	// State 2: the opposite method, same plan, fresh budget (recovers
+	// from model α errors).
+	local.flips++
+	opp := dec.mode.Opposite()
+	deadline = time.Now().Add(timing.maxTime(opp, dec.planIdx))
+	t0 = time.Now()
+	ok, err = ev.Evaluate(st, compiled[dec.planIdx], u, opp, psi.Limits{Deadline: capDeadline(deadline)})
+	if err == nil {
+		timing.record(opp, dec.planIdx, time.Since(t0))
+		e.scoreAlpha(local, predicted, dec.mode, ok)
+		return ok, nil
+	}
+	if err != psi.ErrDeadline || globalExpired() {
+		return false, err
+	}
+
+	// State 3: the predicted method with the heuristic plan, bounded
+	// only by the global budget (recovers from model β errors).
+	local.fallbacks++
+	t0 = time.Now()
+	ok, err = ev.Evaluate(st, compiled[0], u, dec.mode, psi.Limits{Deadline: global})
+	if err != nil {
+		return false, err
+	}
+	timing.record(dec.mode, 0, time.Since(t0))
+	e.scoreAlpha(local, predicted, dec.mode, ok)
+	return ok, nil
+}
+
+func (e *Engine) scoreAlpha(local *workerCounters, predicted bool, mode psi.Mode, actualValid bool) {
+	if !predicted {
+		return
+	}
+	local.alphaTotal++
+	predictedValid := mode == psi.Optimistic
+	if predictedValid == actualValid {
+		local.alphaCorrect++
+	}
+}
+
+// planTiming tracks average evaluation times per (method, plan), feeding
+// the MaxTime budget of Section 4.3.
+type planTiming struct {
+	mu  sync.Mutex
+	sum [2][]time.Duration
+	n   [2][]int64
+}
+
+func newPlanTiming(plans int) *planTiming {
+	t := &planTiming{}
+	for m := 0; m < 2; m++ {
+		t.sum[m] = make([]time.Duration, plans)
+		t.n[m] = make([]int64, plans)
+	}
+	return t
+}
+
+func (t *planTiming) record(mode psi.Mode, planIdx int, took time.Duration) {
+	t.mu.Lock()
+	t.sum[mode][planIdx] += took
+	t.n[mode][planIdx]++
+	t.mu.Unlock()
+}
+
+// maxTime returns 2x the average observed time for (mode, plan)
+// (Section 4.3). Modes or plans without observations borrow the other
+// method's average for the same plan, then any average, then the floor.
+func (t *planTiming) maxTime(mode psi.Mode, planIdx int) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	avg := t.avgLocked(int(mode), planIdx)
+	if avg == 0 {
+		avg = t.avgLocked(int(mode.Opposite()), planIdx)
+	}
+	if avg == 0 {
+		for m := 0; m < 2; m++ {
+			for p := range t.n[m] {
+				if a := t.avgLocked(m, p); a > avg {
+					avg = a
+				}
+			}
+		}
+	}
+	budget := 2 * avg
+	if budget < minDeadline {
+		budget = minDeadline
+	}
+	return budget
+}
+
+func (t *planTiming) avgLocked(m, p int) time.Duration {
+	if t.n[m][p] == 0 {
+		return 0
+	}
+	return t.sum[m][p] / time.Duration(t.n[m][p])
+}

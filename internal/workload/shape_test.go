@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/graphtest"
+)
+
+func buildShape(t *testing.T, n int, edges [][2]graph.NodeID) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n, len(edges))
+	for i := 0; i < n; i++ {
+		b.AddNode(0)
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]graph.NodeID
+		want  Shape
+	}{
+		{"single node", 1, nil, ShapePath},
+		{"single edge", 2, [][2]graph.NodeID{{0, 1}}, ShapePath},
+		{"path4", 4, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}}, ShapePath},
+		{"star", 4, [][2]graph.NodeID{{0, 1}, {0, 2}, {0, 3}}, ShapeStar},
+		{"tree", 6, [][2]graph.NodeID{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}}, ShapeTree},
+		{"triangle", 3, [][2]graph.NodeID{{0, 1}, {1, 2}, {0, 2}}, ShapeCycle},
+		{"square", 4, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, ShapeCycle},
+		{"cycle+chord", 4, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}, ShapeComplex},
+		{"tadpole", 4, [][2]graph.NodeID{{0, 1}, {1, 2}, {0, 2}, {2, 3}}, ShapeComplex},
+	}
+	for _, c := range cases {
+		g := buildShape(t, c.n, c.edges)
+		if got := Classify(g); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	for s := ShapePath; s <= ShapeComplex; s++ {
+		if s.String() == "" {
+			t.Errorf("shape %d has empty name", s)
+		}
+	}
+	if Shape(99).String() == "" {
+		t.Error("unknown shape empty")
+	}
+}
+
+// TestExtractedWorkloadSpansShapes: the RWR workloads cover several
+// shape classes, as the paper claims for its query sets.
+func TestExtractedWorkloadSpansShapes(t *testing.T) {
+	g := graphtest.Random(300, 900, 4, 17)
+	rng := rand.New(rand.NewSource(5))
+	qs, err := ExtractQueries(g, 5, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := ShapeDistribution(qs)
+	if len(dist) < 2 {
+		t.Errorf("workload covers only %d shape classes: %v", len(dist), dist)
+	}
+	total := 0
+	for _, n := range dist {
+		total += n
+	}
+	if total != 60 {
+		t.Errorf("distribution covers %d queries, want 60", total)
+	}
+}

@@ -1,0 +1,126 @@
+// Package workload extracts query workloads from data graphs the way the
+// paper's evaluation does (Section 5.1): random-walk-with-restart
+// sampling of connected subgraphs of a requested size, with a random
+// node designated the pivot. Extracted queries are guaranteed to have at
+// least one embedding (themselves), which matches how the subgraph-
+// isomorphism literature builds query sets.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// RestartProbability is the per-step restart chance of the random walk;
+// 0.15 is the conventional choice.
+const RestartProbability = 0.15
+
+// maxWalkSteps bounds one extraction attempt before starting over from a
+// fresh seed node.
+const maxWalkSteps = 4096
+
+// ExtractQuery samples one connected query of exactly size nodes from g
+// by random walk with restart, assigning a random pivot. It fails if g
+// has no connected component of that size reachable within the attempt
+// budget.
+func ExtractQuery(g *graph.Graph, size int, rng *rand.Rand) (graph.Query, error) {
+	if size < 1 {
+		return graph.Query{}, fmt.Errorf("workload: size %d < 1", size)
+	}
+	if g.NumNodes() < size {
+		return graph.Query{}, fmt.Errorf("workload: graph has %d nodes, query needs %d", g.NumNodes(), size)
+	}
+	const attempts = 64
+	for a := 0; a < attempts; a++ {
+		nodes, ok := walk(g, size, rng)
+		if !ok {
+			continue
+		}
+		sub, _, err := graph.InducedSubgraph(g, nodes)
+		if err != nil {
+			return graph.Query{}, err
+		}
+		if !graph.IsConnected(sub) {
+			continue // can happen only via bugs; walks grow connectedly
+		}
+		q, err := graph.NewQuery(sub, graph.NodeID(rng.Intn(size)))
+		if err != nil {
+			return graph.Query{}, err
+		}
+		return q, nil
+	}
+	return graph.Query{}, fmt.Errorf("workload: no connected %d-node subgraph found after %d attempts", size, attempts)
+}
+
+// walk runs one random walk with restart and returns the first `size`
+// distinct nodes visited.
+func walk(g *graph.Graph, size int, rng *rand.Rand) ([]graph.NodeID, bool) {
+	start := graph.NodeID(rng.Intn(g.NumNodes()))
+	if g.Degree(start) == 0 && size > 1 {
+		return nil, false
+	}
+	collected := make([]graph.NodeID, 0, size)
+	seen := make(map[graph.NodeID]struct{}, size)
+	add := func(u graph.NodeID) {
+		if _, ok := seen[u]; !ok {
+			seen[u] = struct{}{}
+			collected = append(collected, u)
+		}
+	}
+	add(start)
+	cur := start
+	for step := 0; step < maxWalkSteps && len(collected) < size; step++ {
+		if rng.Float64() < RestartProbability {
+			cur = start
+			continue
+		}
+		nbrs := g.Neighbors(cur)
+		if len(nbrs) == 0 {
+			cur = start
+			continue
+		}
+		// Bias the walk towards nodes already collected or their
+		// neighbors: plain uniform steps frequently wander off and stall
+		// on low-degree graphs.
+		cur = nbrs[rng.Intn(len(nbrs))]
+		add(cur)
+	}
+	return collected, len(collected) == size
+}
+
+// ExtractQueries samples count queries of the given size. Failed
+// extraction attempts are retried with fresh walks; an error is returned
+// only when the graph cannot yield such queries at all.
+func ExtractQueries(g *graph.Graph, size, count int, rng *rand.Rand) ([]graph.Query, error) {
+	out := make([]graph.Query, 0, count)
+	for len(out) < count {
+		q, err := ExtractQuery(g, size, rng)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// QuerySet is a reproducible workload: queries grouped by size.
+type QuerySet struct {
+	BySize map[int][]graph.Query
+}
+
+// BuildQuerySet extracts per-size workloads (sizes inclusive) with count
+// queries each, deterministically from seed.
+func BuildQuerySet(g *graph.Graph, minSize, maxSize, count int, seed int64) (*QuerySet, error) {
+	rng := rand.New(rand.NewSource(seed))
+	qs := &QuerySet{BySize: make(map[int][]graph.Query)}
+	for size := minSize; size <= maxSize; size++ {
+		queries, err := ExtractQueries(g, size, count, rng)
+		if err != nil {
+			return nil, fmt.Errorf("size %d: %w", size, err)
+		}
+		qs.BySize[size] = queries
+	}
+	return qs, nil
+}

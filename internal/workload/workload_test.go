@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graph/graphtest"
+	"repro/internal/match"
+)
+
+func TestExtractQuerySizes(t *testing.T) {
+	g := graphtest.Random(200, 600, 5, 11)
+	rng := rand.New(rand.NewSource(1))
+	for size := 2; size <= 8; size++ {
+		q, err := ExtractQuery(g, size, rng)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if q.Size() != size {
+			t.Errorf("size %d: got %d nodes", size, q.Size())
+		}
+		if err := q.Validate(); err != nil {
+			t.Errorf("size %d: invalid query: %v", size, err)
+		}
+	}
+}
+
+func TestExtractQueryErrors(t *testing.T) {
+	g := graphtest.Random(10, 15, 2, 5)
+	rng := rand.New(rand.NewSource(2))
+	if _, err := ExtractQuery(g, 0, rng); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := ExtractQuery(g, 11, rng); err == nil {
+		t.Error("size > graph accepted")
+	}
+	// A graph of isolated nodes cannot yield size-2 queries.
+	b := graph.NewBuilder(5, 0)
+	for i := 0; i < 5; i++ {
+		b.AddNode(0)
+	}
+	if _, err := ExtractQuery(b.Build(), 2, rng); err == nil {
+		t.Error("edgeless graph yielded a multi-node query")
+	}
+}
+
+// TestExtractedQueryAlwaysMatches: a query extracted from g must have at
+// least one embedding in g (itself).
+func TestExtractedQueryAlwaysMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(60, 150, 4, seed)
+		q, err := ExtractQuery(g, 4, rng)
+		if err != nil {
+			return true // sparse seed; fine
+		}
+		eng, err := match.NewBacktracking(g, q.G)
+		if err != nil {
+			return false
+		}
+		n, err := match.CountEmbeddings(eng, match.Budget{MaxEmbeddings: 1})
+		if err != nil && err != match.ErrBudget {
+			return false
+		}
+		return n >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractQueries(t *testing.T) {
+	g := graphtest.Random(200, 600, 5, 12)
+	rng := rand.New(rand.NewSource(3))
+	qs, err := ExtractQueries(g, 5, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 20 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.Size() != 5 {
+			t.Errorf("query size %d", q.Size())
+		}
+	}
+}
+
+func TestBuildQuerySet(t *testing.T) {
+	spec, err := gen.DefaultSpec("cora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.MustGenerate(spec)
+	qs, err := BuildQuerySet(g, 4, 6, 5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for size := 4; size <= 6; size++ {
+		if len(qs.BySize[size]) != 5 {
+			t.Errorf("size %d: %d queries", size, len(qs.BySize[size]))
+		}
+	}
+	// Determinism.
+	qs2, err := BuildQuerySet(g, 4, 6, 5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for size := 4; size <= 6; size++ {
+		for i := range qs.BySize[size] {
+			a, b := qs.BySize[size][i], qs2.BySize[size][i]
+			if a.Pivot != b.Pivot || a.G.NumEdges() != b.G.NumEdges() {
+				t.Fatalf("size %d query %d differs between same-seed builds", size, i)
+			}
+		}
+	}
+}

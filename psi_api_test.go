@@ -1,0 +1,211 @@
+package repro
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const apiSampleLG = `t # 0
+v 0 A
+v 1 B
+v 2 C
+e 0 1
+e 1 2
+e 0 2
+p 0
+`
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	// Parse a data graph and query, run the engine end to end.
+	g, err := ParseGraph(strings.NewReader(strings.ReplaceAll(apiSampleLG, "p 0\n", "")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(strings.NewReader(apiSampleLG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Pivot != 0 || q.Size() != 3 {
+		t.Fatalf("query pivot=%d size=%d", q.Pivot, q.Size())
+	}
+	engine, err := NewEngine(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) != 1 || res.Bindings[0] != 0 {
+		t.Errorf("bindings = %v, want [0]", res.Bindings)
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 6 {
+		t.Fatalf("datasets = %v", names)
+	}
+	g, err := GenerateDataset("cora")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(g, false)
+	if s.Nodes != 2708 {
+		t.Errorf("cora nodes = %d", s.Nodes)
+	}
+	if _, err := GenerateDataset("missing"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	small, err := GenerateDatasetScaled("yeast", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.NumNodes() != 3112/4 {
+		t.Errorf("scaled yeast nodes = %d", small.NumNodes())
+	}
+}
+
+func TestFacadeWorkloadAndMining(t *testing.T) {
+	g, err := GenerateDatasetScaled("cora", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	qs, err := ExtractQueries(g, 4, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	cfg := MineConfig{Support: 300, MaxEdges: 2, Workers: 2}
+	rPsi, err := MinePSI(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rIso, err := MineIso(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rPsi.Frequent) != len(rIso.Frequent) {
+		t.Errorf("miners disagree: psi %d vs iso %d", len(rPsi.Frequent), len(rIso.Frequent))
+	}
+}
+
+func TestFacadeBuilderAndSave(t *testing.T) {
+	b := NewBuilder(2, 1)
+	u := b.AddNode(0)
+	v := b.AddNode(1)
+	if err := b.AddEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if _, err := NewQuery(g, 5); err == nil {
+		t.Error("bad pivot accepted")
+	}
+	q, err := NewQuery(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Size() != 2 {
+		t.Error("query size")
+	}
+	path := t.TempDir() + "/g.lg"
+	if err := SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 2 || g2.NumEdges() != 1 {
+		t.Error("round trip failed")
+	}
+}
+
+func TestDeadlineHelper(t *testing.T) {
+	if !Deadline(0).IsZero() {
+		t.Error("zero budget should give zero time")
+	}
+	if Deadline(1e9).IsZero() {
+		t.Error("positive budget should give a deadline")
+	}
+}
+
+func TestFacadeDynamicGraph(t *testing.T) {
+	d := NewDynamicGraph(3)
+	a, err := d.AddNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := d.AddNode(1)
+	c, _ := d.AddNode(2)
+	for _, e := range [][2]NodeID{{a, b}, {b, c}, {a, c}} {
+		if err := d.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	engine, err := EngineFromDynamic(d, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb := NewBuilder(3, 3)
+	v0 := qb.AddNode(0)
+	v1 := qb.AddNode(1)
+	v2 := qb.AddNode(2)
+	for _, e := range [][2]NodeID{{v0, v1}, {v1, v2}, {v0, v2}} {
+		if err := qb.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := NewQuery(qb.Build(), v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) != 1 || res.Bindings[0] != a {
+		t.Errorf("bindings = %v, want [%d]", res.Bindings, a)
+	}
+	// Threshold counting on the same engine.
+	cres, err := engine.CountBindingsAtLeast(q, 1, Deadline(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cres.Reached || cres.Count != 1 {
+		t.Errorf("count = %+v", cres)
+	}
+	// Importing a static graph.
+	g, err := GenerateDatasetScaled("cora", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DynamicFromGraph(g, g.NumLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumNodes() != g.NumNodes() || d2.NumEdges() != g.NumEdges() {
+		t.Error("dynamic import changed shape")
+	}
+}
+
+func TestGenerateCustom(t *testing.T) {
+	g, err := GenerateCustom(DatasetSpec{
+		Name: "custom", Nodes: 500, Edges: 1500, Labels: 6,
+		LabelSkew: 0.5, DegreeExponent: 2.2, TriangleFrac: 0.2,
+		LabelHomophily: 0.3, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 500 || g.NumLabels() != 6 {
+		t.Errorf("custom graph shape: %d nodes %d labels", g.NumNodes(), g.NumLabels())
+	}
+	if _, err := GenerateCustom(DatasetSpec{Name: "bad", Nodes: -1}); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
