@@ -47,7 +47,9 @@ func run(graphPath, queryPath string, threads int, seed int64, stats bool) error
 		return fmt.Errorf("loading query: %w", err)
 	}
 	q, err := repro.ParseQuery(qf)
-	qf.Close()
+	if cerr := qf.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return fmt.Errorf("parsing query: %w", err)
 	}

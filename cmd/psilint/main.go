@@ -1,0 +1,85 @@
+// Command psilint enforces this repository's correctness conventions
+// with a small stdlib-only static analyzer (go/parser + go/types).
+//
+// Usage:
+//
+//	psilint [-root dir] [-rules]
+//
+// With no flags it locates the module root (the nearest ancestor of the
+// working directory containing go.mod), loads every non-test package,
+// and prints one line per finding:
+//
+//	path/file.go:12:3: [rulename] message
+//
+// Exit status is 1 when findings exist, 2 on load errors, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", "", "module root to lint (default: nearest ancestor with go.mod)")
+	listRules := flag.Bool("rules", false, "list the enforced rules and exit")
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range lint.Registry {
+			fmt.Printf("%-12s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psilint:", err)
+			os.Exit(2)
+		}
+	}
+
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psilint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psilint:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(loader.Fset, pkgs, lint.Registry)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "psilint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// directory containing go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe matches the expectation comments in the fixture sources:
+// a line ending in `// want "substring"` must produce exactly one
+// finding on that line whose message contains the substring.
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// TestRulesOnFixtures runs the full registry over every fixture
+// package under testdata and checks the findings line-for-line against
+// the `// want` annotations: each annotated line must fire, and no
+// unannotated line may.
+func TestRulesOnFixtures(t *testing.T) {
+	ents, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatalf("reading testdata: %v", err)
+	}
+	loader, err := lint.NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", name)
+			// The /internal/ segment puts the fixtures in scope for the
+			// path-scoped rules (ignorederr).
+			pkg, err := loader.LoadDir("fixture/internal/"+name, dir)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			findings := lint.Run(loader.Fset, []*lint.Package{pkg}, lint.Registry)
+
+			wants, err := collectWants(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no // want annotations", name)
+			}
+			for _, f := range findings {
+				key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+				substr, ok := wants[key]
+				if !ok {
+					t.Errorf("unexpected finding: %s", f)
+					continue
+				}
+				if !strings.Contains(f.Msg, substr) {
+					t.Errorf("finding at %s: message %q does not contain %q", key, f.Msg, substr)
+				}
+				delete(wants, key)
+			}
+			for key, substr := range wants {
+				t.Errorf("missing finding at %s (want message containing %q)", key, substr)
+			}
+		})
+	}
+}
+
+// collectWants maps "file.go:line" to the expected message substring
+// for every `// want` annotation under dir.
+func collectWants(dir string) (map[string]string, error) {
+	wants := make(map[string]string)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRe.FindStringSubmatch(line); m != nil {
+				wants[fmt.Sprintf("%s:%d", ent.Name(), i+1)] = m[1]
+			}
+		}
+	}
+	return wants, nil
+}
+
+// TestRegistryWellFormed checks every registered rule is complete and
+// uniquely named, so -rules output and findings stay unambiguous.
+func TestRegistryWellFormed(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, r := range lint.Registry {
+		if r.Name == "" || r.Doc == "" || r.Run == nil {
+			t.Errorf("incomplete rule: %+v", r)
+		}
+		if seen[r.Name] {
+			t.Errorf("duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	if len(lint.Registry) < 5 {
+		t.Errorf("registry has %d rules, want at least 5", len(lint.Registry))
+	}
+}
+
+// TestRepoIsClean lints the repository itself and requires zero
+// findings — the conventions psilint enforces must hold here.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the whole module is slow; skipped with -short")
+	}
+	loader, err := lint.NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; loader is missing directories", len(pkgs))
+	}
+	for _, f := range lint.Run(loader.Fset, pkgs, lint.Registry) {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,42 @@
+// Package copylocks exercises the copylocks rule.
+package copylocks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+var sink int
+
+func byValue(g guarded) int { // want "by value; use a pointer"
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func byPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func assignCopy() {
+	var a guarded
+	b := a // want "assignment copies"
+	sink = b.n
+}
+
+func rangeCopy(xs []guarded) {
+	for _, x := range xs { // want "range clause copies"
+		sink = x.n
+	}
+}
+
+func pointerUses(xs []*guarded) {
+	for _, x := range xs {
+		p := x
+		sink = p.n
+	}
+}

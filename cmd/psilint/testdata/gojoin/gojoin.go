@@ -1,0 +1,46 @@
+// Package gojoin exercises the gojoin rule: positive cases are marked
+// with `// want`, everything else must stay clean.
+package gojoin
+
+import (
+	"context"
+	"sync"
+)
+
+func leak() {
+	go func() {}() // want "without a visible join"
+}
+
+func waitGroupJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+func channelJoin() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+func rangeJoin() int {
+	out := make(chan int, 3)
+	go func() {
+		for i := 0; i < 3; i++ {
+			out <- i
+		}
+		close(out)
+	}()
+	sum := 0
+	for v := range out {
+		sum += v
+	}
+	return sum
+}
+
+func contextScoped(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}

@@ -1,0 +1,26 @@
+// Package ignorederr exercises the ignorederr rule (the fixture loads
+// under an import path containing /internal/, so the rule applies).
+package ignorederr
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func bad(f *os.File) {
+	f.Close() // want "discards its error"
+}
+
+func good(f *os.File) error {
+	return f.Close()
+}
+
+func exempt() string {
+	fmt.Println("stdout is conventional to discard")
+	fmt.Fprintln(os.Stderr, "so is stderr")
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "never-fail writer %d", 1)
+	sb.WriteString("never fails")
+	return sb.String()
+}

@@ -1,0 +1,25 @@
+// Package nopanic exercises the nopanic rule.
+package nopanic
+
+import "errors"
+
+func bad(ok bool) {
+	if !ok {
+		panic("broken invariant") // want "panic in library code"
+	}
+}
+
+// MustParse follows the Must* convention and may panic.
+func MustParse(s string) string {
+	if s == "" {
+		panic("empty input")
+	}
+	return s
+}
+
+func good(ok bool) error {
+	if !ok {
+		return errors.New("broken invariant")
+	}
+	return nil
+}

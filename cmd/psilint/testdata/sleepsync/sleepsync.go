@@ -1,0 +1,14 @@
+// Package sleepsync exercises the sleepsync rule.
+package sleepsync
+
+import "time"
+
+func bad() {
+	time.Sleep(10 * time.Millisecond) // want "used for synchronization"
+}
+
+func good() {
+	t := time.NewTimer(10 * time.Millisecond)
+	defer t.Stop()
+	<-t.C
+}

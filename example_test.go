@@ -84,7 +84,7 @@ func ExampleEngine_CountBindingsAtLeast() {
 			log.Fatal(err)
 		}
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	engine, err := repro.NewEngine(g, repro.Options{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
@@ -96,7 +96,7 @@ func ExampleEngine_CountBindingsAtLeast() {
 	if err := qb.AddEdge(qa, qbn); err != nil {
 		log.Fatal(err)
 	}
-	q, err := repro.NewQuery(qb.Build(), qbn)
+	q, err := repro.NewQuery(qb.MustBuild(), qbn)
 	if err != nil {
 		log.Fatal(err)
 	}

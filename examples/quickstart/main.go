@@ -29,7 +29,10 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	g := b.Build()
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Query of Figure 1(a): the triangle A-B-C with pivot at the A node.
 	qb := repro.NewBuilder(3, 3)
@@ -41,7 +44,11 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	q, err := repro.NewQuery(qb.Build(), v1)
+	qg, err := qb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := repro.NewQuery(qg, v1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -39,7 +39,11 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	query, err := repro.NewQuery(qb.Build(), v0)
+	qg, err := qb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	query, err := repro.NewQuery(qg, v0)
 	if err != nil {
 		log.Fatal(err)
 	}

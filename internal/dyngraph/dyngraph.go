@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 )
 
 // Depth is the signature depth dyngraph maintains.
@@ -149,7 +150,7 @@ func (d *Graph) AddEdge(u, v graph.NodeID) error {
 	d.adj[u] = append(d.adj[u], v)
 	d.adj[v] = append(d.adj[v], u)
 	d.edges++
-	return nil
+	return d.checkTouched(u, v)
 }
 
 // RemoveEdge deletes undirected edge (u, v), down-dating the affected
@@ -176,6 +177,37 @@ func (d *Graph) RemoveEdge(u, v graph.NodeID) error {
 	}
 	for _, w := range d.adj[v] {
 		d.row(w)[d.labels[u]] -= 0.25
+	}
+	return d.checkTouched(u, v)
+}
+
+// checkTouched revalidates the signature rows an edge mutation on
+// (u, v) touched — both endpoints and their current neighbors — when
+// deep invariant checking is enabled. Cost is O(deg(u)+deg(v)) rows,
+// matching the mutation itself.
+func (d *Graph) checkTouched(u, v graph.NodeID) error {
+	if !invariant.Enabled() {
+		return nil
+	}
+	check := func(x graph.NodeID) error {
+		lo := int(x) * d.width
+		return invariant.CheckDenseRows(d.sigs[lo:lo+d.width], d.width, d.labels[x:x+1])
+	}
+	if err := check(u); err != nil {
+		return err
+	}
+	if err := check(v); err != nil {
+		return err
+	}
+	for _, w := range d.adj[u] {
+		if err := check(w); err != nil {
+			return err
+		}
+	}
+	for _, w := range d.adj[v] {
+		if err := check(w); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -226,6 +258,9 @@ func (d *Graph) row(u graph.NodeID) []float64 {
 }
 
 // Snapshot materializes the current state as an immutable CSR graph.
+// With invariant checking enabled, the snapshot is deep-validated (via
+// the graph build hook) and the full maintained row store is
+// revalidated before returning.
 func (d *Graph) Snapshot() (*graph.Graph, error) {
 	b := graph.NewBuilder(len(d.labels), int(d.edges))
 	for _, l := range d.labels {
@@ -240,7 +275,16 @@ func (d *Graph) Snapshot() (*graph.Graph, error) {
 			}
 		}
 	}
-	return b.Build(), nil
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if invariant.Enabled() {
+		if err := invariant.CheckDenseRows(d.sigs, d.width, d.labels); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
 }
 
 // SignatureRows returns a copy of all maintained rows, node-major — the

@@ -2,6 +2,7 @@ package fsm
 
 import (
 	"repro/internal/graph"
+	"repro/internal/invariant"
 )
 
 // MinDFSCode returns the gSpan-style minimum DFS code of g: the
@@ -44,9 +45,7 @@ func MinDFSCode(g *graph.Graph) string {
 		if len(comp) < n {
 			var err error
 			sub, _, err = graph.InducedSubgraph(g, comp)
-			if err != nil {
-				panic(err) // components of a valid graph always induce
-			}
+			invariant.Must(err) // components of a valid graph always induce
 			roots = make([]graph.NodeID, sub.NumNodes())
 			for i := range roots {
 				roots[i] = graph.NodeID(i)

@@ -29,7 +29,7 @@ func permuted(g *graph.Graph, rng *rand.Rand) *graph.Graph {
 			}
 		}
 	}
-	return b.Build()
+	return b.MustBuild()
 }
 
 func TestMinDFSCodePermutationInvariant(t *testing.T) {
@@ -83,7 +83,7 @@ func TestMinDFSCodeDistinguishesShapes(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if MinDFSCode(tri.Build()) == MinDFSCode(path.Build()) {
+	if MinDFSCode(tri.MustBuild()) == MinDFSCode(path.MustBuild()) {
 		t.Error("triangle and path share a DFS code")
 	}
 }
@@ -96,7 +96,7 @@ func TestMinDFSCodeEdgeLabels(t *testing.T) {
 		if err := b.AddLabeledEdge(u, v, el); err != nil {
 			t.Fatal(err)
 		}
-		return b.Build()
+		return b.MustBuild()
 	}
 	if MinDFSCode(build(0)) == MinDFSCode(build(1)) {
 		t.Error("edge labels not encoded")
@@ -104,7 +104,7 @@ func TestMinDFSCodeEdgeLabels(t *testing.T) {
 }
 
 func TestMinDFSCodeEmpty(t *testing.T) {
-	if MinDFSCode(graph.NewBuilder(0, 0).Build()) != "" {
+	if MinDFSCode(graph.NewBuilder(0, 0).MustBuild()) != "" {
 		t.Error("empty graph code should be empty")
 	}
 }
@@ -124,7 +124,7 @@ func TestMinDFSCodeDisconnectedInvariant(t *testing.T) {
 	if err := b.AddEdge(b1, b2); err != nil {
 		t.Fatal(err)
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	rng := rand.New(rand.NewSource(4))
 	if MinDFSCode(g) != MinDFSCode(permuted(g, rng)) {
 		t.Error("disconnected graph code not invariant")
@@ -141,7 +141,7 @@ func TestMinDFSCodeDisconnectedInvariant(t *testing.T) {
 	if err := b2g.AddEdge(x2, y2); err != nil {
 		t.Fatal(err)
 	}
-	if MinDFSCode(g) == MinDFSCode(b2g.Build()) {
+	if MinDFSCode(g) == MinDFSCode(b2g.MustBuild()) {
 		t.Error("different disconnected graphs share a code")
 	}
 }

@@ -42,7 +42,7 @@ func TestExtensionsCloseEdges(t *testing.T) {
 	if err := b.AddEdge(1, 2); err != nil {
 		t.Fatal(err)
 	}
-	p := NewPattern(b.Build())
+	p := NewPattern(b.MustBuild())
 	exts := extensions(p, []graph.Label{0})
 	// 3 attach points x 1 label + 1 closing edge = 4.
 	if len(exts) != 4 {
@@ -75,7 +75,7 @@ func TestExtensionsDedupByCode(t *testing.T) {
 	if err := b.AddEdge(0, 2); err != nil {
 		t.Fatal(err)
 	}
-	p := NewPattern(b.Build())
+	p := NewPattern(b.MustBuild())
 	exts := extensions(p, []graph.Label{0})
 	codes := map[string]int{}
 	for _, e := range exts {

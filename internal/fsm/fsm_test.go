@@ -35,7 +35,7 @@ func TestCanonicalCodeIsomorphismInvariant(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		return CanonicalCode(b.Build())
+		return CanonicalCode(b.MustBuild())
 	}
 	c1 := build([3]graph.Label{0, 1, 2}, [][2]graph.NodeID{{0, 1}, {1, 2}, {0, 2}})
 	c2 := build([3]graph.Label{2, 0, 1}, [][2]graph.NodeID{{1, 2}, {0, 2}, {0, 1}})
@@ -53,7 +53,7 @@ func TestCanonicalCodeIsomorphismInvariant(t *testing.T) {
 	if err := b.AddEdge(1, 2); err != nil {
 		t.Fatal(err)
 	}
-	if CanonicalCode(b.Build()) == c1 {
+	if CanonicalCode(b.MustBuild()) == c1 {
 		t.Error("path and triangle share a code")
 	}
 }
@@ -82,7 +82,7 @@ func TestCanonicalCodeRandomPermutations(t *testing.T) {
 				}
 			}
 		}
-		return CanonicalCode(b.Build()) == code
+		return CanonicalCode(b.MustBuild()) == code
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
@@ -265,7 +265,7 @@ func TestPatternString(t *testing.T) {
 	if p.String() == "" {
 		t.Error("empty pattern string")
 	}
-	if CanonicalCode(graph.NewBuilder(0, 0).Build()) != "" {
+	if CanonicalCode(graph.NewBuilder(0, 0).MustBuild()) != "" {
 		t.Error("empty graph code should be empty")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 )
 
 // Config controls a mining run.
@@ -194,7 +195,9 @@ func seedEdges(g *graph.Graph, labels []graph.Label, support int) []Pattern {
 		if err := b.AddEdge(u, v); err != nil {
 			continue
 		}
-		out = append(out, NewPattern(b.Build()))
+		g, err := b.Build()
+		invariant.Must(err) // a single labeled edge always builds
+		out = append(out, NewPattern(g))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
 	return out

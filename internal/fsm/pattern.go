@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 )
 
 // Pattern is a candidate subgraph with its canonical code.
@@ -136,7 +137,9 @@ func extensions(p Pattern, labels []graph.Label) []Pattern {
 			if err := b.AddEdge(at, nn); err != nil {
 				continue
 			}
-			out = append(out, NewPattern(b.Build()))
+			ng, err := b.Build()
+			invariant.Must(err) // one-node extension of a valid graph cannot fail
+			out = append(out, NewPattern(ng))
 		}
 	}
 	// (b) close an edge.
@@ -149,7 +152,9 @@ func extensions(p Pattern, labels []graph.Label) []Pattern {
 			if err := b.AddEdge(u, v); err != nil {
 				continue
 			}
-			out = append(out, NewPattern(b.Build()))
+			ng, err := b.Build()
+			invariant.Must(err) // edge closure of a valid graph cannot fail
+			out = append(out, NewPattern(ng))
 		}
 	}
 	return out
@@ -163,9 +168,8 @@ func clonePatternBuilder(g *graph.Graph) *graph.Builder {
 	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
 		for i, v := range g.Neighbors(u) {
 			if u < v {
-				if err := b.AddLabeledEdge(u, v, g.EdgeLabelAt(u, i)); err != nil {
-					panic(err) // clone of a valid graph cannot fail
-				}
+				err := b.AddLabeledEdge(u, v, g.EdgeLabelAt(u, i))
+				invariant.Must(err) // clone of a valid graph cannot fail
 			}
 		}
 	}

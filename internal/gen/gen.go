@@ -111,7 +111,7 @@ func Generate(spec Spec) (*graph.Graph, error) {
 			misses++
 		}
 	}
-	return b.Build(), nil
+	return b.Build()
 }
 
 // MustGenerate is Generate for known-good specs.

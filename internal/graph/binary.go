@@ -3,6 +3,7 @@ package graph
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -24,7 +25,11 @@ import (
 //	edge labels           2*edges x int32 (only when flag set)
 //
 // Label name tables are not serialized; binary files round-trip label
-// identifiers only, which is what the experiment pipeline needs.
+// identifiers only, which is what the experiment pipeline needs. The
+// node-label alphabet is canonical: labels must equal 1 + the largest
+// node label (0 for the empty graph), which is what Build produces and
+// WriteBinary emits. ReadBinary rejects anything else, so corrupt
+// headers cannot force oversized label-index allocations.
 
 const (
 	binaryMagic   = "PSIG"
@@ -105,70 +110,75 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: implausible header (nodes=%d edges=%d labels=%d)", nodes, edges, labels)
 	}
 
-	g := &Graph{
-		labels:   make([]Label, nodes),
-		offsets:  make([]int64, nodes+1),
-		adj:      make([]NodeID, 2*edges),
-		numEdges: int64(edges),
+	nodeLabels, err := readVals(br, nodes, 4, func(b []byte) Label {
+		return Label(binary.LittleEndian.Uint32(b))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading labels: %w", err)
 	}
-	for i := range g.labels {
-		var v uint32
-		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-			return nil, fmt.Errorf("graph: reading labels: %w", err)
+	maxLabel := Label(-1)
+	for i, l := range nodeLabels {
+		if uint64(l) >= labels {
+			return nil, fmt.Errorf("graph: node %d label %d out of range %d", i, l, labels)
 		}
-		if uint64(v) >= labels {
-			return nil, fmt.Errorf("graph: node %d label %d out of range %d", i, v, labels)
+		if l > maxLabel {
+			maxLabel = l
 		}
-		g.labels[i] = Label(v)
 	}
-	for i := range g.offsets {
-		var v uint64
-		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-			return nil, fmt.Errorf("graph: reading offsets: %w", err)
-		}
-		g.offsets[i] = int64(v)
+	if labels != uint64(maxLabel+1) {
+		return nil, fmt.Errorf("graph: non-canonical label alphabet: header says %d, node labels need %d", labels, maxLabel+1)
 	}
-	for i := range g.adj {
-		var v uint32
-		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-			return nil, fmt.Errorf("graph: reading adjacency: %w", err)
-		}
-		g.adj[i] = NodeID(v)
+	offsets, err := readVals(br, nodes+1, 8, func(b []byte) int64 {
+		return int64(binary.LittleEndian.Uint64(b))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
 	}
+	adj, err := readVals(br, 2*edges, 4, func(b []byte) NodeID {
+		return NodeID(binary.LittleEndian.Uint32(b))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+	}
+	var edgeLabels []Label
 	if flags&flagEdgeLabel != 0 {
-		g.edgeLabels = make([]Label, 2*edges)
-		for i := range g.edgeLabels {
-			var v int32
-			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-				return nil, fmt.Errorf("graph: reading edge labels: %w", err)
-			}
-			g.edgeLabels[i] = Label(v)
+		edgeLabels, err = readVals(br, 2*edges, 4, func(b []byte) Label {
+			return Label(int32(binary.LittleEndian.Uint32(b)))
+		})
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading edge labels: %w", err)
 		}
 	}
 
-	// Rebuild derived state.
-	g.labelCount = make([]int32, labels)
-	for _, l := range g.labels {
-		g.labelCount[l]++
-	}
-	g.labelIndex = make([][]NodeID, labels)
-	for l := range g.labelIndex {
-		if c := g.labelCount[l]; c > 0 {
-			g.labelIndex[l] = make([]NodeID, 0, c)
-		}
-	}
-	for u, l := range g.labels {
-		g.labelIndex[l] = append(g.labelIndex[l], NodeID(u))
-	}
-	for u := 0; u < int(nodes); u++ {
-		if d := int32(g.offsets[u+1] - g.offsets[u]); d > g.maxDegree {
-			g.maxDegree = d
-		}
-	}
+	g := FromCSR(nodeLabels, offsets, adj, edgeLabels, int(labels))
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("graph: binary payload invalid: %w", err)
 	}
+	if err := runBuildChecks(g); err != nil {
+		return nil, fmt.Errorf("graph: binary payload invalid: %w", err)
+	}
 	return g, nil
+}
+
+// readVals reads n fixed-width little-endian values, decoding each with
+// conv. The destination grows incrementally, so a corrupt header that
+// claims billions of elements costs memory proportional to the bytes
+// actually present, not to the claim.
+func readVals[T any](r io.Reader, n uint64, width int, conv func([]byte) T) ([]T, error) {
+	const allocChunk = 1 << 16
+	c := n
+	if c > allocChunk {
+		c = allocChunk
+	}
+	out := make([]T, 0, c)
+	buf := make([]byte, width)
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, conv(buf))
+	}
+	return out, nil
 }
 
 // SaveBinary writes g to the named file in the binary format.
@@ -178,8 +188,7 @@ func SaveBinary(path string, g *Graph) error {
 		return err
 	}
 	if err := WriteBinary(f, g); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

@@ -32,7 +32,7 @@ func randomGraphForBinary(seed int64) *Graph {
 			panic(err)
 		}
 	}
-	return b.Build()
+	return b.MustBuild()
 }
 
 func graphsEqual(a, b *Graph) bool {
@@ -134,7 +134,7 @@ func TestBinaryRejectsGarbage(t *testing.T) {
 }
 
 func TestBinaryEmptyGraph(t *testing.T) {
-	g := NewBuilder(0, 0).Build()
+	g := NewBuilder(0, 0).MustBuild()
 	var buf bytes.Buffer
 	if err := WriteBinary(&buf, g); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// binErrFixture serializes a small edge-labeled graph; with edge labels
+// present, every section of the binary layout is exercised.
+func binErrFixture(t *testing.T) []byte {
+	t.Helper()
+	b := NewBuilder(4, 4)
+	n0, n1, n2, n3 := b.AddNode(0), b.AddNode(1), b.AddNode(2), b.AddNode(0)
+	for _, e := range []struct {
+		u, v NodeID
+		l    Label
+	}{{n0, n1, 0}, {n1, n2, 1}, {n2, n3, 0}, {n0, n3, 2}} {
+		if err := b.AddLabeledEdge(e.u, e.v, e.l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBinaryRejectsEveryTruncation checks that a file cut at any byte
+// boundary fails to parse: the section lengths all derive from the
+// header, so a short read anywhere must surface as an error, never as a
+// silently smaller graph.
+func TestBinaryRejectsEveryTruncation(t *testing.T) {
+	data := binErrFixture(t)
+	if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+		t.Fatalf("fixture does not parse: %v", err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := ReadBinary(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at byte %d of %d accepted", cut, len(data))
+		}
+	}
+}
+
+func TestBinaryRejectsBadNodeLabel(t *testing.T) {
+	data := binErrFixture(t)
+	// Node labels start right after the 44-byte header (magic + 5 uint64).
+	const labelOff = 44
+	binary.LittleEndian.PutUint32(data[labelOff:], 1<<30)
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("out-of-range node label accepted")
+	}
+}
+
+func TestBinaryRejectsNonCanonicalAlphabet(t *testing.T) {
+	data := binErrFixture(t)
+	// The labels header field is the fourth uint64 after the magic.
+	const labelsField = 4 + 3*8
+	labels := binary.LittleEndian.Uint64(data[labelsField:])
+	binary.LittleEndian.PutUint64(data[labelsField:], labels+1)
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("padded label alphabet accepted")
+	}
+}
+
+func TestBinaryRejectsImplausibleHeader(t *testing.T) {
+	data := binErrFixture(t)
+	const nodesField = 4 + 8
+	binary.LittleEndian.PutUint64(data[nodesField:], 1<<40)
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("implausible node count accepted")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	build := func(mutate int) *Graph {
+		b := NewBuilder(3, 2)
+		l := Label(1)
+		if mutate == 1 {
+			l = 2 // different node label
+		}
+		n0, n1, n2 := b.AddNode(0), b.AddNode(l), b.AddNode(0)
+		el := Label(5)
+		if mutate == 2 {
+			el = 6 // different edge label
+		}
+		if err := b.AddLabeledEdge(n0, n1, el); err != nil {
+			t.Fatal(err)
+		}
+		second := [2]NodeID{n1, n2}
+		if mutate == 3 {
+			second = [2]NodeID{n0, n2} // different topology
+		}
+		if err := b.AddEdge(second[0], second[1]); err != nil {
+			t.Fatal(err)
+		}
+		if mutate == 4 {
+			b.AddNode(0) // extra node
+		}
+		return b.MustBuild()
+	}
+	base := build(0)
+	if !Equal(base, build(0)) {
+		t.Error("identical graphs not Equal")
+	}
+	for mutate := 1; mutate <= 4; mutate++ {
+		if Equal(base, build(mutate)) {
+			t.Errorf("mutation %d considered Equal", mutate)
+		}
+	}
+}
+
+func TestFromCSRDerivedState(t *testing.T) {
+	labels := []Label{0, 1, 0}
+	offsets := []int64{0, 2, 4, 6}
+	adj := []NodeID{2, 1, 0, 2, 0, 1}
+	g := FromCSR(labels, offsets, adj, nil, 2)
+	if g.NumNodes() != 3 || g.NumEdges() != 3 || g.NumLabels() != 2 {
+		t.Fatalf("counts wrong: %d nodes %d edges %d labels", g.NumNodes(), g.NumEdges(), g.NumLabels())
+	}
+	if g.MaxDegree() != 2 {
+		t.Errorf("MaxDegree = %d, want 2", g.MaxDegree())
+	}
+	if g.LabelFrequency(0) != 2 || g.LabelFrequency(1) != 1 {
+		t.Errorf("label frequencies wrong: %d, %d", g.LabelFrequency(0), g.LabelFrequency(1))
+	}
+	if n := g.NodesWithLabel(0); len(n) != 2 || n[0] != 0 || n[1] != 2 {
+		t.Errorf("NodesWithLabel(0) = %v", n)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid CSR fails validation: %v", err)
+	}
+}

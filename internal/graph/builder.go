@@ -7,7 +7,9 @@ import (
 
 // Builder accumulates nodes and edges and produces an immutable Graph.
 // Duplicate edges and self-loops are rejected at AddEdge time; the zero
-// Builder is ready to use.
+// Builder is ready to use. Node-level mistakes (negative labels) are
+// deferred and surface as an error from Build, so no Builder method
+// panics.
 type Builder struct {
 	labels     []Label
 	src, dst   []NodeID
@@ -16,6 +18,7 @@ type Builder struct {
 	nodeTable  *LabelTable
 	edgeTable  *LabelTable
 	seen       map[edgeKey]struct{}
+	err        error // first deferred construction error
 }
 
 type edgeKey struct{ a, b NodeID }
@@ -44,9 +47,10 @@ func (b *Builder) SetLabelTables(node, edge *LabelTable) {
 }
 
 // AddNode appends a node with the given label and returns its id.
+// A negative label is recorded as a deferred error reported by Build.
 func (b *Builder) AddNode(label Label) NodeID {
-	if label < 0 {
-		panic(fmt.Sprintf("graph: negative node label %d", label))
+	if label < 0 && b.err == nil {
+		b.err = fmt.Errorf("graph: negative node label %d", label)
 	}
 	b.labels = append(b.labels, label)
 	return NodeID(len(b.labels) - 1)
@@ -95,9 +99,29 @@ func (b *Builder) AddLabeledEdge(u, v NodeID, l Label) error {
 	return nil
 }
 
+// Err returns the first deferred construction error (nil when the
+// builder state is sound).
+func (b *Builder) Err() error { return b.err }
+
+// MustBuild is Build for programmatically constructed graphs known to be
+// valid; it panics on error. Tests and fixtures use it.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 // Build finalizes the builder into an immutable Graph. The builder may be
-// reused afterwards only by starting over (its state is consumed).
-func (b *Builder) Build() *Graph {
+// reused afterwards only by starting over (its state is consumed). It
+// returns any deferred construction error, and — when invariant checking
+// is enabled (see internal/invariant) — the first deep-validation
+// failure of the built graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
 	n := len(b.labels)
 	g := &Graph{
 		labels:     b.labels,
@@ -179,7 +203,10 @@ func (b *Builder) Build() *Graph {
 	}
 
 	b.src, b.dst, b.edgeLabels, b.seen = nil, nil, nil, nil
-	return g
+	if err := runBuildChecks(g); err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
 // pairedRun sorts a neighbor run and its aligned edge labels together.

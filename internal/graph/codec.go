@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -77,7 +78,7 @@ func ParseLG(r io.Reader) (*Graph, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return b.Build(), nil
+	return b.Build()
 }
 
 // LoadLG reads a graph in LG format from the named file.
@@ -125,8 +126,7 @@ func SaveLG(path string, g *Graph) error {
 		return err
 	}
 	if err := WriteLG(f, g); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The edge-list format is the SNAP-style plain interchange format for
+// unlabeled graphs: one "src dst" pair per line (whitespace separated),
+// '#' comments, node ids dense in [0, n). Isolated trailing nodes (ids
+// beyond the largest endpoint) can be declared with an optional
+// "# nodes <n>" directive. All nodes carry label 0; self-loops and
+// duplicate edges are rejected.
+
+// ParseEdgeList reads an unlabeled graph in edge-list format from r.
+func ParseEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	b := NewBuilder(1024, 4096)
+	declared := -1
+	lineNo := 0
+	ensure := func(n int) {
+		for b.NumNodes() < n {
+			b.AddNode(0)
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line[0] == '#' {
+			fields := strings.Fields(line[1:])
+			if len(fields) == 2 && fields[0] == "nodes" {
+				n, err := strconv.Atoi(fields[1])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("edgelist:%d: bad node count %q", lineNo, fields[1])
+				}
+				declared = n
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("edgelist:%d: want 'src dst', got %q", lineNo, line)
+		}
+		src, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("edgelist:%d: bad source: %v", lineNo, err)
+		}
+		dst, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("edgelist:%d: bad target: %v", lineNo, err)
+		}
+		if src < 0 || dst < 0 {
+			return nil, fmt.Errorf("edgelist:%d: negative node id in %q", lineNo, line)
+		}
+		const maxNodeID = 1 << 31
+		if src >= maxNodeID || dst >= maxNodeID {
+			return nil, fmt.Errorf("edgelist:%d: node id overflows int32 in %q", lineNo, line)
+		}
+		hi := src
+		if dst > hi {
+			hi = dst
+		}
+		ensure(hi + 1)
+		if err := b.AddEdge(NodeID(src), NodeID(dst)); err != nil {
+			return nil, fmt.Errorf("edgelist:%d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if declared >= 0 {
+		if declared < b.NumNodes() {
+			return nil, fmt.Errorf("edgelist: declared %d nodes but edges reference %d", declared, b.NumNodes())
+		}
+		ensure(declared)
+	}
+	return b.Build()
+}
+
+// WriteEdgeList writes g to w in edge-list format. The encoding is
+// lossy for labels: it errors when g carries more than one node label
+// or any edge labels (use the LG or binary codecs for those).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	if g.HasEdgeLabels() {
+		return fmt.Errorf("edgelist: graph has edge labels; format cannot express them")
+	}
+	if g.NumLabels() > 1 {
+		return fmt.Errorf("edgelist: graph has %d node labels; format is unlabeled", g.NumLabels())
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# nodes %d\n", g.NumNodes()); err != nil {
+		return err
+	}
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u >= v {
+				continue
+			}
+			if _, err := fmt.Fprintf(bw, "%d\t%d\n", u, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadEdgeList reads a graph in edge-list format from the named file.
+func LoadEdgeList(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseEdgeList(bufio.NewReaderSize(f, 1<<20))
+}
+
+// SaveEdgeList writes g in edge-list format to the named file.
+func SaveEdgeList(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
+}

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseEdgeList(t *testing.T) {
+	in := "# a comment\n# nodes 6\n0 1\n1\t2\n3 4\n"
+	g, err := ParseEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 6 {
+		t.Errorf("NumNodes = %d, want 6 (declared isolated node)", g.NumNodes())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if g.NumLabels() != 1 || g.Label(5) != 0 {
+		t.Errorf("edge-list graphs must be uniformly labeled 0")
+	}
+	if !g.HasEdge(1, 2) || g.HasEdge(2, 3) {
+		t.Errorf("adjacency wrong after parse")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("parsed graph invalid: %v", err)
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"arity", "0 1 2\n"},
+		{"bad src", "x 1\n"},
+		{"bad dst", "0 x\n"},
+		{"negative id", "-1 2\n"},
+		{"overflow id", "0 4294967296\n"},
+		{"self loop", "3 3\n"},
+		{"duplicate edge", "0 1\n1 0\n"},
+		{"bad nodes directive", "# nodes x\n"},
+		{"negative nodes directive", "# nodes -4\n"},
+		{"declared too small", "# nodes 2\n0 5\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseEdgeList(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestParseEdgeListEmpty(t *testing.T) {
+	g, err := ParseEdgeList(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty input gave %d nodes / %d edges", g.NumNodes(), g.NumEdges())
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(g, g2) {
+		t.Error("empty graph round trip failed")
+	}
+}
+
+func TestWriteEdgeListRejectsLabels(t *testing.T) {
+	b := NewBuilder(2, 1)
+	n0, n1 := b.AddNode(0), b.AddNode(1) // two node labels
+	if err := b.AddEdge(n0, n1); err != nil {
+		t.Fatal(err)
+	}
+	labeled := b.MustBuild()
+	if err := WriteEdgeList(&bytes.Buffer{}, labeled); err == nil {
+		t.Error("node-labeled graph accepted")
+	}
+
+	b = NewBuilder(2, 1)
+	n0, n1 = b.AddNode(0), b.AddNode(0)
+	if err := b.AddLabeledEdge(n0, n1, 3); err != nil {
+		t.Fatal(err)
+	}
+	edgeLabeled := b.MustBuild()
+	if err := WriteEdgeList(&bytes.Buffer{}, edgeLabeled); err == nil {
+		t.Error("edge-labeled graph accepted")
+	}
+}
+
+func TestSaveLoadEdgeList(t *testing.T) {
+	b := NewBuilder(4, 3)
+	for i := 0; i < 4; i++ {
+		b.AddNode(0)
+	}
+	for _, e := range [][2]NodeID{{0, 1}, {1, 2}, {0, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.MustBuild()
+	path := filepath.Join(t.TempDir(), "g.el")
+	if err := SaveEdgeList(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(g, g2) {
+		t.Error("file round trip changed the graph")
+	}
+	if _, err := LoadEdgeList(filepath.Join(t.TempDir(), "missing.el")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+}

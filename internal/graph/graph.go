@@ -193,6 +193,12 @@ func (g *Graph) Validate() error {
 		if g.offsets[u] > g.offsets[u+1] {
 			return fmt.Errorf("graph: offsets not monotone at node %d", u)
 		}
+		if g.offsets[u+1] > int64(len(g.adj)) {
+			// Monotonicity alone does not bound intermediate offsets:
+			// only offsets[n] is pinned to len(adj) above, and a corrupt
+			// run can overshoot and come back down.
+			return fmt.Errorf("graph: offsets[%d] = %d exceeds adjacency length %d", u+1, g.offsets[u+1], len(g.adj))
+		}
 		run := g.Neighbors(u)
 		halfEdges += int64(len(run))
 		for _, w := range run {

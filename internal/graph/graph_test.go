@@ -19,7 +19,7 @@ func buildTriangle(t testing.TB) *Graph {
 			t.Fatalf("AddEdge(%v): %v", e, err)
 		}
 	}
-	return b.Build()
+	return b.MustBuild()
 }
 
 func TestBuilderBasics(t *testing.T) {
@@ -86,7 +86,7 @@ func TestNeighborsSortedByLabel(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	nbrs := g.Neighbors(hub)
 	for i := 1; i < len(nbrs); i++ {
 		if g.Label(nbrs[i-1]) > g.Label(nbrs[i]) {
@@ -109,7 +109,7 @@ func TestNodesWithLabel(t *testing.T) {
 		b.AddNode(1), b.AddNode(0), b.AddNode(1), b.AddNode(2), b.AddNode(1),
 	}
 	_ = ids
-	g := b.Build()
+	g := b.MustBuild()
 	got := g.NodesWithLabel(1)
 	want := []NodeID{0, 2, 4}
 	if len(got) != len(want) {
@@ -140,7 +140,7 @@ func TestEdgeLabels(t *testing.T) {
 	if err := b.AddLabeledEdge(v, w, 9); err != nil {
 		t.Fatal(err)
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	if !g.HasEdgeLabels() {
 		t.Fatal("HasEdgeLabels = false")
 	}
@@ -223,7 +223,7 @@ func TestRandomGraphInvariants(t *testing.T) {
 				return false
 			}
 		}
-		g := b.Build()
+		g := b.MustBuild()
 		if err := g.Validate(); err != nil {
 			t.Logf("Validate: %v", err)
 			return false
@@ -260,10 +260,10 @@ func TestIsConnected(t *testing.T) {
 	if err := b.AddEdge(u, v); err != nil {
 		t.Fatal(err)
 	}
-	if IsConnected(b.Build()) {
+	if IsConnected(b.MustBuild()) {
 		t.Error("two-component graph reported connected")
 	}
-	if !IsConnected(NewBuilder(0, 0).Build()) {
+	if !IsConnected(NewBuilder(0, 0).MustBuild()) {
 		t.Error("empty graph should be connected")
 	}
 }
@@ -280,7 +280,7 @@ func TestConnectedComponent(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	comp := ConnectedComponent(g, u)
 	if len(comp) != 3 {
 		t.Errorf("component of u has %d nodes, want 3", len(comp))
@@ -322,7 +322,7 @@ func TestBFSDistances(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	d := BFSDistances(g, 0, 10, nil)
 	want := []int32{0, 1, 2, 3, -1}
 	for i := range want {
@@ -377,7 +377,7 @@ func TestComputeStats(t *testing.T) {
 	if s.String() == "" {
 		t.Error("String empty")
 	}
-	empty := ComputeStats(NewBuilder(0, 0).Build(), false)
+	empty := ComputeStats(NewBuilder(0, 0).MustBuild(), false)
 	if empty.Nodes != 0 || empty.AvgDegree != 0 {
 		t.Errorf("empty stats wrong: %+v", empty)
 	}
@@ -400,7 +400,7 @@ func TestNeighborsWithLabelMatchesScan(t *testing.T) {
 				}
 			}
 		}
-		g := b.Build()
+		g := b.MustBuild()
 		u := NodeID(rng.Intn(n))
 		l := Label(rng.Intn(labels))
 		got := g.NeighborsWithLabel(u, l)

@@ -33,7 +33,7 @@ func Figure1Query() graph.Query {
 	mustEdge(b, v1, v2)
 	mustEdge(b, v2, v3)
 	mustEdge(b, v1, v3)
-	q, err := graph.NewQuery(b.Build(), v1)
+	q, err := graph.NewQuery(b.MustBuild(), v1)
 	if err != nil {
 		panic(err)
 	}
@@ -61,7 +61,7 @@ func Figure1Data() *graph.Graph {
 	mustEdge(b, u5, u4)
 	mustEdge(b, u6, u5)
 	mustEdge(b, u6, u3)
-	return b.Build()
+	return b.MustBuild()
 }
 
 // Figure1PivotBindings are the expected PSI results for Figure 1:
@@ -87,7 +87,7 @@ func Figure2Query() graph.Query {
 	mustEdge(b, v1, v3)
 	mustEdge(b, v2, v3)
 	mustEdge(b, v3, v4)
-	q, err := graph.NewQuery(b.Build(), v1)
+	q, err := graph.NewQuery(b.MustBuild(), v1)
 	if err != nil {
 		panic(err)
 	}
@@ -146,5 +146,5 @@ func Random(n, m, labels int, seed int64) *graph.Graph {
 			panic(err)
 		}
 	}
-	return b.Build()
+	return b.MustBuild()
 }

@@ -110,7 +110,11 @@ func InducedSubgraph(g *Graph, nodes []NodeID) (*Graph, []NodeID, error) {
 	}
 	orig := make([]NodeID, len(nodes))
 	copy(orig, nodes)
-	return b.Build(), orig, nil
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, orig, nil
 }
 
 // BFSDistances returns the shortest-path hop distance from start to every

@@ -1,0 +1,7 @@
+//go:build !psi_invariants
+
+package invariant
+
+// forceEnabled is false in default builds; checking is then controlled
+// by the PSI_INVARIANTS environment variable and Enable.
+const forceEnabled = false

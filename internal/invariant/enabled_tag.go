@@ -1,0 +1,8 @@
+//go:build psi_invariants
+
+package invariant
+
+// forceEnabled is true under the psi_invariants build tag: binaries
+// built with -tags psi_invariants start with deep checking on
+// (Enable(false) can still switch it off at runtime).
+const forceEnabled = true

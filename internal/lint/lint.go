@@ -1,0 +1,193 @@
+// Package lint is the engine behind cmd/psilint: a small, stdlib-only
+// static-analysis framework (go/parser + go/types) with a table-driven
+// rule registry enforcing this repository's correctness conventions.
+//
+// Adding a rule is ~20 lines: append a Rule to Registry in rules.go
+// with a Name, a one-line Doc, and a Run function that walks the
+// type-checked package and calls report for each violation.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Rule, f.Msg)
+}
+
+// Rule is one enforced convention.
+type Rule struct {
+	// Name identifies the rule in findings and -rules output.
+	Name string
+	// Doc is the one-line description shown by psilint -rules.
+	Doc string
+	// Run inspects pkg and reports violations. It is called once per
+	// package (test files are never loaded).
+	Run func(pkg *Package, report ReportFunc)
+}
+
+// ReportFunc records a finding at node's position.
+type ReportFunc func(node ast.Node, format string, args ...any)
+
+// Run evaluates every rule against every package and returns the
+// findings sorted by position.
+func Run(fset *token.FileSet, pkgs []*Package, rules []Rule) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, rule := range rules {
+			report := func(node ast.Node, format string, args ...any) {
+				findings = append(findings, Finding{
+					Pos:  fset.Position(node.Pos()),
+					Rule: rule.Name,
+					Msg:  fmt.Sprintf(format, args...),
+				})
+			}
+			rule.Run(pkg, report)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}
+
+// ---- shared helpers used by the rules ----
+
+// isTestSupportPackage reports whether the package is a test-fixture
+// package (its path's last element ends in "test", mirroring the stdlib
+// httptest/iotest convention); such packages may panic like tests do.
+func isTestSupportPackage(pkg *Package) bool {
+	parts := strings.Split(pkg.Path, "/")
+	return strings.HasSuffix(parts[len(parts)-1], "test")
+}
+
+// calleeObject resolves the object a call expression invokes, or nil.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the named function of the named
+// package (e.g. "time", "Sleep").
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// returnsError reports whether the call's result includes an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() == nil && obj.Name() == "error"
+}
+
+// containsLock reports whether t (passed or assigned by value) contains
+// a type that must not be copied: the sync and sync/atomic state types,
+// directly or embedded in structs/arrays.
+func containsLock(t types.Type) bool {
+	return containsLockDepth(t, 0)
+}
+
+func containsLockDepth(t types.Type, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	switch tt := t.(type) {
+	case *types.Named:
+		obj := tt.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return true
+				}
+			case "sync/atomic":
+				switch obj.Name() {
+				case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+					return true
+				}
+			}
+		}
+		return containsLockDepth(tt.Underlying(), depth+1)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if containsLockDepth(tt.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockDepth(tt.Elem(), depth+1)
+	}
+	return false
+}
+
+// enclosingFuncs pairs every function body in the package (declarations
+// and literals) with the name of the outermost declaration containing
+// it, for rules with per-function scope.
+type funcScope struct {
+	name string // outermost FuncDecl name ("" for package-level literals)
+	decl *ast.FuncDecl
+	body *ast.BlockStmt
+}
+
+func packageFuncs(pkg *Package) []funcScope {
+	var out []funcScope
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, funcScope{name: fd.Name.Name, decl: fd, body: fd.Body})
+		}
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for rule evaluation.
+type Package struct {
+	// Path is the package's import path (module-relative for local
+	// packages, e.g. "repro/internal/graph").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types and Info carry the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks the packages of one module using only
+// the standard library: module-local imports resolve against the module
+// root, everything else goes through the stdlib source importer.
+type Loader struct {
+	Fset *token.FileSet
+
+	root   string
+	module string
+	std    types.ImporterFrom
+	cache  map[string]*loaded
+}
+
+type loaded struct {
+	pkg *Package
+	err error
+}
+
+// NewLoader returns a loader rooted at the module directory root.
+// The module path is read from root's go.mod.
+func NewLoader(root string) (*Loader, error) {
+	modFile := filepath.Join(root, "go.mod")
+	data, err := os.ReadFile(modFile)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", modFile, err)
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s", modFile)
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not support ImporterFrom")
+	}
+	return &Loader{
+		Fset:   fset,
+		root:   root,
+		module: module,
+		std:    std,
+		cache:  map[string]*loaded{},
+	}, nil
+}
+
+// Module returns the module path of the loaded tree.
+func (l *Loader) Module() string { return l.module }
+
+// LoadAll discovers and loads every package under the module root,
+// skipping testdata, vendor, hidden, and script directories. Packages
+// are returned sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor" || name == "scripts") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := l.module
+		if rel != "." {
+			importPath = l.module + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(importPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks a single directory under the given
+// import path, without module resolution for its local imports. The
+// psilint self-tests use it to check fixture packages.
+func (l *Loader) LoadDir(importPath, dir string) (*Package, error) {
+	return l.load(importPath, dir)
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Import resolves an import path for the type checker: module-local
+// paths load from disk, the rest goes to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		sub := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
+		pkg, err := l.load(path, filepath.Join(l.root, filepath.FromSlash(sub)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+func (l *Loader) load(importPath, dir string) (*Package, error) {
+	if c, ok := l.cache[importPath]; ok {
+		return c.pkg, c.err
+	}
+	// Mark in-flight to fail fast on import cycles instead of recursing
+	// forever.
+	l.cache[importPath] = &loaded{err: fmt.Errorf("lint: import cycle through %s", importPath)}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, l.memo(importPath, nil, err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		ok, err := includeFile(full)
+		if err != nil {
+			return nil, l.memo(importPath, nil, err)
+		}
+		if !ok {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, l.memo(importPath, nil, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, l.memo(importPath, nil, fmt.Errorf("lint: no Go sources in %s", dir))
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, l.memo(importPath, nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err))
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	_ = l.memo(importPath, pkg, nil)
+	return pkg, nil
+}
+
+func (l *Loader) memo(importPath string, pkg *Package, err error) error {
+	l.cache[importPath] = &loaded{pkg: pkg, err: err}
+	return err
+}
+
+// includeFile evaluates a file's //go:build constraint (if any) for the
+// default build configuration: current GOOS/GOARCH, any go1.x version,
+// and no custom tags (so e.g. the psi_invariants variant file is
+// excluded, matching what `go build` compiles by default).
+func includeFile(path string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(trimmed) {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			return false, fmt.Errorf("lint: %s: bad build constraint: %w", path, err)
+		}
+		return expr.Eval(func(tag string) bool {
+			return tag == runtime.GOOS || tag == runtime.GOARCH ||
+				tag == "gc" || strings.HasPrefix(tag, "go1")
+		}), nil
+	}
+	return true, nil
+}

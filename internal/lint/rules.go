@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Registry is the table of enforced rules, evaluated in order. To add a
+// rule, append an entry here — Name, Doc, and a Run function — and add
+// positive/negative fixtures under cmd/psilint/testdata.
+var Registry = []Rule{
+	{
+		Name: "gojoin",
+		Doc:  "every `go` statement needs a join (WaitGroup.Wait, channel receive/range/select) or context cancellation in its enclosing function",
+		Run:  ruleGoJoin,
+	},
+	{
+		Name: "copylocks",
+		Doc:  "sync primitives (Mutex, WaitGroup, atomic.*, ...) must not be copied by value in params, results, assignments, or range clauses",
+		Run:  ruleCopyLocks,
+	},
+	{
+		Name: "ignorederr",
+		Doc:  "calls returning an error must not be used as bare statements in internal/ and cmd/ (assign the error or handle it)",
+		Run:  ruleIgnoredErr,
+	},
+	{
+		Name: "nopanic",
+		Doc:  "library code (non-main, non-test-support packages) must not panic outside Must* helpers",
+		Run:  ruleNoPanic,
+	},
+	{
+		Name: "sleepsync",
+		Doc:  "no time.Sleep in production code; synchronize with channels, WaitGroups, or deadlines",
+		Run:  ruleSleepSync,
+	},
+}
+
+// ---- gojoin ----
+
+func ruleGoJoin(pkg *Package, report ReportFunc) {
+	for _, fn := range packageFuncs(pkg) {
+		var goStmts []*ast.GoStmt
+		joined := false
+
+		if fn.decl.Type.Params != nil {
+			for _, field := range fn.decl.Type.Params.List {
+				if tv, ok := pkg.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+					joined = true
+				}
+			}
+		}
+		ast.Inspect(fn.body, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.GoStmt:
+				goStmts = append(goStmts, nn)
+			case *ast.SelectStmt:
+				joined = true
+			case *ast.UnaryExpr:
+				if nn.Op == token.ARROW {
+					joined = true // channel receive
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pkg.Info.Types[nn.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						joined = true
+					}
+				}
+			case *ast.CallExpr:
+				if sel, ok := nn.Fun.(*ast.SelectorExpr); ok {
+					switch sel.Sel.Name {
+					case "Wait":
+						if recvIsSync(pkg.Info, sel, "WaitGroup") {
+							joined = true
+						}
+					case "Done":
+						if recv, ok := pkg.Info.Types[sel.X]; ok && isContextType(recv.Type) {
+							joined = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if joined {
+			continue
+		}
+		for _, g := range goStmts {
+			report(g, "goroutine started in %s without a visible join: add a WaitGroup/channel join or context cancellation", fn.name)
+		}
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// recvIsSync reports whether sel's receiver is (a pointer to) the named
+// sync type.
+func recvIsSync(info *types.Info, sel *ast.SelectorExpr, name string) bool {
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
+}
+
+// ---- copylocks ----
+
+func ruleCopyLocks(pkg *Package, report ReportFunc) {
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pkg.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLock(tv.Type) {
+				report(field, "%s passes %s by value; use a pointer", what, tv.Type)
+			}
+		}
+	}
+	copiesLock := func(expr ast.Expr) bool {
+		switch ast.Unparen(expr).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			return false // composite literals, calls, &x: not value copies of existing state
+		}
+		tv, ok := pkg.Info.Types[expr]
+		if !ok {
+			return false
+		}
+		if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+			return false
+		}
+		return containsLock(tv.Type)
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(nn.Recv, "receiver")
+				checkFieldList(nn.Type.Params, "parameter")
+				checkFieldList(nn.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(nn.Type.Params, "parameter")
+				checkFieldList(nn.Type.Results, "result")
+			case *ast.AssignStmt:
+				for _, rhs := range nn.Rhs {
+					if copiesLock(rhs) {
+						report(rhs, "assignment copies a lock-bearing value by value")
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range nn.Results {
+					if copiesLock(res) {
+						report(res, "return copies a lock-bearing value by value")
+					}
+				}
+			case *ast.RangeStmt:
+				if nn.Value != nil {
+					// In `for _, x := range ...` the value ident is a
+					// definition, recorded in Defs rather than Types.
+					var t types.Type
+					if id, ok := nn.Value.(*ast.Ident); ok {
+						if obj := pkg.Info.Defs[id]; obj != nil {
+							t = obj.Type()
+						}
+					}
+					if t == nil {
+						if tv, ok := pkg.Info.Types[nn.Value]; ok {
+							t = tv.Type
+						}
+					}
+					if t != nil && containsLock(t) {
+						report(nn.Value, "range clause copies lock-bearing elements by value")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ---- ignorederr ----
+
+// neverFailWriters are types whose error-returning methods are
+// documented never to fail (io.Writer-shaped APIs over in-memory
+// state); discarding their errors is conventional.
+var neverFailWriters = map[string]bool{
+	"strings.Builder":   true,
+	"bytes.Buffer":      true,
+	"hash/maphash.Hash": true,
+}
+
+func ruleIgnoredErr(pkg *Package, report ReportFunc) {
+	if !strings.Contains(pkg.Path, "/internal/") && !strings.Contains(pkg.Path, "/cmd/") {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok || !returnsError(pkg.Info, call) {
+				return true
+			}
+			if isExemptErrCall(pkg.Info, call) {
+				return true
+			}
+			report(stmt, "call discards its error result; handle it or assign it explicitly")
+			return true
+		})
+	}
+}
+
+func isExemptErrCall(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObject(info, call)
+	if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		name := obj.Name()
+		if name == "Print" || name == "Printf" || name == "Println" {
+			return true // writes to stdout; conventional to discard
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			arg0 := ast.Unparen(call.Args[0])
+			if sel, ok := arg0.(*ast.SelectorExpr); ok {
+				if target := info.Uses[sel.Sel]; target != nil && target.Pkg() != nil &&
+					target.Pkg().Path() == "os" &&
+					(target.Name() == "Stdout" || target.Name() == "Stderr") {
+					return true
+				}
+			}
+			// fmt.Fprint* into a never-fail in-memory writer.
+			if tv, ok := info.Types[arg0]; ok && isNeverFailWriter(tv.Type) {
+				return true
+			}
+		}
+	}
+	// Methods of never-fail in-memory writers.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if tv, ok := info.Types[sel.X]; ok && isNeverFailWriter(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isNeverFailWriter reports whether t is (a pointer to) one of the
+// neverFailWriters types.
+func isNeverFailWriter(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return neverFailWriters[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}
+
+// ---- nopanic ----
+
+func ruleNoPanic(pkg *Package, report ReportFunc) {
+	if pkg.Types.Name() == "main" || isTestSupportPackage(pkg) {
+		return
+	}
+	for _, fn := range packageFuncs(pkg) {
+		if strings.HasPrefix(fn.name, "Must") {
+			continue // documented panic-on-error helpers, the Go convention
+		}
+		ast.Inspect(fn.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					report(call, "panic in library code (%s); return an error or move the panic into a Must* helper", fn.name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ---- sleepsync ----
+
+func ruleSleepSync(pkg *Package, report ReportFunc) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(calleeObject(pkg.Info, call), "time", "Sleep") {
+				report(call, "time.Sleep used for synchronization; use channels, WaitGroups, timers, or deadlines")
+			}
+			return true
+		})
+	}
+}

@@ -89,7 +89,7 @@ func TestGraphQLProfileFiltering(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	qb := graph.NewBuilder(3, 2)
 	qa := qb.AddNode(0)
 	qbn := qb.AddNode(1)
@@ -100,7 +100,7 @@ func TestGraphQLProfileFiltering(t *testing.T) {
 	if err := qb.AddEdge(qa, qcn); err != nil {
 		t.Fatal(err)
 	}
-	e, err := NewGraphQL(g, qb.Build())
+	e, err := NewGraphQL(g, qb.MustBuild())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,13 +132,13 @@ func TestContainsProfile(t *testing.T) {
 
 func TestGraphQLConstruction(t *testing.T) {
 	g := graphtest.Figure1Data()
-	if _, err := NewGraphQL(g, graph.NewBuilder(0, 0).Build()); err == nil {
+	if _, err := NewGraphQL(g, graph.NewBuilder(0, 0).MustBuild()); err == nil {
 		t.Error("empty query accepted")
 	}
 	db := graph.NewBuilder(2, 0)
 	db.AddNode(0)
 	db.AddNode(1)
-	if _, err := NewGraphQL(g, db.Build()); err == nil {
+	if _, err := NewGraphQL(g, db.MustBuild()); err == nil {
 		t.Error("disconnected query accepted")
 	}
 	e, err := NewGraphQL(g, graphtest.Figure1Query().G)

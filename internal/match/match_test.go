@@ -201,7 +201,7 @@ func TestBudgetDeadline(t *testing.T) {
 			}
 		}
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	qb := graph.NewBuilder(6, 6)
 	for i := 0; i < 6; i++ {
 		qb.AddNode(0)
@@ -211,7 +211,7 @@ func TestBudgetDeadline(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	query := qb.Build()
+	query := qb.MustBuild()
 	deadline := time.Now().Add(5 * time.Millisecond)
 	for _, eng := range engines(t, g, query) {
 		_, err := CountEmbeddings(eng, Budget{Deadline: deadline})
@@ -223,11 +223,11 @@ func TestBudgetDeadline(t *testing.T) {
 
 func TestEngineConstructionErrors(t *testing.T) {
 	g := graphtest.Figure1Data()
-	empty := graph.NewBuilder(0, 0).Build()
+	empty := graph.NewBuilder(0, 0).MustBuild()
 	db := graph.NewBuilder(2, 0)
 	db.AddNode(0)
 	db.AddNode(1)
-	disconnected := db.Build()
+	disconnected := db.MustBuild()
 	if _, err := NewBacktracking(g, empty); err == nil {
 		t.Error("backtracking accepted empty query")
 	}
@@ -255,7 +255,7 @@ func TestCFLDecomposition(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	q := b.Build()
+	q := b.MustBuild()
 	g := graphtest.Figure1Data()
 	c, err := NewCFL(g, q)
 	if err != nil {
@@ -279,14 +279,14 @@ func TestCFLRefinementPrunes(t *testing.T) {
 	if err := b.AddEdge(a1, bNode); err != nil {
 		t.Fatal(err)
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	qb := graph.NewBuilder(2, 1)
 	qa := qb.AddNode(0)
 	qbn := qb.AddNode(1)
 	if err := qb.AddEdge(qa, qbn); err != nil {
 		t.Fatal(err)
 	}
-	c, err := NewCFL(g, qb.Build())
+	c, err := NewCFL(g, qb.MustBuild())
 	if err != nil {
 		t.Fatal(err)
 	}

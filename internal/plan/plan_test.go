@@ -32,7 +32,7 @@ func TestValidate(t *testing.T) {
 		}
 	}
 	// Empty query: empty plan is valid.
-	eq := graph.Query{G: graph.NewBuilder(0, 0).Build(), Pivot: 0}
+	eq := graph.Query{G: graph.NewBuilder(0, 0).MustBuild(), Pivot: 0}
 	if err := Validate(eq, Plan{}); err != nil {
 		t.Errorf("empty plan: %v", err)
 	}
@@ -58,7 +58,7 @@ func TestHeuristicPrefersRareLabels(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		b.AddNode(2) // three C
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	q := graphtest.Figure2Query()
 	p := Heuristic(q, g)
 	if p[1] != 0 { // v0 carries the rare label A

@@ -46,7 +46,7 @@ func TestFigure3OptimisticOrdering(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	q := graphtest.Figure1Query() // A-B-C triangle, pivot A
 	e := newEvalQuiet(g, q)
 	c := plan.MustCompile(q, plan.Plan{0, 1, 2})
@@ -101,7 +101,7 @@ func TestFigure4PessimisticPruning(t *testing.T) {
 	if err := b.AddEdge(bad, cFar); err != nil {
 		t.Fatal(err)
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	q := graphtest.Figure1Query()
 	e := newEvalQuiet(g, q)
 	c := plan.MustCompile(q, plan.Plan{0, 1, 2})

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/plan"
 	"repro/internal/signature"
 )
@@ -311,7 +312,15 @@ func (e *Evaluator) run(st *State, c *plan.Compiled, u graph.NodeID, mode Mode, 
 // extend recursively binds the query node at plan position depth.
 func (e *Evaluator) extend(st *State, c *plan.Compiled, depth int, mode Mode, super bool) (bool, error) {
 	if depth == len(c.Steps) {
-		return true, nil // full mapping (Algorithm 1, line 1)
+		// Full mapping (Algorithm 1, line 1). With deep checking on,
+		// verify the witness before reporting the pivot binding valid:
+		// st.bound is plan-ordered and complete exactly here.
+		if invariant.Enabled() {
+			if err := e.checkWitness(st, c); err != nil {
+				return false, err
+			}
+		}
+		return true, nil
 	}
 	if err := st.tick(); err != nil {
 		return false, err
@@ -380,6 +389,20 @@ func (e *Evaluator) extend(st *State, c *plan.Compiled, depth int, mode Mode, su
 		}
 	}
 	return false, nil
+}
+
+// checkWitness deep-validates the complete plan-ordered binding in
+// st.bound as an embedding of the query (injectivity, label and edge
+// preservation). Only called when invariant checking is enabled.
+func (e *Evaluator) checkWitness(st *State, c *plan.Compiled) error {
+	mapping := make([]graph.NodeID, e.query.G.NumNodes())
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	for pos, u := range st.bound {
+		mapping[c.Steps[pos].QueryNode] = u
+	}
+	return invariant.CheckEmbedding(e.g, e.query, mapping)
 }
 
 func (e *Evaluator) isBound(st *State, u graph.NodeID) bool {

@@ -275,7 +275,7 @@ func TestSuperOptimisticFindsMatchBeyondCap(t *testing.T) {
 	if err := b.AddEdge(leaves[len(leaves)-1], c); err != nil {
 		t.Fatal(err)
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	q := graphtest.Figure1Query() // A-B-C triangle, pivot A
 	e := newEval(t, g, q)
 	cp := plan.MustCompile(q, plan.Plan{0, 1, 2})
@@ -305,7 +305,7 @@ func TestDeadlineAborts(t *testing.T) {
 			}
 		}
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	qb := graph.NewBuilder(6, 6)
 	for i := 0; i < 6; i++ {
 		qb.AddNode(0)
@@ -315,7 +315,7 @@ func TestDeadlineAborts(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	q, _ := graph.NewQuery(qb.Build(), 0)
+	q, _ := graph.NewQuery(qb.MustBuild(), 0)
 	e := newEval(t, g, q)
 	c := plan.MustCompile(q, plan.Heuristic(q, g))
 
@@ -431,7 +431,7 @@ func TestPessimisticPrunesMore(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	q := graphtest.Figure1Query()
 	e := newEval(t, g, q)
 	c := plan.MustCompile(q, plan.Plan{0, 1, 2})
@@ -483,7 +483,7 @@ func TestEdgeLabeledMatching(t *testing.T) {
 	if err := b.AddLabeledEdge(a2, b2, 1); err != nil { // y
 		t.Fatal(err)
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	// Query: A-B via edge labeled x, pivot A.
 	qb := graph.NewBuilder(2, 1)
 	qa := qb.AddNode(0)
@@ -491,7 +491,7 @@ func TestEdgeLabeledMatching(t *testing.T) {
 	if err := qb.AddLabeledEdge(qa, qbn, 0); err != nil {
 		t.Fatal(err)
 	}
-	q, _ := graph.NewQuery(qb.Build(), qa)
+	q, _ := graph.NewQuery(qb.MustBuild(), qa)
 	e := newEval(t, g, q)
 	c := plan.MustCompile(q, plan.Plan{0, 1})
 	st := NewState(2)
@@ -514,7 +514,7 @@ func TestSingleNodeQuery(t *testing.T) {
 	g := graphtest.Figure1Data()
 	qb := graph.NewBuilder(1, 0)
 	qb.AddNode(0) // single A node
-	q, _ := graph.NewQuery(qb.Build(), 0)
+	q, _ := graph.NewQuery(qb.MustBuild(), 0)
 	e := newEval(t, g, q)
 	c := plan.MustCompile(q, plan.Plan{0})
 	st := NewState(1)

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 )
 
 // DefaultDepth is the propagation depth used throughout the paper's
@@ -65,14 +66,21 @@ func Build(g *graph.Graph, depth, width int, method Method) (*Signatures, error)
 	if width < g.NumLabels() {
 		return nil, fmt.Errorf("signature: width %d < graph labels %d", width, g.NumLabels())
 	}
+	var s *Signatures
 	switch method {
 	case Matrix:
-		return buildMatrix(g, depth, width), nil
+		s = buildMatrix(g, depth, width)
 	case Exploration:
-		return buildExploration(g, depth, width), nil
+		s = buildExploration(g, depth, width)
 	default:
 		return nil, fmt.Errorf("signature: unknown method %v", method)
 	}
+	if invariant.Enabled() {
+		if err := invariant.CheckSignatures(s, g); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // MustBuild is Build for known-good arguments; it panics on error.

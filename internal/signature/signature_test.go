@@ -171,7 +171,7 @@ func TestMatrixPathExact(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	m := MustBuild(g, 2, 3, Matrix)
 	rowEq(t, m.Row(0), []float64{1.25, 1, 0.25}, "matrix a")
 	rowEq(t, m.Row(1), []float64{1, 1.5, 1}, "matrix b")
@@ -251,7 +251,7 @@ func TestForQuery(t *testing.T) {
 }
 
 func TestEmptyGraph(t *testing.T) {
-	g := graph.NewBuilder(0, 0).Build()
+	g := graph.NewBuilder(0, 0).MustBuild()
 	s := MustBuild(g, 2, 0, Matrix)
 	if s.NumNodes() != 0 {
 		t.Errorf("NumNodes = %d, want 0", s.NumNodes())

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/invariant"
 	"repro/internal/ml"
 	"repro/internal/plan"
 	"repro/internal/psi"
@@ -124,7 +125,9 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 			valid[u] = ok
 		}
 		res.EvalTime = time.Since(evalStart)
-		e.collect(res, valid)
+		if err := e.collect(res, q, valid); err != nil {
+			return nil, err
+		}
 		res.TotalTime = time.Since(start)
 		return res, nil
 	}
@@ -267,7 +270,9 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 	}
 	res.EvalTime = time.Since(evalStart)
 	res.ModelTime = time.Duration(modelNanos)
-	e.collect(res, valid)
+	if err := e.collect(res, q, valid); err != nil {
+		return nil, err
+	}
 	res.TotalTime = time.Since(start)
 	return res, nil
 }
@@ -293,13 +298,20 @@ func (e *Engine) samplePlans(q graph.Query, rng *rand.Rand) ([]plan.Plan, []*pla
 	return samples, compiled, nil
 }
 
-func (e *Engine) collect(res *Result, valid map[graph.NodeID]bool) {
+// collect projects the valid map into the sorted binding list. With
+// deep checking enabled it validates the result path's contract
+// (strictly ascending, in range, pivot-labeled bindings).
+func (e *Engine) collect(res *Result, q graph.Query, valid map[graph.NodeID]bool) error {
 	for u, ok := range valid {
 		if ok {
 			res.Bindings = append(res.Bindings, u)
 		}
 	}
 	sort.Slice(res.Bindings, func(i, j int) bool { return res.Bindings[i] < res.Bindings[j] })
+	if invariant.Enabled() {
+		return invariant.CheckBindings(e.g, q, res.Bindings)
+	}
+	return nil
 }
 
 // trainOne evaluates a training node under every sampled plan with the

@@ -57,7 +57,7 @@ func slowFixture(t *testing.T) (*graph.Graph, graph.Query) {
 			}
 		}
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	qb := graph.NewBuilder(7, 7)
 	for i := 0; i < 7; i++ {
 		qb.AddNode(0)
@@ -67,7 +67,7 @@ func slowFixture(t *testing.T) (*graph.Graph, graph.Query) {
 			t.Fatal(err)
 		}
 	}
-	q, err := graph.NewQuery(qb.Build(), 0)
+	q, err := graph.NewQuery(qb.MustBuild(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

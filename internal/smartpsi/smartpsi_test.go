@@ -204,7 +204,7 @@ func TestCacheHitsOnRepetitiveGraph(t *testing.T) {
 			}
 		}
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	e, err := NewEngine(g, Options{Seed: 5, MinTrainNodes: 10, PlanSamples: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -220,7 +220,7 @@ func TestCacheHitsOnRepetitiveGraph(t *testing.T) {
 	if err := qb.AddEdge(c, l2); err != nil {
 		t.Fatal(err)
 	}
-	q, err := graph.NewQuery(qb.Build(), c)
+	q, err := graph.NewQuery(qb.MustBuild(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestEvaluateErrors(t *testing.T) {
 	db := graph.NewBuilder(2, 0)
 	db.AddNode(0)
 	db.AddNode(1)
-	if _, err := e.Evaluate(graph.Query{G: db.Build(), Pivot: 0}); err == nil {
+	if _, err := e.Evaluate(graph.Query{G: db.MustBuild(), Pivot: 0}); err == nil {
 		t.Error("disconnected query accepted")
 	}
 	// Query label outside the data alphabet.
@@ -267,7 +267,7 @@ func TestEvaluateErrors(t *testing.T) {
 	if err := wb.AddEdge(a, x); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Evaluate(graph.Query{G: wb.Build(), Pivot: 0}); err == nil {
+	if _, err := e.Evaluate(graph.Query{G: wb.MustBuild(), Pivot: 0}); err == nil {
 		t.Error("out-of-alphabet query accepted")
 	}
 }
@@ -288,7 +288,7 @@ func TestNoCandidates(t *testing.T) {
 	rare := graph.Label(6)
 	qb := graph.NewBuilder(1, 0)
 	qb.AddNode(rare)
-	q, _ := graph.NewQuery(qb.Build(), 0)
+	q, _ := graph.NewQuery(qb.MustBuild(), 0)
 	res, err := e.Evaluate(q)
 	if err != nil {
 		t.Fatal(err)

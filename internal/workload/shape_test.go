@@ -19,7 +19,7 @@ func buildShape(t *testing.T, n int, edges [][2]graph.NodeID) *graph.Graph {
 			t.Fatal(err)
 		}
 	}
-	return b.Build()
+	return b.MustBuild()
 }
 
 func TestClassify(t *testing.T) {

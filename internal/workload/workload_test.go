@@ -42,7 +42,7 @@ func TestExtractQueryErrors(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		b.AddNode(0)
 	}
-	if _, err := ExtractQuery(b.Build(), 2, rng); err == nil {
+	if _, err := ExtractQuery(b.MustBuild(), 2, rng); err == nil {
 		t.Error("edgeless graph yielded a multi-node query")
 	}
 }

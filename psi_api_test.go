@@ -101,7 +101,7 @@ func TestFacadeBuilderAndSave(t *testing.T) {
 	if err := b.AddEdge(u, v); err != nil {
 		t.Fatal(err)
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	if _, err := NewQuery(g, 5); err == nil {
 		t.Error("bad pivot accepted")
 	}
@@ -160,7 +160,7 @@ func TestFacadeDynamicGraph(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	q, err := NewQuery(qb.Build(), v0)
+	q, err := NewQuery(qb.MustBuild(), v0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# check.sh is the full local CI gate: formatting, vet, psilint, build,
+# race-enabled tests, and a short fuzz smoke over every fuzz target.
+#
+# Usage:
+#   ./scripts/check.sh              # everything, ~2-5 minutes
+#   FUZZTIME=30s ./scripts/check.sh # longer fuzz smoke
+#   FUZZTIME=0 ./scripts/check.sh   # skip the fuzz smoke
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+step() { printf '\n== %s\n' "$*"; }
+
+step "gofmt"
+unformatted="$(gofmt -l .)"
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+step "go vet ./..."
+go vet ./...
+
+step "go build ./..."
+go build ./...
+
+step "psilint"
+go run ./cmd/psilint -root .
+
+step "go test -race ./..."
+go test -race ./...
+
+if [[ "$FUZZTIME" != "0" ]]; then
+    step "fuzz smoke ($FUZZTIME per target)"
+    go test ./internal/graph/ -run '^$' -fuzz 'FuzzEdgeListRoundTrip' -fuzztime "$FUZZTIME"
+    go test ./internal/graph/ -run '^$' -fuzz 'FuzzLGRoundTrip' -fuzztime "$FUZZTIME"
+    go test ./internal/graph/ -run '^$' -fuzz 'FuzzBinaryRoundTrip' -fuzztime "$FUZZTIME"
+    go test ./internal/psi/ -run '^$' -fuzz 'FuzzMatchVsReference' -fuzztime "$FUZZTIME"
+fi
+
+step "OK"
