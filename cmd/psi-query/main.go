@@ -17,6 +17,7 @@ import (
 	"os"
 
 	repro "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -25,11 +26,25 @@ func main() {
 	threads := flag.Int("threads", 1, "candidate evaluation workers")
 	seed := flag.Int64("seed", 1, "sampling seed")
 	stats := flag.Bool("stats", false, "print evaluation telemetry")
+	debugAddr := flag.String("debug-addr", "", "serve obs debug HTTP (metrics, traces, pprof) on this address")
 	flag.Parse()
 
 	if *graphPath == "" || *queryPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		addr, closeFn, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psi-query:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := closeFn(); err != nil {
+				fmt.Fprintln(os.Stderr, "psi-query: debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics /tracez /debug/pprof)\n", addr)
 	}
 	if err := run(*graphPath, *queryPath, *threads, *seed, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "psi-query:", err)
@@ -71,6 +86,8 @@ func run(graphPath, queryPath string, threads int, seed int64, stats bool) error
 			res.TrainTime, res.ModelTime, res.EvalTime, res.TotalTime)
 		fmt.Fprintf(os.Stderr, "cacheHits=%d cacheMisses=%d flips=%d fallbacks=%d alphaAcc=%.1f%%\n",
 			res.CacheHits, res.CacheMisses, res.Flips, res.Fallbacks, 100*res.Alpha.Accuracy())
+		fmt.Fprintf(os.Stderr, "recursions=%d sigPrunes=%d capHits=%d deadlineAborts=%d\n",
+			res.Work.Recursions, res.Work.SigPrunes, res.Work.CapHits, res.Work.Deadlines)
 	}
 	return nil
 }

@@ -6,6 +6,13 @@
 //
 //	psi-workload -dataset cora -sizes 4-10 -count 100 -out queries.lg
 //	psi-workload -graph g.lg -sizes 5 -count 50 -seed 7 -out q.lg
+//	psi-workload -dataset cora -sizes 4-6 -count 10 -evaluate \
+//	             -debug-addr 127.0.0.1:6060
+//
+// With -evaluate, the extracted queries are also run through the
+// SmartPSI engine (useful with -debug-addr to watch live /metrics and
+// /tracez while a workload executes). -debug-addr starts the obs debug
+// HTTP server (metrics + traces + pprof) and implies metric collection.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 
 	repro "repro"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -27,15 +35,32 @@ func main() {
 	count := flag.Int("count", 100, "queries per size")
 	seed := flag.Int64("seed", 42, "extraction seed")
 	out := flag.String("out", "", "output file (empty: stdout)")
+	evaluate := flag.Bool("evaluate", false, "also evaluate the extracted queries with SmartPSI")
+	threads := flag.Int("threads", 1, "evaluation workers (with -evaluate)")
+	debugAddr := flag.String("debug-addr", "", "serve obs debug HTTP (metrics, traces, pprof) on this address")
 	flag.Parse()
 
-	if err := run(*graphPath, *dataset, *sizes, *count, *seed, *out); err != nil {
+	if *debugAddr != "" {
+		addr, closeFn, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psi-workload:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := closeFn(); err != nil {
+				fmt.Fprintln(os.Stderr, "psi-workload: debug server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics /tracez /debug/pprof)\n", addr)
+	}
+
+	if err := run(*graphPath, *dataset, *sizes, *count, *seed, *out, *evaluate, *threads); err != nil {
 		fmt.Fprintln(os.Stderr, "psi-workload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, dataset, sizes string, count int, seed int64, out string) error {
+func run(graphPath, dataset, sizes string, count int, seed int64, out string, evaluate bool, threads int) error {
 	lo, hi, err := parseSizes(sizes)
 	if err != nil {
 		return err
@@ -77,6 +102,31 @@ func run(graphPath, dataset, sizes string, count int, seed int64, out string) er
 	}
 	fmt.Fprintf(os.Stderr, "extracted %d queries (sizes %d-%d, %d per size)\n",
 		len(queries), lo, hi, count)
+	if evaluate {
+		return evaluateQueries(g, queries, threads, seed)
+	}
+	return nil
+}
+
+// evaluateQueries runs every extracted query through the SmartPSI
+// engine. With collection enabled (-debug-addr or PSI_OBS) each query
+// feeds the obs registry and tracer as it executes.
+func evaluateQueries(g *graph.Graph, queries []graph.Query, threads int, seed int64) error {
+	engine, err := repro.NewEngine(g, repro.Options{Threads: threads, Seed: seed})
+	if err != nil {
+		return err
+	}
+	var bindings, work int64
+	for i, q := range queries {
+		res, err := engine.Evaluate(q)
+		if err != nil {
+			return fmt.Errorf("evaluating query %d: %w", i, err)
+		}
+		bindings += int64(len(res.Bindings))
+		work += res.Work.Recursions
+	}
+	fmt.Fprintf(os.Stderr, "evaluated %d queries: %d pivot bindings, %d recursions\n",
+		len(queries), bindings, work)
 	return nil
 }
 

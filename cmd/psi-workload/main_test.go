@@ -1,11 +1,17 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 func TestParseSizes(t *testing.T) {
@@ -52,7 +58,7 @@ func TestRunExtractsWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "q.lg")
-	if err := run(gp, "", "3-4", 5, 1, out); err != nil {
+	if err := run(gp, "", "3-4", 5, 1, out, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -68,12 +74,99 @@ func TestRunExtractsWorkload(t *testing.T) {
 		t.Errorf("extracted %d queries, want 10", len(qs))
 	}
 	// Error paths.
-	if err := run("", "", "3", 1, 1, ""); err == nil {
+	if err := run("", "", "3", 1, 1, "", false, 1); err == nil {
 		t.Error("missing inputs accepted")
 	}
-	if err := run(gp, "", "bogus", 1, 1, ""); err == nil {
+	if err := run(gp, "", "bogus", 1, 1, "", false, 1); err == nil {
 		t.Error("bogus sizes accepted")
 	}
+}
+
+// TestObsWorkloadDebugServerAcceptance mirrors the manual acceptance
+// flow: start the debug server, evaluate an extracted workload with
+// SmartPSI, and scrape /metrics expecting the headline counters.
+func TestObsWorkloadDebugServerAcceptance(t *testing.T) {
+	prevEnabled := obs.Enabled()
+	defer obs.Enable(prevEnabled)
+
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.lg")
+	content := "t # 0\n"
+	for i := 0; i < 60; i++ {
+		content += "v " + itoa(i) + " L" + itoa(i%3) + "\n"
+	}
+	for i := 0; i < 59; i++ {
+		content += "e " + itoa(i) + " " + itoa(i+1) + "\n"
+	}
+	for i := 0; i < 30; i += 2 {
+		content += "e " + itoa(i) + " " + itoa(i+30) + "\n"
+	}
+	if err := os.WriteFile(gp, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, closeFn, err := obs.StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := closeFn(); err != nil {
+			t.Errorf("close debug server: %v", err)
+		}
+	}()
+
+	out := filepath.Join(dir, "q.lg")
+	if err := run(gp, "", "3-4", 4, 1, out, true, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// Every headline metric from the acceptance checklist must be
+	// exported; the work counters must additionally be non-zero after a
+	// real evaluation pass.
+	for _, name := range []string{
+		"psi_recursions_total",
+		"psi_sig_prunes_total",
+		"smartpsi_cache_hits_total",
+		"smartpsi_recoveries_total",
+		"smartpsi_mode_mispredictions_total",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	for _, name := range []string{"psi_recursions_total", "smartpsi_queries_total"} {
+		if v := metricValue(t, text, name); v <= 0 {
+			t.Errorf("%s = %d, want > 0", name, v)
+		}
+	}
+}
+
+// metricValue extracts a counter's value from Prometheus text output.
+func metricValue(t *testing.T, text, name string) int64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (-?\d+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("metric %s not found in /metrics output", name)
+	}
+	v, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
 }
 
 func itoa(i int) string {

@@ -1,0 +1,34 @@
+// Package obscounter exercises the obscounter rule: package-level
+// metric state must go through internal/obs, not hand-rolled atomics.
+package obscounter
+
+import "sync/atomic"
+
+var hits int64
+
+var evals atomic.Int64
+
+type counters struct {
+	misses atomic.Int64
+}
+
+var global counters
+
+func bad() {
+	atomic.AddInt64(&hits, 1) // want "register a Counter in internal/obs"
+	evals.Add(1)              // want "register a Counter in internal/obs"
+	global.misses.Add(3)      // want "register a Counter in internal/obs"
+}
+
+func good() int64 {
+	// Function-local atomics are coordination state, not metrics.
+	var local int64
+	atomic.AddInt64(&local, 1)
+	var n atomic.Int64
+	n.Add(2)
+	// Non-Add atomic operations on package state stay legal (gates,
+	// one-shot flags, ...).
+	var ready atomic.Bool
+	ready.Store(true)
+	return local + n.Load()
+}

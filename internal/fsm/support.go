@@ -6,10 +6,27 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/psi"
 	"repro/internal/signature"
 )
+
+// observeSupport publishes one support evaluation's outcome into the
+// obs registry. No-op when collection is disabled.
+func observeSupport(start time.Time, frequent bool, candidateEvals int64) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.FSMSupportCalls.Inc()
+	if frequent {
+		obs.FSMSupportFrequent.Inc()
+	}
+	if candidateEvals > 0 {
+		obs.FSMSupportEvals.Add(candidateEvals)
+	}
+	obs.FSMSupportSeconds.Observe(time.Since(start).Seconds())
+}
 
 // SupportEvaluator decides whether a pattern's MNI support reaches the
 // threshold. MNI (minimum image based) support is the standard
@@ -39,6 +56,7 @@ func (s *IsoSupport) Name() string { return "subgraph-iso" }
 
 // IsFrequent implements SupportEvaluator.
 func (s *IsoSupport) IsFrequent(p Pattern, threshold int, deadline time.Time) (bool, int, error) {
+	start := time.Now()
 	eng, err := match.NewBacktracking(s.g, p.G)
 	if err != nil {
 		return false, 0, err
@@ -75,8 +93,10 @@ func (s *IsoSupport) IsFrequent(p Pattern, threshold int, deadline time.Time) (b
 				support = len(set)
 			}
 		}
+		observeSupport(start, false, 0)
 		return false, support, nil
 	}
+	observeSupport(start, true, 0)
 	return true, -1, nil
 }
 
@@ -104,11 +124,14 @@ func (s *PSISupport) Name() string { return "psi" }
 
 // IsFrequent implements SupportEvaluator.
 func (s *PSISupport) IsFrequent(p Pattern, threshold int, deadline time.Time) (bool, int, error) {
+	start := time.Now()
 	qSigs, err := signature.Build(p.G, s.sigs.Depth(), s.sigs.Width(), signature.Matrix)
 	if err != nil {
 		return false, 0, err
 	}
 	minSupport := -1
+	var evals int64
+	st := psi.NewState(p.G.NumNodes())
 	for v := graph.NodeID(0); int(v) < p.G.NumNodes(); v++ {
 		q := graph.Query{G: p.G, Pivot: v}
 		ev, err := psi.NewEvaluator(s.g, q, s.sigs, qSigs)
@@ -121,14 +144,15 @@ func (s *PSISupport) IsFrequent(p Pattern, threshold int, deadline time.Time) (b
 		}
 		candidates := s.g.NodesWithLabel(p.G.Label(v))
 		count := 0
-		st := psi.NewState(p.G.NumNodes())
 		for i, u := range candidates {
 			// Unreachable even if every remaining candidate matches?
 			if count+(len(candidates)-i) < threshold {
 				break
 			}
+			evals++
 			ok, err := ev.Evaluate(st, c, u, psi.Pessimistic, psi.Limits{Deadline: deadline})
 			if err != nil {
+				psi.PublishStats(st.Stats())
 				return false, 0, err
 			}
 			if ok {
@@ -139,11 +163,15 @@ func (s *PSISupport) IsFrequent(p Pattern, threshold int, deadline time.Time) (b
 			}
 		}
 		if count < threshold {
+			psi.PublishStats(st.Stats())
+			observeSupport(start, false, evals)
 			return false, count, nil // MNI is the min: pattern infrequent
 		}
 		if minSupport < 0 || count < minSupport {
 			minSupport = count
 		}
 	}
+	psi.PublishStats(st.Stats())
+	observeSupport(start, true, evals)
 	return true, -1, nil
 }

@@ -36,6 +36,11 @@ var Registry = []Rule{
 		Doc:  "no time.Sleep in production code; synchronize with channels, WaitGroups, or deadlines",
 		Run:  ruleSleepSync,
 	},
+	{
+		Name: "obscounter",
+		Doc:  "no ad-hoc atomic counters on package-level state outside internal/obs; register a Counter/Gauge in the obs registry",
+		Run:  ruleObsCounter,
+	},
 }
 
 // ---- gojoin ----
@@ -304,6 +309,95 @@ func ruleNoPanic(pkg *Package, report ReportFunc) {
 			return true
 		})
 	}
+}
+
+// ---- obscounter ----
+
+// ruleObsCounter flags hand-rolled metric counters: direct
+// sync/atomic Add* calls (or .Add method calls on sync/atomic named
+// types) whose target is package-level state. Such counters are
+// invisible to /metrics and skip the Enabled() gate; internal/obs is
+// the one place allowed to build them.
+func ruleObsCounter(pkg *Package, report ReportFunc) {
+	if strings.HasSuffix(pkg.Path, "internal/obs") || isTestSupportPackage(pkg) {
+		return
+	}
+	pkgScope := pkg.Types.Scope()
+	// isPkgLevelRoot walks selector/index chains down to the root
+	// identifier and reports whether it names a package-level variable.
+	var isPkgLevelRoot func(expr ast.Expr) bool
+	isPkgLevelRoot = func(expr ast.Expr) bool {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			// pkgvar.field...: qualified package idents resolve the
+			// selector itself; otherwise recurse on the receiver.
+			if obj := pkg.Info.Uses[e.Sel]; obj != nil {
+				if v, ok := obj.(*types.Var); ok && v.Parent() == pkgScope {
+					return true
+				}
+			}
+			return isPkgLevelRoot(e.X)
+		case *ast.IndexExpr:
+			return isPkgLevelRoot(e.X)
+		case *ast.Ident:
+			v, ok := pkg.Info.Uses[e].(*types.Var)
+			return ok && v.Parent() == pkgScope
+		}
+		return false
+	}
+	const fix = "ad-hoc atomic counter on package-level state; register a Counter in internal/obs instead"
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Pattern 1: atomic.AddInt64(&pkgVar, d) and friends. The
+			// receiver check keeps atomic.Int64 methods (also package
+			// sync/atomic) out of this branch.
+			if obj := calleeObject(pkg.Info, call); obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "sync/atomic" && strings.HasPrefix(obj.Name(), "Add") &&
+				isFreeFunc(obj) && len(call.Args) > 0 {
+				if u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok &&
+					u.Op == token.AND && isPkgLevelRoot(u.X) {
+					report(call, fix)
+				}
+				return true
+			}
+			// Pattern 2: pkgVar.Add(d) on an atomic.Int64-style type.
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+				if tv, ok := pkg.Info.Types[sel.X]; ok && isAtomicNamed(tv.Type) &&
+					isPkgLevelRoot(sel.X) {
+					report(call, fix)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isFreeFunc reports whether obj is a package-level function (no
+// receiver).
+func isFreeFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isAtomicNamed reports whether t is (a pointer to) a named type from
+// sync/atomic (Int64, Uint32, ...).
+func isAtomicNamed(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync/atomic"
 }
 
 // ---- sleepsync ----

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestObsHTTPEndpoints(t *testing.T) {
+	withEnabled(t, func() {
+		reg := NewRegistry()
+		reg.Counter("psi_demo_total", "demo").Add(11)
+		tracer := NewTracer(4)
+		q := tracer.StartQuery("httpq")
+		q.Event(EvFallback, 2, 0)
+		q.Finish()
+		h := Handler(reg, tracer)
+
+		code, body := get(t, h, "/metrics")
+		if code != 200 || !strings.Contains(body, "psi_demo_total 11") {
+			t.Errorf("/metrics = %d\n%s", code, body)
+		}
+
+		code, body = get(t, h, "/metrics.json")
+		if code != 200 || !strings.Contains(body, `"psi_demo_total": 11`) {
+			t.Errorf("/metrics.json = %d\n%s", code, body)
+		}
+
+		code, body = get(t, h, "/tracez")
+		if code != 200 || !strings.Contains(body, "httpq") || !strings.Contains(body, "fallback:1") {
+			t.Errorf("/tracez = %d\n%s", code, body)
+		}
+
+		code, body = get(t, h, "/tracez?id=1")
+		if code != 200 || !strings.Contains(body, `"traceEvents"`) {
+			t.Errorf("/tracez?id=1 = %d\n%s", code, body)
+		}
+		if code, _ := get(t, h, "/tracez?id=999"); code != http.StatusNotFound {
+			t.Errorf("/tracez?id=999 = %d, want 404", code)
+		}
+		if code, _ := get(t, h, "/tracez?id=bogus"); code != http.StatusBadRequest {
+			t.Errorf("/tracez?id=bogus = %d, want 400", code)
+		}
+
+		if code, _ := get(t, h, "/debug/pprof/cmdline"); code != 200 {
+			t.Errorf("/debug/pprof/cmdline = %d", code)
+		}
+	})
+}
+
+// TestObsStartDebugServer exercises the real listener path the cmd
+// binaries use, including the Enable side effect and clean shutdown.
+func TestObsStartDebugServer(t *testing.T) {
+	prev := Enabled()
+	defer Enable(prev)
+	Enable(false)
+
+	addr, closeFn, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := closeFn(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	if !Enabled() {
+		t.Error("StartDebugServer must enable collection")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "psi_recursions_total") {
+		t.Errorf("GET /metrics = %d\n%s", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,44 @@
+// Package obs is the repository's stdlib-only observability layer: a
+// lock-free metrics registry (atomic counters, gauges, and fixed-bucket
+// histograms) with Prometheus-text and JSON encoders, a per-query trace
+// recorder (ring buffer of typed events) with a Chrome-trace-format
+// exporter, and an opt-in debug HTTP endpoint serving /metrics, /tracez
+// and net/http/pprof.
+//
+// The layer follows the same gating pattern as package invariant:
+// collection is off by default and every instrumentation site costs one
+// predictable branch when disabled (an atomic-bool load) and one atomic
+// add per event when enabled. Enable it with the PSI_OBS environment
+// variable (any non-empty value), Enable(true) from tests, or the
+// -debug-addr flag of cmd/psi-bench, cmd/psi-query and cmd/psi-workload
+// (StartDebugServer enables collection as a side effect).
+//
+// The hot evaluation loops of package psi do not pay even the branch:
+// they keep counting into the plain per-State psi.Stats fields they
+// always had, and the aggregated Stats are published into the registry
+// at flush points (end of a worker batch, end of a support-counting
+// pass) via psi.PublishStats. Only coarse per-candidate events in
+// package smartpsi (cache lookups, preemption transitions, model
+// predictions) touch the gate directly.
+package obs
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+var enabled atomic.Bool
+
+func init() {
+	if os.Getenv("PSI_OBS") != "" {
+		enabled.Store(true)
+	}
+}
+
+// Enabled reports whether metric and trace collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// Enable switches collection on or off at runtime. The debug HTTP
+// server and tests use it; production code should prefer the PSI_OBS
+// environment variable or the -debug-addr flags.
+func Enable(on bool) { enabled.Store(on) }

@@ -1,0 +1,163 @@
+// Overhead guard for the disabled path. The instrumentation contract
+// (ISSUE: observability) is that with collection off, every obs call
+// site costs exactly one predictable branch on an atomic load. This
+// test turns that contract into a regression guard: it measures the
+// real per-check cost, counts how many gate-protected events a
+// representative SmartPSI workload would emit, and asserts that the
+// implied total stays under 2% of the workload's wall time.
+//
+// The test lives in package obs_test so it can drive the public engine
+// (repro -> smartpsi -> obs) without an import cycle.
+package obs_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	repro "repro"
+	"repro/internal/obs"
+)
+
+// sink defeats dead-code elimination of the measured gate loop.
+var sink int
+
+// overheadGraph builds a ~400-node connected labelled graph.
+func overheadGraph(t *testing.T) *repro.Graph {
+	t.Helper()
+	const n = 400
+	rng := rand.New(rand.NewSource(7))
+	b := repro.NewBuilder(n, 3*n)
+	for i := 0; i < n; i++ {
+		b.AddNode(repro.Label(i % 5))
+	}
+	for i := 1; i < n; i++ {
+		if err := b.AddEdge(repro.NodeID(i-1), repro.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		// Duplicate edges are possible; AddEdge may reject them.
+		_ = addEdgeIgnoringDuplicates(b, repro.NodeID(u), repro.NodeID(v))
+	}
+	return b.MustBuild()
+}
+
+func addEdgeIgnoringDuplicates(b *repro.Builder, u, v repro.NodeID) error {
+	return b.AddEdge(u, v)
+}
+
+// gatedEvents sums the snapshot deltas that correspond to individually
+// gated call sites. The psi_* work counters are excluded on purpose:
+// the evaluator accumulates them in plain struct fields and flushes
+// them in a single PublishStats call per batch, so they cost zero
+// checks in the recursion itself.
+func gatedEvents(s obs.Snapshot) int64 {
+	var n int64
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, "psi_") {
+			continue
+		}
+		n += v
+	}
+	for _, h := range s.Histograms {
+		n += h.Count
+	}
+	return n
+}
+
+func TestObsOverheadGuard(t *testing.T) {
+	prev := obs.Enabled()
+	defer obs.Enable(prev)
+
+	// 1. Per-check cost of the disabled gate.
+	obs.Enable(false)
+	const checks = 1 << 21
+	start := time.Now()
+	hits := 0
+	for i := 0; i < checks; i++ {
+		if obs.Enabled() {
+			hits++
+		}
+	}
+	perCheck := time.Since(start).Seconds() / checks
+	sink = hits
+
+	// 2. Representative workload with collection disabled.
+	g := overheadGraph(t)
+	rng := rand.New(rand.NewSource(1))
+	queries, err := repro.ExtractQueries(g, 4, 16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.NewEngine(g, repro.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	for _, q := range queries {
+		if _, err := eng.Evaluate(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wall := time.Since(t0).Seconds()
+
+	// 3. Enabled re-run to count gate-protected events. Each event
+	// behind a gate corresponds to a bounded handful of Enabled()
+	// branches in the disabled build; sitesPerEvent = 4 is a generous
+	// upper bound on that fan-in.
+	before := gatedEvents(obs.Default.Snapshot())
+	obs.Enable(true)
+	for _, q := range queries {
+		if _, err := eng.Evaluate(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obs.Enable(false)
+	events := gatedEvents(obs.Default.Snapshot()) - before
+	if events <= 0 {
+		t.Fatalf("enabled run produced %d gated events; instrumentation not wired", events)
+	}
+
+	const sitesPerEvent = 4
+	overhead := perCheck * float64(events) * sitesPerEvent
+	limit := 0.02 * wall
+	t.Logf("perCheck=%.2fns events=%d overhead=%.3fµs wall=%.3fms (limit %.3fµs)",
+		perCheck*1e9, events, overhead*1e6, wall*1e3, limit*1e6)
+	if overhead > limit {
+		t.Errorf("disabled-path overhead %.3gs exceeds 2%% of workload wall time %.3gs", overhead, wall)
+	}
+}
+
+// BenchmarkObsDisabledGate documents the cost of one disabled check.
+func BenchmarkObsDisabledGate(b *testing.B) {
+	prev := obs.Enabled()
+	obs.Enable(false)
+	defer obs.Enable(prev)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if obs.Enabled() {
+			n++
+		}
+	}
+	sink = n
+}
+
+// BenchmarkObsEnabledCounter documents the cost of one enabled event
+// (gate branch + atomic add).
+func BenchmarkObsEnabledCounter(b *testing.B) {
+	prev := obs.Enabled()
+	obs.Enable(true)
+	defer obs.Enable(prev)
+	c := obs.NewRegistry().Counter("bench_total", "")
+	for i := 0; i < b.N; i++ {
+		if obs.Enabled() {
+			c.Inc()
+		}
+	}
+}

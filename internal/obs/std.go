@@ -1,0 +1,62 @@
+package obs
+
+// Default is the process-wide registry every built-in instrumentation
+// site publishes into; the debug HTTP endpoint serves it at /metrics.
+var Default = NewRegistry()
+
+// DefaultTracer retains the most recent query traces for /tracez.
+var DefaultTracer = NewTracer(64)
+
+// StartQuery begins a trace on the default tracer (nil when collection
+// is disabled).
+func StartQuery(name string) *QueryTrace { return DefaultTracer.StartQuery(name) }
+
+// Standard metrics. Each maps to a paper concept (see DESIGN.md §8):
+// prunes are Proposition 3.2 signature satisfaction failures, cap hits
+// are the super-optimistic fan-out cap of Section 3.3 (10), flips and
+// fallbacks are the Section 4.3 recovery states 2 and 3, and mode
+// mispredictions measure model α (Figure 11).
+var (
+	// --- package psi: evaluator work counters (flushed via PublishStats) ---
+
+	PSIRecursions   = Default.Counter("psi_recursions_total", "backtracking steps entered by the PSI evaluators")
+	PSICandidates   = Default.Counter("psi_candidates_total", "candidate bindings examined")
+	PSISigPrunes    = Default.Counter("psi_sig_prunes_total", "candidates pruned by Proposition 3.2 signature satisfaction")
+	PSISorts        = Default.Counter("psi_sorts_total", "optimistic candidate sorts performed")
+	PSIScoreCalcs   = Default.Counter("psi_score_calcs_total", "satisfiability scores computed")
+	PSICapHits      = Default.Counter("psi_cap_hits_total", "super-optimistic candidate-cap truncations (cap 10, Section 3.3)")
+	PSIDeadlineHits = Default.Counter("psi_deadline_aborts_total", "evaluations aborted by a deadline")
+	PSIStopHits     = Default.Counter("psi_stop_aborts_total", "evaluations aborted by a stop flag (two-threaded racing)")
+
+	// --- package psi: EvaluateAllParallel worker pool ---
+
+	PSIParallelWorkers = Default.Gauge("psi_parallel_workers", "live EvaluateAllParallel workers")
+	PSIParallelRuns    = Default.Counter("psi_parallel_runs_total", "EvaluateAllParallel invocations")
+
+	// --- package smartpsi: engine, models, cache, preemption ---
+
+	SmartEngineBuilds  = Default.Counter("smartpsi_engine_builds_total", "engines constructed (signature startup phases)")
+	SmartSigBuildSecs  = Default.Histogram("smartpsi_signature_build_seconds", "one-off signature construction time (Figure 8)", LatencyBuckets)
+	SmartQueries       = Default.Counter("smartpsi_queries_total", "SmartPSI query evaluations started")
+	SmartQueriesML     = Default.Counter("smartpsi_ml_queries_total", "queries large enough to train per-query models")
+	SmartTrainedNodes  = Default.Counter("smartpsi_trained_nodes_total", "training-set nodes evaluated for model fitting")
+	SmartCacheHits     = Default.Counter("smartpsi_cache_hits_total", "signature-keyed prediction cache hits (Section 4.2.3)")
+	SmartCacheMisses   = Default.Counter("smartpsi_cache_misses_total", "prediction cache misses")
+	SmartTimeouts      = Default.Counter("smartpsi_timeouts_total", "MaxTime budget expirations during preemptive evaluation (Section 4.3)")
+	SmartFlips         = Default.Counter("smartpsi_flips_total", "state-2 recoveries: re-evaluation with the opposite method")
+	SmartFallbacks     = Default.Counter("smartpsi_fallbacks_total", "state-3 recoveries: heuristic-plan restarts")
+	SmartRecoveries    = Default.Counter("smartpsi_recoveries_total", "total recovery transitions (flips + fallbacks)")
+	SmartModeChecks    = Default.Counter("smartpsi_mode_predictions_total", "model α predictions scored against ground truth")
+	SmartMispredicts   = Default.Counter("smartpsi_mode_mispredictions_total", "model α predictions contradicted by ground truth (Figure 11)")
+	SmartQuerySeconds  = Default.Histogram("smartpsi_query_seconds", "end-to-end SmartPSI query latency", LatencyBuckets)
+	SmartTrainSeconds  = Default.Histogram("smartpsi_train_seconds", "per-query model training time (Table 4 overhead)", LatencyBuckets)
+	SmartPlanSeconds   = Default.Histogram("smartpsi_plan_eval_seconds", "single candidate evaluation time per (method, plan)", LatencyBuckets)
+	SmartRecursionDist = Default.Histogram("smartpsi_query_recursions", "per-query recursion totals", CountBuckets)
+
+	// --- package fsm: frequent-subgraph-mining support counting ---
+
+	FSMSupportCalls    = Default.Counter("fsm_support_calls_total", "MNI support evaluations")
+	FSMSupportFrequent = Default.Counter("fsm_support_frequent_total", "support evaluations that reached the threshold")
+	FSMSupportEvals    = Default.Counter("fsm_support_candidate_evals_total", "candidate PSI evaluations during support counting")
+	FSMSupportSeconds  = Default.Histogram("fsm_support_seconds", "per-pattern support evaluation time", LatencyBuckets)
+)

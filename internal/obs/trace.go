@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventKind identifies one kind of typed trace event. The recovery
+// ladder of smartpsi (Section 4.3 of the paper) emits these in a fixed
+// grammar per candidate: ModePredicted/PlanChosen (or CacheHit), then
+// either ModeActual, or Timeout Flip [Timeout Fallback] ModeActual.
+type EventKind uint8
+
+const (
+	// EvTrainDone: model training finished; Arg is the training-set size.
+	EvTrainDone EventKind = iota
+	// EvCacheHit: prediction-cache hit for candidate Node.
+	EvCacheHit
+	// EvCacheMiss: prediction-cache miss for candidate Node.
+	EvCacheMiss
+	// EvModePredicted: model α predicted a method for Node; Arg is the
+	// psi.Mode (0 optimistic-invalid? no — Arg is int64(mode)).
+	EvModePredicted
+	// EvPlanChosen: model β chose plan index Arg for Node.
+	EvPlanChosen
+	// EvTimeout: the per-state MaxTime budget fired for Node; Arg is the
+	// recovery state that timed out (1 or 2).
+	EvTimeout
+	// EvFlip: state-2 recovery, re-evaluating Node with the opposite
+	// method; Arg is the new psi.Mode.
+	EvFlip
+	// EvFallback: state-3 recovery, re-evaluating Node with the
+	// heuristic plan (Arg is the plan index, always 0).
+	EvFallback
+	// EvModeActual: ground truth for Node established; Arg is 1 when the
+	// node is a valid pivot binding, 0 otherwise.
+	EvModeActual
+	// EvCapHit: the super-optimistic candidate cap truncated at least
+	// one candidate list while evaluating Node; Arg is the number of
+	// truncations.
+	EvCapHit
+)
+
+var eventKindNames = [...]string{
+	EvTrainDone:     "train_done",
+	EvCacheHit:      "cache_hit",
+	EvCacheMiss:     "cache_miss",
+	EvModePredicted: "mode_predicted",
+	EvPlanChosen:    "plan_chosen",
+	EvTimeout:       "timeout",
+	EvFlip:          "flip",
+	EvFallback:      "fallback",
+	EvModeActual:    "mode_actual",
+	EvCapHit:        "cap_hit",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one typed trace event.
+type Event struct {
+	// At is the offset from the trace's start.
+	At time.Duration
+	// Kind is the event type.
+	Kind EventKind
+	// Node is the candidate data node the event concerns, -1 when the
+	// event is query-scoped.
+	Node int64
+	// Arg is kind-specific (see the EventKind docs).
+	Arg int64
+}
+
+// maxTraceEvents caps the per-query event buffer; events past the cap
+// are counted but dropped, keeping pathological queries bounded.
+const maxTraceEvents = 4096
+
+// QueryTrace records the typed events of one query evaluation. A nil
+// *QueryTrace is valid and ignores all method calls, so call sites can
+// hold the result of StartQuery unconditionally and pay only a nil
+// check when tracing is off.
+type QueryTrace struct {
+	id    uint64
+	name  string
+	start time.Time
+
+	mu      sync.Mutex
+	end     time.Time
+	events  []Event
+	dropped int
+}
+
+// ID returns the tracer-assigned sequence number.
+func (t *QueryTrace) ID() uint64 { return t.id }
+
+// Name returns the label given to StartQuery.
+func (t *QueryTrace) Name() string { return t.name }
+
+// Start returns the trace's start time.
+func (t *QueryTrace) Start() time.Time { return t.start }
+
+// Duration returns end-start for finished traces, time-since-start for
+// live ones.
+func (t *QueryTrace) Duration() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.end.IsZero() {
+		return time.Since(t.start)
+	}
+	return t.end.Sub(t.start)
+}
+
+// Finished reports whether Finish has been called.
+func (t *QueryTrace) Finished() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return !t.end.IsZero()
+}
+
+// Event appends one typed event. Safe for concurrent use; a no-op on a
+// nil trace.
+func (t *QueryTrace) Event(kind EventKind, node, arg int64) {
+	if t == nil {
+		return
+	}
+	at := time.Since(t.start)
+	t.mu.Lock()
+	if len(t.events) >= maxTraceEvents {
+		t.dropped++
+	} else {
+		t.events = append(t.events, Event{At: at, Kind: kind, Node: node, Arg: arg})
+	}
+	t.mu.Unlock()
+}
+
+// Finish marks the trace complete. A no-op on a nil trace.
+func (t *QueryTrace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.end.IsZero() {
+		t.end = time.Now()
+	}
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (t *QueryTrace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Kinds returns just the event kinds, in order — the recovery-ladder
+// tests assert against this.
+func (t *QueryTrace) Kinds() []EventKind {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kinds := make([]EventKind, len(t.events))
+	for i, e := range t.events {
+		kinds[i] = e.Kind
+	}
+	return kinds
+}
+
+// Dropped returns how many events were discarded by the buffer cap.
+func (t *QueryTrace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Tracer keeps the most recent query traces in a fixed-size ring.
+type Tracer struct {
+	mu   sync.Mutex
+	next uint64
+	ring []*QueryTrace
+	pos  int
+}
+
+// NewTracer returns a tracer retaining the last capacity traces
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]*QueryTrace, capacity)}
+}
+
+// StartQuery begins a new query trace. It returns nil — which every
+// QueryTrace method accepts — when collection is disabled or the tracer
+// is nil, so the disabled path costs one branch.
+func (tr *Tracer) StartQuery(name string) *QueryTrace {
+	if tr == nil || !Enabled() {
+		return nil
+	}
+	tr.mu.Lock()
+	tr.next++
+	t := &QueryTrace{id: tr.next, name: name, start: time.Now()}
+	tr.ring[tr.pos] = t
+	tr.pos = (tr.pos + 1) % len(tr.ring)
+	tr.mu.Unlock()
+	return t
+}
+
+// Recent returns the retained traces, newest first.
+func (tr *Tracer) Recent() []*QueryTrace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]*QueryTrace, 0, len(tr.ring))
+	for i := 0; i < len(tr.ring); i++ {
+		idx := (tr.pos - 1 - i + 2*len(tr.ring)) % len(tr.ring)
+		if t := tr.ring[idx]; t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Lookup returns the retained trace with the given ID, or nil.
+func (tr *Tracer) Lookup(id uint64) *QueryTrace {
+	for _, t := range tr.Recent() {
+		if t.ID() == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (chrome://tracing, also readable by Perfetto). Timestamps are in
+// microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports one query trace in the Chrome trace-event
+// format: the query as a complete ("X") slice plus one instant ("i")
+// event per recorded typed event, ready for about:tracing.
+func WriteChromeTrace(w io.Writer, t *QueryTrace) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	dur := t.end.Sub(t.start)
+	if t.end.IsZero() {
+		dur = time.Since(t.start)
+	}
+	events := append([]Event(nil), t.events...)
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	out := struct {
+		TraceEvents []chromeEvent  `json:"traceEvents"`
+		Metadata    map[string]any `json:"metadata,omitempty"`
+	}{}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: t.name, Phase: "X", TS: 0, Dur: float64(dur.Microseconds()), PID: 1, TID: 1,
+		Args: map[string]any{"trace_id": t.id, "events": len(events), "dropped": dropped},
+	})
+	for _, e := range events {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: e.Kind.String(), Phase: "i", TS: float64(e.At.Nanoseconds()) / 1e3,
+			PID: 1, TID: 1, Scope: "t",
+			Args: map[string]any{"node": e.Node, "arg": e.Arg},
+		})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}

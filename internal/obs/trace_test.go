@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// withEnabled runs f with collection forced on, restoring the previous
+// state afterwards.
+func withEnabled(t *testing.T, f func()) {
+	t.Helper()
+	prev := Enabled()
+	Enable(true)
+	defer Enable(prev)
+	f()
+}
+
+func TestObsTraceNilSafety(t *testing.T) {
+	var tr *QueryTrace
+	tr.Event(EvFlip, 1, 2) // must not panic
+	tr.Finish()
+	if tr.Events() != nil || tr.Kinds() != nil || tr.Dropped() != 0 || tr.Finished() {
+		t.Error("nil QueryTrace methods must be inert")
+	}
+	var tracer *Tracer
+	if tracer.StartQuery("x") != nil {
+		t.Error("nil tracer must hand out nil traces")
+	}
+	if tracer.Recent() != nil {
+		t.Error("nil tracer Recent must be nil")
+	}
+}
+
+func TestObsTracerDisabledGives(t *testing.T) {
+	prev := Enabled()
+	Enable(false)
+	defer Enable(prev)
+	tr := NewTracer(4)
+	if tr.StartQuery("q") != nil {
+		t.Error("disabled collection must hand out nil traces")
+	}
+}
+
+func TestObsTraceEventsAndRing(t *testing.T) {
+	withEnabled(t, func() {
+		tr := NewTracer(2)
+		a := tr.StartQuery("a")
+		a.Event(EvCacheMiss, 7, 0)
+		a.Event(EvModePredicted, 7, 1)
+		a.Finish()
+		b := tr.StartQuery("b")
+		b.Finish()
+		c := tr.StartQuery("c")
+		c.Finish()
+
+		recent := tr.Recent()
+		if len(recent) != 2 {
+			t.Fatalf("ring retained %d traces, want 2", len(recent))
+		}
+		if recent[0].Name() != "c" || recent[1].Name() != "b" {
+			t.Errorf("recent order = %s, %s; want c, b", recent[0].Name(), recent[1].Name())
+		}
+		if tr.Lookup(a.ID()) != nil {
+			t.Error("evicted trace still retrievable")
+		}
+		if tr.Lookup(c.ID()) != c {
+			t.Error("Lookup failed for retained trace")
+		}
+
+		kinds := a.Kinds()
+		if len(kinds) != 2 || kinds[0] != EvCacheMiss || kinds[1] != EvModePredicted {
+			t.Errorf("kinds = %v", kinds)
+		}
+		ev := a.Events()
+		if ev[0].Node != 7 || ev[1].Arg != 1 {
+			t.Errorf("events = %+v", ev)
+		}
+		if !a.Finished() {
+			t.Error("a not marked finished")
+		}
+	})
+}
+
+func TestObsTraceEventCap(t *testing.T) {
+	withEnabled(t, func() {
+		tr := NewTracer(1)
+		q := tr.StartQuery("big")
+		for i := 0; i < maxTraceEvents+10; i++ {
+			q.Event(EvCacheHit, int64(i), 0)
+		}
+		if got := len(q.Events()); got != maxTraceEvents {
+			t.Errorf("retained %d events, want cap %d", got, maxTraceEvents)
+		}
+		if q.Dropped() != 10 {
+			t.Errorf("dropped = %d, want 10", q.Dropped())
+		}
+	})
+}
+
+func TestObsTraceConcurrentEvents(t *testing.T) {
+	withEnabled(t, func() {
+		tr := NewTracer(1)
+		q := tr.StartQuery("par")
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					q.Event(EvModeActual, int64(w), int64(i))
+				}
+			}(w)
+		}
+		wg.Wait()
+		if got := len(q.Events()); got != 400 {
+			t.Errorf("events = %d, want 400", got)
+		}
+	})
+}
+
+func TestObsChromeTraceExport(t *testing.T) {
+	withEnabled(t, func() {
+		tr := NewTracer(1)
+		q := tr.StartQuery("export")
+		q.Event(EvTimeout, 3, 1)
+		q.Event(EvFlip, 3, 1)
+		q.Finish()
+
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, q); err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatalf("chrome trace not valid JSON: %v\n%s", err, buf.String())
+		}
+		if len(out.TraceEvents) != 3 { // 1 slice + 2 instants
+			t.Fatalf("traceEvents = %d, want 3", len(out.TraceEvents))
+		}
+		if out.TraceEvents[0]["ph"] != "X" {
+			t.Errorf("first event phase = %v, want X", out.TraceEvents[0]["ph"])
+		}
+		if out.TraceEvents[1]["name"] != "timeout" || out.TraceEvents[2]["name"] != "flip" {
+			t.Errorf("instant names = %v, %v", out.TraceEvents[1]["name"], out.TraceEvents[2]["name"])
+		}
+	})
+
+	// Nil trace exports an empty, valid document.
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil-trace export invalid: %v", err)
+	}
+}
+
+func TestObsEventKindStrings(t *testing.T) {
+	for k := EvTrainDone; k <= EvCapHit; k++ {
+		if s := k.String(); s == "" || len(s) > 32 {
+			t.Errorf("EventKind(%d).String() = %q", k, s)
+		}
+	}
+	if s := EventKind(200).String(); s != "EventKind(200)" {
+		t.Errorf("unknown kind string = %q", s)
+	}
+}

@@ -84,5 +84,6 @@ func EvaluateAllWithPlan(e *Evaluator, strategy Strategy, c *plan.Compiled, dead
 	}
 	res.Stats = st.Stats()
 	res.Elapsed = time.Since(start)
+	PublishStats(res.Stats)
 	return res, nil
 }

@@ -1,0 +1,39 @@
+package psi
+
+import "repro/internal/obs"
+
+// statsPublishers maps every Stats field to its obs counter. The table
+// is the single source of truth for PublishStats;
+// TestObsPublishStatsCoversAllFields asserts (by reflection) that its
+// length tracks the Stats field count, so adding a field without
+// publishing it fails the build gate.
+var statsPublishers = []struct {
+	get     func(Stats) int64
+	counter *obs.Counter
+}{
+	{func(s Stats) int64 { return s.Recursions }, obs.PSIRecursions},
+	{func(s Stats) int64 { return s.Candidates }, obs.PSICandidates},
+	{func(s Stats) int64 { return s.SigPrunes }, obs.PSISigPrunes},
+	{func(s Stats) int64 { return s.Sorts }, obs.PSISorts},
+	{func(s Stats) int64 { return s.ScoreCalcs }, obs.PSIScoreCalcs},
+	{func(s Stats) int64 { return s.CapHits }, obs.PSICapHits},
+	{func(s Stats) int64 { return s.Deadlines }, obs.PSIDeadlineHits},
+	{func(s Stats) int64 { return s.Stops }, obs.PSIStopHits},
+}
+
+// PublishStats flushes an aggregated Stats delta into the process-wide
+// obs registry: one atomic add per non-zero field. The hot evaluation
+// loops never call this — they count into plain State fields — so the
+// whole observability layer costs the evaluator nothing per event;
+// callers flush once per batch (worker exit, support pass, query end).
+// A no-op when collection is disabled.
+func PublishStats(s Stats) {
+	if !obs.Enabled() {
+		return
+	}
+	for _, p := range statsPublishers {
+		if v := p.get(s); v != 0 {
+			p.counter.Add(v)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package psi
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// fillDistinct sets every Stats field to a distinct non-zero value and
+// returns the filled struct. It fails the test if a field is not an
+// int64 counter (the Stats contract).
+func fillDistinct(t *testing.T, base int64) Stats {
+	t.Helper()
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	typ := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() != reflect.Int64 {
+			t.Fatalf("Stats.%s is %s; every Stats field must be an int64 counter", typ.Field(i).Name, f.Kind())
+		}
+		f.SetInt(base + int64(i))
+	}
+	return s
+}
+
+// TestObsStatsMergeCoversAllFields is the reflection guard of the
+// canonical merge: a Stats field added without extending Add fails
+// here, before any worker pool silently drops its counts.
+func TestObsStatsMergeCoversAllFields(t *testing.T) {
+	src := fillDistinct(t, 1)
+	typ := reflect.TypeOf(src)
+
+	var dst Stats
+	dst.Add(src)
+	dst.Add(src) // twice: catches `=` where `+=` was meant
+	got := reflect.ValueOf(dst)
+	var wantTotal int64
+	for i := 0; i < got.NumField(); i++ {
+		want := 2 * (1 + int64(i))
+		wantTotal += 1 + int64(i)
+		if g := got.Field(i).Int(); g != want {
+			t.Errorf("Stats.Add does not merge field %s: got %d after two merges, want %d — extend Add (and statsPublishers)",
+				typ.Field(i).Name, g, want)
+		}
+	}
+	if src.Total() != wantTotal {
+		t.Errorf("Stats.Total = %d, want %d — extend Total for the new field", src.Total(), wantTotal)
+	}
+}
+
+// TestObsPublishStatsCoversAllFields asserts the obs bridge publishes
+// every Stats field to its own counter.
+func TestObsPublishStatsCoversAllFields(t *testing.T) {
+	n := reflect.TypeOf(Stats{}).NumField()
+	if len(statsPublishers) != n {
+		t.Fatalf("statsPublishers has %d entries for %d Stats fields; map the new field to an obs counter", len(statsPublishers), n)
+	}
+	seen := make(map[*obs.Counter]int)
+	for i, p := range statsPublishers {
+		if p.counter == nil {
+			t.Fatalf("statsPublishers[%d] has a nil counter", i)
+		}
+		if prev, dup := seen[p.counter]; dup {
+			t.Fatalf("statsPublishers[%d] and [%d] share counter %s", prev, i, p.counter.Name())
+		}
+		seen[p.counter] = i
+	}
+
+	src := fillDistinct(t, 10)
+	prev := obs.Enabled()
+	obs.Enable(true)
+	defer obs.Enable(prev)
+	before := make([]int64, n)
+	for i, p := range statsPublishers {
+		before[i] = p.counter.Value()
+	}
+	PublishStats(src)
+	v := reflect.ValueOf(src)
+	for i, p := range statsPublishers {
+		delta := p.counter.Value() - before[i]
+		if delta != 10+int64(i) {
+			t.Errorf("publisher %d (%s): delta %d, want %d — check get func ordering against Stats field %s",
+				i, p.counter.Name(), delta, 10+int64(i), v.Type().Field(i).Name)
+		}
+	}
+
+	// Disabled: no counter moves.
+	obs.Enable(false)
+	mid := statsPublishers[0].counter.Value()
+	PublishStats(src)
+	if got := statsPublishers[0].counter.Value(); got != mid {
+		t.Errorf("PublishStats with collection disabled moved %s by %d", statsPublishers[0].counter.Name(), got-mid)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -35,6 +36,11 @@ func EvaluateAllParallel(e *Evaluator, strategy Strategy, workers int, deadline 
 	}
 	if workers > len(candidates) {
 		workers = len(candidates)
+	}
+	if obs.Enabled() {
+		obs.PSIParallelRuns.Inc()
+		obs.PSIParallelWorkers.Add(int64(workers))
+		defer obs.PSIParallelWorkers.Add(-int64(workers))
 	}
 
 	var mu sync.Mutex
@@ -83,6 +89,9 @@ func EvaluateAllParallel(e *Evaluator, strategy Strategy, workers int, deadline 
 	}
 	sort.Slice(res.Bindings, func(i, j int) bool { return res.Bindings[i] < res.Bindings[j] })
 	res.Elapsed = time.Since(start)
+	// One flush for the whole pool: the per-worker states were merged
+	// into res.Stats by the canonical Stats.Add above.
+	PublishStats(res.Stats)
 	return res, nil
 }
 

@@ -74,22 +74,43 @@ type Limits struct {
 	Stop *atomic.Bool
 }
 
-// Stats counts the work one or more evaluations performed.
+// Stats counts the work one or more evaluations performed. Every field
+// must be an int64 event counter: Add (the canonical merge used by all
+// worker pools) and PublishStats (the bridge into the internal/obs
+// registry) are both covered by reflection-based tests that fail when a
+// field is added but not merged or published.
 type Stats struct {
 	Recursions int64 // backtracking steps entered
 	Candidates int64 // candidate bindings examined
 	SigPrunes  int64 // candidates pruned by signature satisfaction
 	Sorts      int64 // candidate sorts performed (optimistic)
 	ScoreCalcs int64 // satisfiability scores computed
+	CapHits    int64 // super-optimistic candidate-cap truncations
+	Deadlines  int64 // evaluations aborted by the deadline
+	Stops      int64 // evaluations aborted by the stop flag
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s. It is the single canonical Stats merge:
+// worker pools (EvaluateAllParallel, smartpsi's candidate workers) must
+// use it rather than ad-hoc field adds, so that a new field added here
+// propagates everywhere (TestObsStatsMergeCoversAllFields enforces the
+// field coverage).
 func (s *Stats) Add(other Stats) {
 	s.Recursions += other.Recursions
 	s.Candidates += other.Candidates
 	s.SigPrunes += other.SigPrunes
 	s.Sorts += other.Sorts
 	s.ScoreCalcs += other.ScoreCalcs
+	s.CapHits += other.CapHits
+	s.Deadlines += other.Deadlines
+	s.Stops += other.Stops
+}
+
+// Total returns the sum of every counter — a coarse "events that would
+// flow into obs" figure used by the overhead guard.
+func (s Stats) Total() int64 {
+	return s.Recursions + s.Candidates + s.SigPrunes + s.Sorts +
+		s.ScoreCalcs + s.CapHits + s.Deadlines + s.Stops
 }
 
 // Evaluator answers pivot-binding questions for one (data graph, query)
@@ -231,10 +252,12 @@ const deadlineCheckMask = 255 // check the clock every 256 work units
 func (s *State) tick() error {
 	s.steps++
 	if s.limits.Stop != nil && s.limits.Stop.Load() {
+		s.stats.Stops++
 		return ErrStopped
 	}
 	if !s.limits.Deadline.IsZero() && s.steps&deadlineCheckMask == 0 {
 		if time.Now().After(s.limits.Deadline) {
+			s.stats.Deadlines++
 			return ErrDeadline
 		}
 	}
@@ -281,9 +304,11 @@ func (e *Evaluator) run(st *State, c *plan.Compiled, u graph.NodeID, mode Mode, 
 	// Check the limits once up front so an already-expired deadline or a
 	// set stop flag aborts even evaluations too small to hit a tick.
 	if limits.Stop != nil && limits.Stop.Load() {
+		st.stats.Stops++
 		return false, ErrStopped
 	}
 	if !limits.Deadline.IsZero() && time.Now().After(limits.Deadline) {
+		st.stats.Deadlines++
 		return false, ErrDeadline
 	}
 	if len(st.cands) < len(c.Steps) {
@@ -338,6 +363,7 @@ func (e *Evaluator) extend(st *State, c *plan.Compiled, depth int, mode Mode, su
 	for i := lo; i < hi; i++ {
 		cand := nbrs[i]
 		if super && len(cands) >= SuperOptimisticCap {
+			st.stats.CapHits++
 			break // GetLimitedCandidates (Algorithm 1, line 4)
 		}
 		st.stats.Candidates++

@@ -37,6 +37,10 @@ func (e *Evaluator) Race(c *plan.Compiled, u graph.NodeID, limits Limits) (RaceR
 			lim := limits
 			lim.Stop = &stop
 			valid, err := e.Evaluate(st, c, u, m, lim)
+			// The two-threaded baseline discards its per-goroutine
+			// states, so this flush is the only place their work
+			// counters become visible.
+			PublishStats(st.Stats())
 			results <- outcome{valid: valid, err: err, mode: m, took: time.Since(start)}
 		}(mode)
 	}

@@ -76,5 +76,6 @@ func (e *Engine) CountBindingsAtLeast(q graph.Query, threshold int, deadline tim
 		}
 	}
 	res.Elapsed = time.Since(start)
+	psi.PublishStats(st.Stats())
 	return res, nil
 }

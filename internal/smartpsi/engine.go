@@ -13,6 +13,8 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/ml"
+	"repro/internal/obs"
+	"repro/internal/psi"
 	"repro/internal/signature"
 )
 
@@ -104,6 +106,12 @@ type Engine struct {
 
 	// SignatureBuildTime records the one-off startup cost (Figure 8).
 	SignatureBuildTime time.Duration
+
+	// evalHook, when non-nil, replaces the candidate evaluation call in
+	// evaluateOne with a deterministic stand-in keyed by the recovery
+	// state (1, 2, 3). Only the recovery-ladder tests set it, to force
+	// exact timeout sequences without depending on wall-clock budgets.
+	evalHook func(state int, mode psi.Mode, planIdx int) (bool, error)
 }
 
 // NewEngine builds an engine over g, computing node signatures with the
@@ -115,11 +123,16 @@ func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("smartpsi: %w", err)
 	}
+	buildTime := time.Since(start)
+	if obs.Enabled() {
+		obs.SmartEngineBuilds.Inc()
+		obs.SmartSigBuildSecs.Observe(buildTime.Seconds())
+	}
 	return &Engine{
 		g:                  g,
 		sigs:               sigs,
 		opts:               opts,
-		SignatureBuildTime: time.Since(start),
+		SignatureBuildTime: buildTime,
 	}, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/invariant"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/psi"
 	"repro/internal/signature"
@@ -49,6 +50,10 @@ type Result struct {
 	// UsedML is false when the candidate set was too small to train on
 	// and the engine fell back to pessimistic evaluation throughout.
 	UsedML bool
+	// Work aggregates the evaluator work counters (recursions, prunes,
+	// cap hits, deadline aborts, ...) across training and all candidate
+	// workers, merged with the canonical psi.Stats.Add.
+	Work psi.Stats
 }
 
 // AccuracyReport is a correct/total counter pair.
@@ -79,6 +84,22 @@ func (e *Engine) Evaluate(q graph.Query) (*Result, error) {
 // paper's 24-hour task limit censors runs.
 func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, error) {
 	start := time.Now()
+	enabled := obs.Enabled()
+	var tr *obs.QueryTrace
+	if enabled {
+		obs.SmartQueries.Inc()
+		tr = obs.StartQuery(fmt.Sprintf("smartpsi/q%d.p%d", q.Size(), int(q.Pivot)))
+	}
+	defer tr.Finish()
+	// finishQuery flushes the per-query aggregates into the obs
+	// registry on the success paths.
+	finishQuery := func(res *Result) {
+		if enabled {
+			obs.SmartQuerySeconds.Observe(time.Since(start).Seconds())
+			obs.SmartRecursionDist.Observe(float64(res.Work.Recursions))
+			psi.PublishStats(res.Work)
+		}
+	}
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("smartpsi: %w", err)
 	}
@@ -99,6 +120,7 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 	res.Candidates = len(candidates)
 	if len(candidates) == 0 {
 		res.TotalTime = time.Since(start)
+		finishQuery(res)
 		return res, nil
 	}
 
@@ -125,13 +147,18 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 			valid[u] = ok
 		}
 		res.EvalTime = time.Since(evalStart)
+		res.Work = st.Stats()
 		if err := e.collect(res, q, valid); err != nil {
 			return nil, err
 		}
 		res.TotalTime = time.Since(start)
+		finishQuery(res)
 		return res, nil
 	}
 	res.UsedML = true
+	if enabled {
+		obs.SmartQueriesML.Inc()
+	}
 
 	// ----- Training phase (Sections 4.2.1, 4.2.2) -----
 	trainStart := time.Now()
@@ -205,6 +232,12 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 		}
 	}
 	res.TrainTime = time.Since(trainStart)
+	res.Work.Add(st.Stats())
+	if enabled {
+		obs.SmartTrainedNodes.Add(int64(trainCount))
+		obs.SmartTrainSeconds.Observe(res.TrainTime.Seconds())
+		tr.Event(obs.EvTrainDone, -1, int64(trainCount))
+	}
 
 	// ----- Prediction + preemptive evaluation (Sections 4.2.3, 4.3) -----
 	evalStart := time.Now()
@@ -237,12 +270,20 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 			defer wg.Done()
 			wst := psi.NewState(q.Size())
 			local := workerCounters{}
+			// Merge the worker's counters even on the error paths, so
+			// censored runs still account their work.
+			defer func() {
+				local.work = wst.Stats()
+				mu.Lock()
+				local.mergeInto(res, &modelNanos)
+				mu.Unlock()
+			}()
 			for _, u := range nodes {
 				if !deadline.IsZero() && time.Now().After(deadline) {
 					errs[w] = psi.ErrDeadline
 					return
 				}
-				ok, err := e.evaluateOne(ev, wst, compiled, u, alphaModel, betaModel, timing, &cache, &local, deadline)
+				ok, err := e.evaluateOne(ev, wst, compiled, u, alphaModel, betaModel, timing, &cache, &local, tr, deadline)
 				if err != nil {
 					errs[w] = err
 					return
@@ -251,15 +292,6 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 				valid[u] = ok
 				validMu.Unlock()
 			}
-			mu.Lock()
-			res.CacheHits += local.cacheHits
-			res.CacheMisses += local.cacheMisses
-			res.Flips += local.flips
-			res.Fallbacks += local.fallbacks
-			res.Alpha.Correct += local.alphaCorrect
-			res.Alpha.Total += local.alphaTotal
-			modelNanos += local.modelNanos
-			mu.Unlock()
 		}(w, remaining[lo:hi])
 	}
 	wg.Wait()
@@ -274,6 +306,7 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 		return nil, err
 	}
 	res.TotalTime = time.Since(start)
+	finishQuery(res)
 	return res, nil
 }
 
@@ -390,7 +423,22 @@ type workerCounters struct {
 	flips, fallbacks         int64
 	alphaCorrect, alphaTotal int64
 	modelNanos               int64
-	votesScratch             []int // forest-vote scratch, reused per worker
+	work                     psi.Stats // the worker State's counters, captured at exit
+	votesScratch             []int     // forest-vote scratch, reused per worker
+}
+
+// mergeInto folds one worker's counters into the shared result. The
+// caller holds the result mutex. Evaluator work merges through the
+// canonical psi.Stats.Add so new Stats fields propagate automatically.
+func (w *workerCounters) mergeInto(res *Result, modelNanos *int64) {
+	res.CacheHits += w.cacheHits
+	res.CacheMisses += w.cacheMisses
+	res.Flips += w.flips
+	res.Fallbacks += w.fallbacks
+	res.Alpha.Correct += w.alphaCorrect
+	res.Alpha.Total += w.alphaTotal
+	res.Work.Add(w.work)
+	*modelNanos += w.modelNanos
 }
 
 func (w *workerCounters) votes(n int) []int {
@@ -406,10 +454,21 @@ type decision struct {
 }
 
 // evaluateOne runs the prediction + preemptive pipeline for one
-// candidate node.
+// candidate node, emitting the recovery-ladder trace grammar
+// documented on obs.EventKind.
 func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.Compiled,
 	u graph.NodeID, alphaModel, betaModel *ml.Forest, timing *planTiming,
-	cache *sync.Map, local *workerCounters, global time.Time) (bool, error) {
+	cache *sync.Map, local *workerCounters, tr *obs.QueryTrace, global time.Time) (bool, error) {
+
+	enabled := obs.Enabled()
+	if enabled {
+		capBefore := st.Stats().CapHits
+		defer func() {
+			if d := st.Stats().CapHits - capBefore; d > 0 {
+				tr.Event(obs.EvCapHit, int64(u), d)
+			}
+		}()
+	}
 
 	row := e.sigs.Row(u)
 	var dec decision
@@ -421,11 +480,19 @@ func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.
 			dec = v.(decision)
 			cached = true
 			local.cacheHits++
+			if enabled {
+				obs.SmartCacheHits.Inc()
+				tr.Event(obs.EvCacheHit, int64(u), int64(dec.planIdx))
+			}
 		}
 	}
 	predicted := false
 	if !cached {
 		local.cacheMisses++
+		if enabled {
+			obs.SmartCacheMisses.Inc()
+			tr.Event(obs.EvCacheMiss, int64(u), 0)
+		}
 		t0 := time.Now()
 		dec.mode = psi.Pessimistic
 		if alphaModel != nil {
@@ -442,6 +509,10 @@ func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.
 			}
 		}
 		local.modelNanos += time.Since(t0).Nanoseconds()
+		if enabled {
+			tr.Event(obs.EvModePredicted, int64(u), int64(dec.mode))
+			tr.Event(obs.EvPlanChosen, int64(u), int64(dec.planIdx))
+		}
 	}
 
 	// capDeadline bounds a state's deadline by the global budget.
@@ -461,13 +532,19 @@ func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.
 		deadline = time.Now().Add(timing.maxTime(dec.mode, dec.planIdx))
 	}
 	t0 := time.Now()
-	ok, err := ev.Evaluate(st, compiled[dec.planIdx], u, dec.mode, psi.Limits{Deadline: capDeadline(deadline)})
+	var ok bool
+	var err error
+	if e.evalHook != nil {
+		ok, err = e.evalHook(1, dec.mode, dec.planIdx)
+	} else {
+		ok, err = ev.Evaluate(st, compiled[dec.planIdx], u, dec.mode, psi.Limits{Deadline: capDeadline(deadline)})
+	}
 	if err == nil {
 		timing.record(dec.mode, dec.planIdx, time.Since(t0))
 		if !cached && !e.opts.DisableCache {
 			cache.Store(key, dec)
 		}
-		e.scoreAlpha(local, predicted, dec.mode, ok)
+		e.scoreAlpha(local, tr, u, predicted, dec.mode, ok)
 		return ok, nil
 	}
 	if err != psi.ErrDeadline || globalExpired() {
@@ -478,12 +555,23 @@ func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.
 	// from model α errors).
 	local.flips++
 	opp := dec.mode.Opposite()
+	if enabled {
+		obs.SmartTimeouts.Inc()
+		obs.SmartFlips.Inc()
+		obs.SmartRecoveries.Inc()
+		tr.Event(obs.EvTimeout, int64(u), 1)
+		tr.Event(obs.EvFlip, int64(u), int64(opp))
+	}
 	deadline = time.Now().Add(timing.maxTime(opp, dec.planIdx))
 	t0 = time.Now()
-	ok, err = ev.Evaluate(st, compiled[dec.planIdx], u, opp, psi.Limits{Deadline: capDeadline(deadline)})
+	if e.evalHook != nil {
+		ok, err = e.evalHook(2, opp, dec.planIdx)
+	} else {
+		ok, err = ev.Evaluate(st, compiled[dec.planIdx], u, opp, psi.Limits{Deadline: capDeadline(deadline)})
+	}
 	if err == nil {
 		timing.record(opp, dec.planIdx, time.Since(t0))
-		e.scoreAlpha(local, predicted, dec.mode, ok)
+		e.scoreAlpha(local, tr, u, predicted, dec.mode, ok)
 		return ok, nil
 	}
 	if err != psi.ErrDeadline || globalExpired() {
@@ -493,24 +581,52 @@ func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.
 	// State 3: the predicted method with the heuristic plan, bounded
 	// only by the global budget (recovers from model β errors).
 	local.fallbacks++
+	if enabled {
+		obs.SmartTimeouts.Inc()
+		obs.SmartFallbacks.Inc()
+		obs.SmartRecoveries.Inc()
+		tr.Event(obs.EvTimeout, int64(u), 2)
+		tr.Event(obs.EvFallback, int64(u), 0)
+	}
 	t0 = time.Now()
-	ok, err = ev.Evaluate(st, compiled[0], u, dec.mode, psi.Limits{Deadline: global})
+	if e.evalHook != nil {
+		ok, err = e.evalHook(3, dec.mode, 0)
+	} else {
+		ok, err = ev.Evaluate(st, compiled[0], u, dec.mode, psi.Limits{Deadline: global})
+	}
 	if err != nil {
 		return false, err
 	}
 	timing.record(dec.mode, 0, time.Since(t0))
-	e.scoreAlpha(local, predicted, dec.mode, ok)
+	e.scoreAlpha(local, tr, u, predicted, dec.mode, ok)
 	return ok, nil
 }
 
-func (e *Engine) scoreAlpha(local *workerCounters, predicted bool, mode psi.Mode, actualValid bool) {
+// scoreAlpha records ground truth for one candidate: the EvModeActual
+// trace event plus model α's accuracy counters when a prediction was
+// actually made.
+func (e *Engine) scoreAlpha(local *workerCounters, tr *obs.QueryTrace, u graph.NodeID, predicted bool, mode psi.Mode, actualValid bool) {
+	enabled := obs.Enabled()
+	if enabled {
+		v := int64(0)
+		if actualValid {
+			v = 1
+		}
+		tr.Event(obs.EvModeActual, int64(u), v)
+	}
 	if !predicted {
 		return
 	}
 	local.alphaTotal++
-	predictedValid := mode == psi.Optimistic
-	if predictedValid == actualValid {
+	correct := (mode == psi.Optimistic) == actualValid
+	if correct {
 		local.alphaCorrect++
+	}
+	if enabled {
+		obs.SmartModeChecks.Inc()
+		if !correct {
+			obs.SmartMispredicts.Inc()
+		}
 	}
 }
 
@@ -532,6 +648,9 @@ func newPlanTiming(plans int) *planTiming {
 }
 
 func (t *planTiming) record(mode psi.Mode, planIdx int, took time.Duration) {
+	if obs.Enabled() {
+		obs.SmartPlanSeconds.Observe(took.Seconds())
+	}
 	t.mu.Lock()
 	t.sum[mode][planIdx] += took
 	t.n[mode][planIdx]++

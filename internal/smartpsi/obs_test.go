@@ -1,0 +1,310 @@
+package smartpsi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/psi"
+	"repro/internal/signature"
+)
+
+// ladderFixture builds a tiny engine/evaluator pair for driving
+// evaluateOne directly. Data graph: A(0)-B(1) plus C(0)-D(2); query:
+// X(0)-Y(1) pivoted at X, so A matches and C is signature-prunable.
+func ladderFixture(t *testing.T) (*Engine, *psi.Evaluator, []*plan.Compiled) {
+	t.Helper()
+	b := graph.NewBuilder(4, 2)
+	b.AddNode(0)
+	b.AddNode(1)
+	b.AddNode(0)
+	b.AddNode(2)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	g := b.MustBuild()
+	e, err := NewEngine(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb := graph.NewBuilder(2, 1)
+	qb.AddNode(0)
+	qb.AddNode(1)
+	if err := qb.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	q, err := graph.NewQuery(qb.MustBuild(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSigs, err := signature.Build(q.G, e.opts.SignatureDepth, e.sigs.Width(), e.opts.SignatureMethod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := psi.NewEvaluator(g, q, e.sigs, qSigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := plan.Compile(q, plan.Heuristic(q, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, ev, []*plan.Compiled{c}
+}
+
+var errBoom = errors.New("boom")
+
+// TestObsRecoveryLadderTraceSequences pins the exact trace-event
+// grammar of the preemptive executor's recovery ladder (predicted →
+// opposite mode → heuristic plan) for forced-timeout scenarios, using
+// the deterministic evalHook instead of wall-clock budgets.
+func TestObsRecoveryLadderTraceSequences(t *testing.T) {
+	type step struct {
+		ok  bool
+		err error
+	}
+	deadline := psi.ErrDeadline
+	cases := []struct {
+		name           string
+		states         map[int]step
+		cached         bool      // pre-populate the prediction cache
+		global         time.Time // global budget (zero: none)
+		wantOK         bool
+		wantErr        error
+		wantKinds      []obs.EventKind
+		wantFlips      int64
+		wantFallbacks  int64
+		wantCacheHits  int64
+		wantCacheMiss  int64
+		wantRecoveries int64
+	}{
+		{
+			name:   "state1-answers-valid",
+			states: map[int]step{1: {ok: true}},
+			wantOK: true,
+			wantKinds: []obs.EventKind{
+				obs.EvCacheMiss, obs.EvModePredicted, obs.EvPlanChosen, obs.EvModeActual,
+			},
+			wantCacheMiss: 1,
+		},
+		{
+			name:   "state1-answers-invalid",
+			states: map[int]step{1: {ok: false}},
+			wantOK: false,
+			wantKinds: []obs.EventKind{
+				obs.EvCacheMiss, obs.EvModePredicted, obs.EvPlanChosen, obs.EvModeActual,
+			},
+			wantCacheMiss: 1,
+		},
+		{
+			name:   "timeout-then-flip-recovers",
+			states: map[int]step{1: {err: deadline}, 2: {ok: true}},
+			wantOK: true,
+			wantKinds: []obs.EventKind{
+				obs.EvCacheMiss, obs.EvModePredicted, obs.EvPlanChosen,
+				obs.EvTimeout, obs.EvFlip, obs.EvModeActual,
+			},
+			wantFlips:      1,
+			wantCacheMiss:  1,
+			wantRecoveries: 1,
+		},
+		{
+			name:   "double-timeout-then-heuristic-fallback",
+			states: map[int]step{1: {err: deadline}, 2: {err: deadline}, 3: {ok: true}},
+			wantOK: true,
+			wantKinds: []obs.EventKind{
+				obs.EvCacheMiss, obs.EvModePredicted, obs.EvPlanChosen,
+				obs.EvTimeout, obs.EvFlip, obs.EvTimeout, obs.EvFallback, obs.EvModeActual,
+			},
+			wantFlips:      1,
+			wantFallbacks:  1,
+			wantCacheMiss:  1,
+			wantRecoveries: 2,
+		},
+		{
+			name:    "hard-error-aborts-ladder",
+			states:  map[int]step{1: {err: errBoom}},
+			wantErr: errBoom,
+			wantKinds: []obs.EventKind{
+				obs.EvCacheMiss, obs.EvModePredicted, obs.EvPlanChosen,
+			},
+			wantCacheMiss: 1,
+		},
+		{
+			name:    "expired-global-budget-stops-recovery",
+			states:  map[int]step{1: {err: deadline}},
+			global:  time.Now().Add(-time.Second),
+			wantErr: psi.ErrDeadline,
+			wantKinds: []obs.EventKind{
+				obs.EvCacheMiss, obs.EvModePredicted, obs.EvPlanChosen,
+			},
+			wantCacheMiss: 1,
+		},
+		{
+			name:   "cached-decision-skips-prediction",
+			states: map[int]step{1: {ok: true}},
+			cached: true,
+			wantOK: true,
+			wantKinds: []obs.EventKind{
+				obs.EvCacheHit, obs.EvModeActual,
+			},
+			wantCacheHits: 1,
+		},
+	}
+
+	prev := obs.Enabled()
+	obs.Enable(true)
+	defer obs.Enable(prev)
+	e, ev, compiled := ladderFixture(t)
+	const u = graph.NodeID(0)
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e.evalHook = func(state int, mode psi.Mode, planIdx int) (bool, error) {
+				s, known := tc.states[state]
+				if !known {
+					t.Fatalf("ladder reached unexpected state %d", state)
+				}
+				return s.ok, s.err
+			}
+			defer func() { e.evalHook = nil }()
+
+			var cache sync.Map
+			if tc.cached {
+				cache.Store(signature.Key(e.sigs.Row(u)), decision{mode: psi.Pessimistic, planIdx: 0})
+			}
+			tracer := obs.NewTracer(1)
+			tr := tracer.StartQuery(tc.name)
+			local := workerCounters{}
+			st := psi.NewState(2)
+			timing := newPlanTiming(len(compiled))
+			recBefore := obs.SmartRecoveries.Value()
+
+			got, err := e.evaluateOne(ev, st, compiled, u, nil, nil, timing, &cache, &local, tr, tc.global)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if err == nil && got != tc.wantOK {
+				t.Errorf("valid = %v, want %v", got, tc.wantOK)
+			}
+
+			kinds := tr.Kinds()
+			if len(kinds) != len(tc.wantKinds) {
+				t.Fatalf("event kinds = %v, want %v", kinds, tc.wantKinds)
+			}
+			for i := range kinds {
+				if kinds[i] != tc.wantKinds[i] {
+					t.Fatalf("event %d = %v, want %v (full: %v vs %v)", i, kinds[i], tc.wantKinds[i], kinds, tc.wantKinds)
+				}
+			}
+			if local.flips != tc.wantFlips || local.fallbacks != tc.wantFallbacks {
+				t.Errorf("flips/fallbacks = %d/%d, want %d/%d", local.flips, local.fallbacks, tc.wantFlips, tc.wantFallbacks)
+			}
+			if local.cacheHits != tc.wantCacheHits || local.cacheMisses != tc.wantCacheMiss {
+				t.Errorf("cache hits/misses = %d/%d, want %d/%d", local.cacheHits, local.cacheMisses, tc.wantCacheHits, tc.wantCacheMiss)
+			}
+			if d := obs.SmartRecoveries.Value() - recBefore; d != tc.wantRecoveries {
+				t.Errorf("smartpsi_recoveries_total delta = %d, want %d", d, tc.wantRecoveries)
+			}
+			// Every trace event must carry the candidate's node id.
+			for _, evn := range tr.Events() {
+				if evn.Node != int64(u) {
+					t.Errorf("event %v carries node %d, want %d", evn.Kind, evn.Node, u)
+				}
+			}
+		})
+	}
+}
+
+// TestObsScoreAlphaMispredictions checks the model-α accuracy counters
+// and the mode_mispredictions metric.
+func TestObsScoreAlphaMispredictions(t *testing.T) {
+	prev := obs.Enabled()
+	obs.Enable(true)
+	defer obs.Enable(prev)
+	e, _, _ := ladderFixture(t)
+
+	tracer := obs.NewTracer(1)
+	tr := tracer.StartQuery("alpha")
+	local := workerCounters{}
+	before := obs.SmartMispredicts.Value()
+
+	// Optimistic prediction means "valid"; actual invalid → mispredict.
+	e.scoreAlpha(&local, tr, 0, true, psi.Optimistic, false)
+	// Pessimistic prediction means "invalid"; actual invalid → correct.
+	e.scoreAlpha(&local, tr, 1, true, psi.Pessimistic, false)
+	// No prediction made → not scored.
+	e.scoreAlpha(&local, tr, 2, false, psi.Pessimistic, true)
+
+	if local.alphaTotal != 2 || local.alphaCorrect != 1 {
+		t.Errorf("alpha = %d/%d, want 1/2", local.alphaCorrect, local.alphaTotal)
+	}
+	if d := obs.SmartMispredicts.Value() - before; d != 1 {
+		t.Errorf("smartpsi_mode_mispredictions_total delta = %d, want 1", d)
+	}
+	if kinds := tr.Kinds(); len(kinds) != 3 {
+		t.Errorf("every scoreAlpha call must emit mode_actual; got %v", kinds)
+	}
+}
+
+// TestObsEndToEndMetricsFlow runs a real (small) SmartPSI query with
+// collection enabled and checks the work counters flow through
+// psi.PublishStats into the default registry, including the
+// Proposition 3.2 prune counter.
+func TestObsEndToEndMetricsFlow(t *testing.T) {
+	prev := obs.Enabled()
+	obs.Enable(true)
+	defer obs.Enable(prev)
+
+	e, _, _ := ladderFixture(t)
+	qb := graph.NewBuilder(2, 1)
+	qb.AddNode(0)
+	qb.AddNode(1)
+	if err := qb.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	q, err := graph.NewQuery(qb.MustBuild(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recBefore := obs.PSIRecursions.Value()
+	pruneBefore := obs.PSISigPrunes.Value()
+	queriesBefore := obs.SmartQueries.Value()
+
+	res, err := e.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) != 1 || res.Bindings[0] != 0 {
+		t.Fatalf("bindings = %v, want [0]", res.Bindings)
+	}
+	if res.Work.Recursions == 0 {
+		t.Error("Result.Work.Recursions = 0; per-query work not aggregated")
+	}
+	if res.Work.SigPrunes == 0 {
+		t.Error("Result.Work.SigPrunes = 0; node C should be signature-pruned")
+	}
+	if d := obs.PSIRecursions.Value() - recBefore; d != res.Work.Recursions {
+		t.Errorf("psi_recursions_total delta = %d, want %d", d, res.Work.Recursions)
+	}
+	if d := obs.PSISigPrunes.Value() - pruneBefore; d != res.Work.SigPrunes {
+		t.Errorf("psi_sig_prunes_total delta = %d, want %d", d, res.Work.SigPrunes)
+	}
+	if d := obs.SmartQueries.Value() - queriesBefore; d != 1 {
+		t.Errorf("smartpsi_queries_total delta = %d, want 1", d)
+	}
+
+	// The trace for the query must be retained by the default tracer.
+	recent := obs.DefaultTracer.Recent()
+	if len(recent) == 0 || !recent[0].Finished() {
+		t.Error("default tracer did not retain a finished query trace")
+	}
+}

@@ -34,6 +34,10 @@ go run ./cmd/psilint -root .
 step "go test -race ./..."
 go test -race ./...
 
+step "observability suite (-run TestObs -race, includes overhead guard)"
+go test -race -count=1 -run 'TestObs' ./internal/obs/ ./internal/psi/ ./internal/smartpsi/ \
+    ./cmd/psi-bench/ ./cmd/psi-workload/
+
 if [[ "$FUZZTIME" != "0" ]]; then
     step "fuzz smoke ($FUZZTIME per target)"
     go test ./internal/graph/ -run '^$' -fuzz 'FuzzEdgeListRoundTrip' -fuzztime "$FUZZTIME"
