@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The benchmark-regression gate diffs one run's obs counter snapshot
+// against a committed baseline (BENCH_seed.json). The check is
+// deliberately narrow so it stays green on honest runs:
+//
+//   - Only counters gate. Histograms aggregate latencies whose absolute
+//     values are machine-dependent, and elapsed wall time differs
+//     between the machine that produced the baseline and the one
+//     running CI; both are reported for context but never fail the run.
+//   - One-sided: only growth is a regression. Doing *less* work than
+//     the baseline (better pruning, better models) is an improvement.
+//   - Timing-volatile counters are skipped. Flips, fallbacks, timeouts,
+//     deadline/stop aborts and cache hit/miss splits all depend on
+//     wall-clock races (the MaxTime budget of Section 4.3), so their
+//     run-to-run variance far exceeds any useful tolerance.
+//   - Counters below minBaseCount are skipped: a 0→3 jump is noise,
+//     not a 15% regression.
+
+// volatileSubstrings marks counters whose values depend on wall-clock
+// races rather than algorithmic work; they are exempt from gating.
+var volatileSubstrings = []string{
+	"timeout", "flip", "fallback", "recover", "deadline", "stop", "cache",
+}
+
+// minBaseCount is the smallest baseline value a counter needs before
+// the relative tolerance is meaningful.
+const minBaseCount = 100
+
+func isVolatile(name string) bool {
+	for _, s := range volatileSubstrings {
+		if strings.Contains(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// loadBaseline reads and validates a baseline results document.
+func loadBaseline(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if r.Schema != reportSchema {
+		return nil, fmt.Errorf("baseline %s has schema %d, this binary writes schema %d; regenerate it with -json",
+			path, r.Schema, reportSchema)
+	}
+	return &r, nil
+}
+
+// compareReports writes a comparison table to w and returns the names
+// of the gated counters that grew past tol relative to the baseline.
+// A baseline produced by a different run configuration is an error:
+// counter magnitudes are only comparable for the same workload.
+func compareReports(w io.Writer, base, cur *report, tol float64) ([]string, error) {
+	if base.Experiment != cur.Experiment || base.Quick != cur.Quick ||
+		base.Scale != cur.Scale || base.Seed != cur.Seed {
+		return nil, fmt.Errorf(
+			"baseline config mismatch: baseline ran exp=%s quick=%v scale=%d seed=%d, this run exp=%s quick=%v scale=%d seed=%d",
+			base.Experiment, base.Quick, base.Scale, base.Seed,
+			cur.Experiment, cur.Quick, cur.Scale, cur.Seed)
+	}
+
+	names := make([]string, 0, len(base.Metrics.Counters))
+	for name := range base.Metrics.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "benchmark regression check (tolerance %+.0f%%, one-sided)\n", tol*100)
+	fmt.Fprintf(&buf, "%-40s  %14s  %14s  %8s  %s\n", "COUNTER", "BASELINE", "CURRENT", "DELTA", "STATUS")
+	var regressed []string
+	for _, name := range names {
+		b := base.Metrics.Counters[name]
+		c, ok := cur.Metrics.Counters[name]
+		status := "ok"
+		delta := "-"
+		if !ok {
+			status = "skip (absent in this run)"
+		} else {
+			if b != 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*float64(c-b)/float64(b))
+			} else if c != 0 {
+				delta = "+inf"
+			}
+			switch {
+			case isVolatile(name):
+				status = "skip (volatile)"
+			case b < minBaseCount:
+				status = "skip (baseline too small)"
+			case float64(c) > float64(b)*(1+tol):
+				status = "REGRESSED"
+				regressed = append(regressed, name)
+			}
+		}
+		fmt.Fprintf(&buf, "%-40s  %14d  %14d  %8s  %s\n", name, b, c, delta, status)
+	}
+	// New counters this binary emits that the baseline predates: listed
+	// for visibility, never gated (there is nothing to compare against).
+	var added []string
+	for name := range cur.Metrics.Counters {
+		if _, ok := base.Metrics.Counters[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(&buf, "%-40s  %14s  %14d  %8s  %s\n", name, "-", cur.Metrics.Counters[name], "-", "new (not in baseline)")
+	}
+	fmt.Fprintf(&buf, "%-40s  %13.1fs  %13.1fs  %8s  %s\n", "elapsed_seconds",
+		base.ElapsedSeconds, cur.ElapsedSeconds, "-", "informational (machine-dependent)")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return nil, err
+	}
+	return regressed, nil
+}

@@ -14,10 +14,17 @@
 // limit).
 //
 // -json FILE additionally writes a machine-readable results document:
-// the run configuration plus a "metrics" key holding the final obs
-// registry snapshot (recursion/prune/cache/recovery counters and latency
-// histograms). It implies metric collection. -debug-addr serves the same
-// data live over HTTP while the benchmark runs.
+// the schema version, the run configuration, and a "metrics" key holding
+// the final obs registry snapshot (recursion/prune/cache/recovery
+// counters and latency histograms). It implies metric collection.
+// -debug-addr serves the same data live over HTTP while the benchmark
+// runs.
+//
+// -baseline FILE -compare [-tolerance F] turns the run into a
+// regression gate: after the suite finishes, the work counters are
+// diffed against the committed baseline document (see BENCH_seed.json
+// and the bench-regression CI job) and the process exits non-zero when
+// any gated counter grew past the tolerance.
 package main
 
 import (
@@ -31,8 +38,14 @@ import (
 	"repro/internal/obs"
 )
 
+// reportSchema versions the -json results document. -compare refuses
+// baselines with a different schema so stale documents cannot silently
+// gate against reinterpreted metrics.
+const reportSchema = 1
+
 // report is the schema of the -json results document.
 type report struct {
+	Schema         int          `json:"schema"`
 	Experiment     string       `json:"experiment"`
 	Quick          bool         `json:"quick"`
 	Scale          int          `json:"scale"`
@@ -50,6 +63,9 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonOut := flag.String("json", "", "write results JSON (config + obs metrics snapshot) to this file")
 	debugAddr := flag.String("debug-addr", "", "serve obs debug HTTP (metrics, traces, pprof) on this address")
+	baselinePath := flag.String("baseline", "", "baseline results JSON to compare against (with -compare)")
+	compare := flag.Bool("compare", false, "diff this run's counters against -baseline; exit non-zero on regression")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed relative counter growth before -compare fails")
 	flag.Parse()
 	bench.SetCSVMode(*csvOut)
 
@@ -71,9 +87,13 @@ func main() {
 				fmt.Fprintln(os.Stderr, "psi-bench: debug server:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics /tracez /debug/pprof)\n", addr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics /tracez /profilez /debug/pprof)\n", addr)
 	}
-	if *jsonOut != "" {
+	if *compare && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "psi-bench: -compare requires -baseline FILE")
+		os.Exit(2)
+	}
+	if *jsonOut != "" || *compare {
 		obs.Enable(true) // the snapshot is useless without collection
 	}
 
@@ -97,17 +117,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "psi-bench:", err)
 		os.Exit(1)
 	}
+	rep := buildReport(*exp, *quick, *scale, *seed, time.Since(start))
 	if *jsonOut != "" {
-		if err := writeReport(*jsonOut, *exp, *quick, *scale, *seed, time.Since(start)); err != nil {
+		if err := writeReport(*jsonOut, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "psi-bench:", err)
 			os.Exit(1)
 		}
 	}
+	if *compare {
+		base, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psi-bench:", err)
+			os.Exit(2)
+		}
+		regressed, err := compareReports(os.Stdout, base, &rep, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psi-bench:", err)
+			os.Exit(2)
+		}
+		if len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "psi-bench: %d counter(s) regressed past %.0f%% of baseline %s: %v\n",
+				len(regressed), *tolerance*100, *baselinePath, regressed)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "psi-bench: no regressions against %s (tolerance %.0f%%)\n", *baselinePath, *tolerance*100)
+	}
 }
 
-// writeReport emits the results JSON with the final metrics snapshot.
-func writeReport(path, exp string, quick bool, scale int, seed int64, elapsed time.Duration) error {
-	r := report{
+// buildReport captures the run configuration and the final metrics
+// snapshot.
+func buildReport(exp string, quick bool, scale int, seed int64, elapsed time.Duration) report {
+	return report{
+		Schema:         reportSchema,
 		Experiment:     exp,
 		Quick:          quick,
 		Scale:          scale,
@@ -115,6 +156,10 @@ func writeReport(path, exp string, quick bool, scale int, seed int64, elapsed ti
 		ElapsedSeconds: elapsed.Seconds(),
 		Metrics:        obs.Default.Snapshot(),
 	}
+}
+
+// writeReport emits the results JSON document.
+func writeReport(path string, r report) error {
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err

@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	psi-query -graph data.lg -query query.lg [-threads N] [-seed S] [-stats]
+//	psi-query -graph data.lg -query query.lg [-threads N] [-seed S] [-stats] [-explain]
 //
 // Both files use the LG text format ("v <id> <label>", "e <src> <dst>
 // [<label>]"); the query file may add a "p <id>" line to set the pivot
 // (default node 0). The distinct pivot bindings are printed one per
-// line; -stats adds training/caching/preemption telemetry.
+// line; -stats adds training/caching/preemption telemetry; -explain
+// prints the query's execution profile (EXPLAIN ANALYZE tree: method
+// decision, recovery-ladder timeline, per-depth candidate funnel) to
+// stderr.
 package main
 
 import (
@@ -26,6 +29,7 @@ func main() {
 	threads := flag.Int("threads", 1, "candidate evaluation workers")
 	seed := flag.Int64("seed", 1, "sampling seed")
 	stats := flag.Bool("stats", false, "print evaluation telemetry")
+	explain := flag.Bool("explain", false, "print the execution profile (EXPLAIN ANALYZE tree) to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve obs debug HTTP (metrics, traces, pprof) on this address")
 	flag.Parse()
 
@@ -44,15 +48,18 @@ func main() {
 				fmt.Fprintln(os.Stderr, "psi-query: debug server:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics /tracez /debug/pprof)\n", addr)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics /tracez /profilez /debug/pprof)\n", addr)
 	}
-	if err := run(*graphPath, *queryPath, *threads, *seed, *stats); err != nil {
+	if err := run(*graphPath, *queryPath, *threads, *seed, *stats, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "psi-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, queryPath string, threads int, seed int64, stats bool) error {
+func run(graphPath, queryPath string, threads int, seed int64, stats, explain bool) error {
+	if explain {
+		obs.Enable(true) // profiles only exist with collection on
+	}
 	g, err := repro.LoadGraph(graphPath)
 	if err != nil {
 		return fmt.Errorf("loading graph: %w", err)
@@ -88,6 +95,11 @@ func run(graphPath, queryPath string, threads int, seed int64, stats bool) error
 			res.CacheHits, res.CacheMisses, res.Flips, res.Fallbacks, 100*res.Alpha.Accuracy())
 		fmt.Fprintf(os.Stderr, "recursions=%d sigPrunes=%d capHits=%d deadlineAborts=%d\n",
 			res.Work.Recursions, res.Work.SigPrunes, res.Work.CapHits, res.Work.Deadlines)
+	}
+	if explain {
+		if err := res.Profile.Snapshot().WriteText(os.Stderr); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 const testGraph = `t # 0
@@ -45,14 +49,14 @@ func TestRun(t *testing.T) {
 	if err := os.WriteFile(qp, []byte(testQuery), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(gp, qp, 1, 1, true); err != nil {
+	if err := run(gp, qp, 1, 1, true, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	// Missing files error cleanly.
-	if err := run(filepath.Join(dir, "missing.lg"), qp, 1, 1, false); err == nil {
+	if err := run(filepath.Join(dir, "missing.lg"), qp, 1, 1, false, false); err == nil {
 		t.Error("missing graph accepted")
 	}
-	if err := run(gp, filepath.Join(dir, "missing.lg"), 1, 1, false); err == nil {
+	if err := run(gp, filepath.Join(dir, "missing.lg"), 1, 1, false, false); err == nil {
 		t.Error("missing query accepted")
 	}
 	// Malformed query errors cleanly.
@@ -60,7 +64,50 @@ func TestRun(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("v x y\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(gp, bad, 1, 1, false); err == nil {
+	if err := run(gp, bad, 1, 1, false, false); err == nil {
 		t.Error("malformed query accepted")
+	}
+}
+
+// TestObsRunExplain pins the -explain path: the profile tree goes to
+// stderr and carries a monotone candidate funnel for the query.
+func TestObsRunExplain(t *testing.T) {
+	prev := obs.Enabled()
+	defer obs.Enable(prev)
+
+	dir := t.TempDir()
+	gp := filepath.Join(dir, "g.lg")
+	qp := filepath.Join(dir, "q.lg")
+	if err := os.WriteFile(gp, []byte(testGraph), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(qp, []byte(testQuery), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// run writes the tree to os.Stderr; capture it through a pipe.
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStderr := os.Stderr
+	os.Stderr = w
+	runErr := run(gp, qp, 1, 1, false, true)
+	os.Stderr = oldStderr
+	if cerr := w.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run(-explain): %v", runErr)
+	}
+	out := string(data)
+	for _, want := range []string{"decision", "candidate funnel", "generated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
 	}
 }

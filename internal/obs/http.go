@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -11,14 +12,18 @@ import (
 	"time"
 )
 
-// Handler returns the debug mux over a registry and tracer:
+// Handler returns the debug mux over a registry, tracer and profile
+// flight recorder:
 //
-//	/metrics        Prometheus text exposition
-//	/metrics.json   JSON snapshot (the psi-bench "metrics" key)
-//	/tracez         recent-query table
-//	/tracez?id=N    one trace, Chrome trace-event JSON (about:tracing)
-//	/debug/pprof/   the standard net/http/pprof handlers
-func Handler(reg *Registry, tracer *Tracer) http.Handler {
+//	/metrics            Prometheus text exposition
+//	/metrics.json       JSON snapshot (the psi-bench "metrics" key)
+//	/tracez             recent-query table
+//	/tracez?id=N        one trace, Chrome trace-event JSON (about:tracing)
+//	/profilez           flight recorder: K slowest + K most recent profiles
+//	/profilez?id=N      one profile as an EXPLAIN ANALYZE text tree
+//	/profilez?format=json  the same data as JSON (combinable with id=N)
+//	/debug/pprof/       the standard net/http/pprof handlers
+func Handler(reg *Registry, tracer *Tracer, recorder *Recorder) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -68,12 +73,94 @@ func Handler(reg *Registry, tracer *Tracer) http.Handler {
 			return
 		}
 	})
+	mux.HandleFunc("/profilez", func(w http.ResponseWriter, req *http.Request) {
+		asJSON := req.URL.Query().Get("format") == "json"
+		if idStr := req.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 10, 64)
+			if err != nil {
+				http.Error(w, "bad id", http.StatusBadRequest)
+				return
+			}
+			p := recorder.Lookup(id)
+			if p == nil {
+				http.Error(w, "profile not retained", http.StatusNotFound)
+				return
+			}
+			d := p.Snapshot()
+			if asJSON {
+				w.Header().Set("Content-Type", "application/json")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(d); err != nil {
+					return
+				}
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := d.WriteText(w); err != nil {
+				return
+			}
+			return
+		}
+		slowest, recent := recorder.Slowest(), recorder.Recent()
+		if asJSON {
+			out := struct {
+				Slowest []ProfileData `json:"slowest"`
+				Recent  []ProfileData `json:"recent"`
+			}{}
+			for _, p := range slowest {
+				out.Slowest = append(out.Slowest, p.Snapshot())
+			}
+			for _, p := range recent {
+				out.Recent = append(out.Recent, p.Snapshot())
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out); err != nil {
+				return
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "query-profile flight recorder; fetch one with /profilez?id=N (add &format=json for JSON)\n")
+		writeProfileTable(&buf, "slowest finished profiles", slowest)
+		writeProfileTable(&buf, "most recent profiles (newest first)", recent)
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return
+		}
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// writeProfileTable renders one flight-recorder section as an aligned
+// text table.
+func writeProfileTable(buf *bytes.Buffer, title string, profiles []*Profile) {
+	fmt.Fprintf(buf, "\n%s\n", title)
+	fmt.Fprintf(buf, "%6s  %-24s  %-12s  %-22s  %10s  %8s  %s\n",
+		"ID", "NAME", "DURATION", "METHOD", "CANDIDATES", "BINDINGS", "LADDER (entered r1/r2/r3)")
+	for _, p := range profiles {
+		d := p.Snapshot()
+		state := "live"
+		if d.Finished {
+			state = d.Duration().Round(time.Microsecond).String()
+		}
+		var ladder [NumLadderRungs]int64
+		for i, r := range d.Ladder {
+			if i < NumLadderRungs {
+				ladder[i] = r.Entered
+			}
+		}
+		fmt.Fprintf(buf, "%6d  %-24s  %-12s  %-22s  %10d  %8d  %d/%d/%d\n",
+			d.ID, d.Name, state, orDash(d.Method), d.Candidates, d.Bindings,
+			ladder[0], ladder[1], ladder[2])
+	}
 }
 
 // summarize renders an event-kind frequency digest like
@@ -109,7 +196,7 @@ func StartDebugServer(addr string) (boundAddr string, closeFn func() error, err 
 		return "", nil, fmt.Errorf("obs: debug server: %w", err)
 	}
 	Enable(true)
-	srv := &http.Server{Handler: Handler(Default, DefaultTracer)}
+	srv := &http.Server{Handler: Handler(Default, DefaultTracer, DefaultRecorder)}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 	closeFn = func() error {

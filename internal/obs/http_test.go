@@ -24,7 +24,12 @@ func TestObsHTTPEndpoints(t *testing.T) {
 		q := tracer.StartQuery("httpq")
 		q.Event(EvFallback, 2, 0)
 		q.Finish()
-		h := Handler(reg, tracer)
+		rec := NewRecorder(4)
+		p := rec.Start("httpp")
+		p.SetMethod("ml")
+		p.MergeFunnel(&Funnel{Depths: []FunnelDepth{{Generated: 9, DegOK: 7, SigOK: 5, Recursed: 5, Matched: 2}}})
+		p.Finish()
+		h := Handler(reg, tracer, rec)
 
 		code, body := get(t, h, "/metrics")
 		if code != 200 || !strings.Contains(body, "psi_demo_total 11") {
@@ -50,6 +55,29 @@ func TestObsHTTPEndpoints(t *testing.T) {
 		}
 		if code, _ := get(t, h, "/tracez?id=bogus"); code != http.StatusBadRequest {
 			t.Errorf("/tracez?id=bogus = %d, want 400", code)
+		}
+
+		code, body = get(t, h, "/profilez")
+		if code != 200 || !strings.Contains(body, "httpp") || !strings.Contains(body, "slowest finished profiles") {
+			t.Errorf("/profilez = %d\n%s", code, body)
+		}
+		code, body = get(t, h, "/profilez?id=1")
+		if code != 200 || !strings.Contains(body, "candidate funnel") {
+			t.Errorf("/profilez?id=1 = %d\n%s", code, body)
+		}
+		code, body = get(t, h, "/profilez?id=1&format=json")
+		if code != 200 || !strings.Contains(body, `"generated": 9`) {
+			t.Errorf("/profilez?id=1&format=json = %d\n%s", code, body)
+		}
+		code, body = get(t, h, "/profilez?format=json")
+		if code != 200 || !strings.Contains(body, `"slowest"`) || !strings.Contains(body, `"recent"`) {
+			t.Errorf("/profilez?format=json = %d\n%s", code, body)
+		}
+		if code, _ := get(t, h, "/profilez?id=999"); code != http.StatusNotFound {
+			t.Errorf("/profilez?id=999 = %d, want 404", code)
+		}
+		if code, _ := get(t, h, "/profilez?id=bogus"); code != http.StatusBadRequest {
+			t.Errorf("/profilez?id=bogus = %d, want 400", code)
 		}
 
 		if code, _ := get(t, h, "/debug/pprof/cmdline"); code != 200 {

@@ -7,9 +7,17 @@ var Default = NewRegistry()
 // DefaultTracer retains the most recent query traces for /tracez.
 var DefaultTracer = NewTracer(64)
 
+// DefaultRecorder is the process-wide query-profile flight recorder
+// (16 slowest + 16 most recent), served at /profilez.
+var DefaultRecorder = NewRecorder(16)
+
 // StartQuery begins a trace on the default tracer (nil when collection
 // is disabled).
 func StartQuery(name string) *QueryTrace { return DefaultTracer.StartQuery(name) }
+
+// StartProfile begins an execution profile on the default flight
+// recorder (nil when collection is disabled).
+func StartProfile(name string) *Profile { return DefaultRecorder.Start(name) }
 
 // Standard metrics. Each maps to a paper concept (see DESIGN.md §8):
 // prunes are Proposition 3.2 signature satisfaction failures, cap hits
@@ -22,9 +30,11 @@ var (
 	PSIRecursions   = Default.Counter("psi_recursions_total", "backtracking steps entered by the PSI evaluators")
 	PSICandidates   = Default.Counter("psi_candidates_total", "candidate bindings examined")
 	PSISigPrunes    = Default.Counter("psi_sig_prunes_total", "candidates pruned by Proposition 3.2 signature satisfaction")
+	PSIDegPrunes    = Default.Counter("psi_deg_prunes_total", "candidates pruned by the degree lower bound (pessimistic, Section 3.4)")
 	PSISorts        = Default.Counter("psi_sorts_total", "optimistic candidate sorts performed")
 	PSIScoreCalcs   = Default.Counter("psi_score_calcs_total", "satisfiability scores computed")
 	PSICapHits      = Default.Counter("psi_cap_hits_total", "super-optimistic candidate-cap truncations (cap 10, Section 3.3)")
+	PSIMatches      = Default.Counter("psi_matches_total", "full query embeddings found (successful pivot evaluations)")
 	PSIDeadlineHits = Default.Counter("psi_deadline_aborts_total", "evaluations aborted by a deadline")
 	PSIStopHits     = Default.Counter("psi_stop_aborts_total", "evaluations aborted by a stop flag (two-threaded racing)")
 
@@ -52,6 +62,14 @@ var (
 	SmartTrainSeconds  = Default.Histogram("smartpsi_train_seconds", "per-query model training time (Table 4 overhead)", LatencyBuckets)
 	SmartPlanSeconds   = Default.Histogram("smartpsi_plan_eval_seconds", "single candidate evaluation time per (method, plan)", LatencyBuckets)
 	SmartRecursionDist = Default.Histogram("smartpsi_query_recursions", "per-query recursion totals", CountBuckets)
+
+	// --- package smartpsi: per-query candidate-funnel totals (profile flush) ---
+
+	SmartFunnelGenerated = Default.Histogram("smartpsi_funnel_generated", "per-query funnel: candidates generated across all plan depths", CountBuckets)
+	SmartFunnelDegOK     = Default.Histogram("smartpsi_funnel_deg_ok", "per-query funnel: candidates surviving the degree lower bound", CountBuckets)
+	SmartFunnelSigOK     = Default.Histogram("smartpsi_funnel_sig_ok", "per-query funnel: candidates surviving Proposition 3.2 signature satisfaction", CountBuckets)
+	SmartFunnelRecursed  = Default.Histogram("smartpsi_funnel_recursed", "per-query funnel: candidates recursed into", CountBuckets)
+	SmartFunnelMatched   = Default.Histogram("smartpsi_funnel_matched", "per-query funnel: candidates whose subtree produced a full mapping", CountBuckets)
 
 	// --- package fsm: frequent-subgraph-mining support counting ---
 

@@ -14,9 +14,11 @@ var statsPublishers = []struct {
 	{func(s Stats) int64 { return s.Recursions }, obs.PSIRecursions},
 	{func(s Stats) int64 { return s.Candidates }, obs.PSICandidates},
 	{func(s Stats) int64 { return s.SigPrunes }, obs.PSISigPrunes},
+	{func(s Stats) int64 { return s.DegPrunes }, obs.PSIDegPrunes},
 	{func(s Stats) int64 { return s.Sorts }, obs.PSISorts},
 	{func(s Stats) int64 { return s.ScoreCalcs }, obs.PSIScoreCalcs},
 	{func(s Stats) int64 { return s.CapHits }, obs.PSICapHits},
+	{func(s Stats) int64 { return s.Matches }, obs.PSIMatches},
 	{func(s Stats) int64 { return s.Deadlines }, obs.PSIDeadlineHits},
 	{func(s Stats) int64 { return s.Stops }, obs.PSIStopHits},
 }
@@ -34,6 +36,22 @@ func PublishStats(s Stats) {
 	for _, p := range statsPublishers {
 		if v := p.get(s); v != 0 {
 			p.counter.Add(v)
+		}
+	}
+}
+
+// RecordWork copies an aggregated Stats into a query profile's work
+// map, keyed by the same registry metric names PublishStats uses. It
+// goes through statsPublishers, so the reflection guard that keeps
+// PublishStats complete keeps the profiler complete too. Nil-safe
+// (profiles are nil when collection is off).
+func RecordWork(p *obs.Profile, s Stats) {
+	if p == nil {
+		return
+	}
+	for _, pub := range statsPublishers {
+		if v := pub.get(s); v != 0 {
+			p.SetWork(pub.counter.Name(), v)
 		}
 	}
 }

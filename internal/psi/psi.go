@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/invariant"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/signature"
 )
@@ -83,9 +84,11 @@ type Stats struct {
 	Recursions int64 // backtracking steps entered
 	Candidates int64 // candidate bindings examined
 	SigPrunes  int64 // candidates pruned by signature satisfaction
+	DegPrunes  int64 // candidates pruned by the degree lower bound (pessimistic)
 	Sorts      int64 // candidate sorts performed (optimistic)
 	ScoreCalcs int64 // satisfiability scores computed
 	CapHits    int64 // super-optimistic candidate-cap truncations
+	Matches    int64 // full query embeddings found (successful evaluations)
 	Deadlines  int64 // evaluations aborted by the deadline
 	Stops      int64 // evaluations aborted by the stop flag
 }
@@ -99,9 +102,11 @@ func (s *Stats) Add(other Stats) {
 	s.Recursions += other.Recursions
 	s.Candidates += other.Candidates
 	s.SigPrunes += other.SigPrunes
+	s.DegPrunes += other.DegPrunes
 	s.Sorts += other.Sorts
 	s.ScoreCalcs += other.ScoreCalcs
 	s.CapHits += other.CapHits
+	s.Matches += other.Matches
 	s.Deadlines += other.Deadlines
 	s.Stops += other.Stops
 }
@@ -109,8 +114,8 @@ func (s *Stats) Add(other Stats) {
 // Total returns the sum of every counter — a coarse "events that would
 // flow into obs" figure used by the overhead guard.
 func (s Stats) Total() int64 {
-	return s.Recursions + s.Candidates + s.SigPrunes + s.Sorts +
-		s.ScoreCalcs + s.CapHits + s.Deadlines + s.Stops
+	return s.Recursions + s.Candidates + s.SigPrunes + s.DegPrunes + s.Sorts +
+		s.ScoreCalcs + s.CapHits + s.Matches + s.Deadlines + s.Stops
 }
 
 // Evaluator answers pivot-binding questions for one (data graph, query)
@@ -225,6 +230,12 @@ type State struct {
 	steps  int64 // work counter for amortized deadline checks
 	// noSigPrune disables Proposition 3.2 pruning (ablation only).
 	noSigPrune bool
+	// fun, when non-nil, receives per-depth candidate-funnel events
+	// (generated → deg-ok → sig-ok → recursed → matched) for the query
+	// profiler. The hot loops pay one plain nil check per depth, no
+	// locks or atomics: smartpsi attaches one Funnel per worker State
+	// and merges it into the owning obs.Profile at batch boundaries.
+	fun *obs.Funnel
 }
 
 type scored struct {
@@ -246,6 +257,14 @@ func (s *State) Stats() Stats { return s.stats }
 
 // ResetStats zeroes the work counters.
 func (s *State) ResetStats() { s.stats = Stats{} }
+
+// SetFunnel attaches (or, with nil, detaches) a candidate funnel that
+// subsequent evaluations fill per plan depth.
+func (s *State) SetFunnel(f *obs.Funnel) { s.fun = f }
+
+// Funnel returns the attached candidate funnel (nil when profiling is
+// off).
+func (s *State) Funnel() *obs.Funnel { return s.fun }
 
 const deadlineCheckMask = 255 // check the clock every 256 work units
 
@@ -321,17 +340,42 @@ func (e *Evaluator) run(st *State, c *plan.Compiled, u graph.NodeID, mode Mode, 
 		return false, nil
 	}
 	st.stats.Candidates++
+	var fd *obs.FunnelDepth
+	if st.fun != nil {
+		// Grow the funnel to the full plan depth up front so the row
+		// pointers taken here and in extend stay valid for the whole
+		// recursion (At never reallocates afterwards).
+		st.fun.At(len(c.Steps) - 1)
+		fd = st.fun.At(0)
+		fd.Generated++
+	}
 	if mode == Pessimistic {
 		if e.g.Degree(u) < step0.Degree {
+			st.stats.DegPrunes++
 			return false, nil
 		}
 		if !st.noSigPrune && !e.satisfies(e.dataSigs.Row(u), step0.QueryNode) {
 			st.stats.SigPrunes++
+			if fd != nil {
+				fd.DegOK++
+			}
 			return false, nil
 		}
 	}
+	if fd != nil {
+		fd.DegOK++
+		fd.SigOK++
+		fd.Recursed++
+	}
 	st.bound = append(st.bound, u)
-	return e.extend(st, c, 1, mode, super)
+	found, err := e.extend(st, c, 1, mode, super)
+	if found && err == nil {
+		st.stats.Matches++
+		if fd != nil {
+			fd.Matched++
+		}
+	}
+	return found, err
 }
 
 // extend recursively binds the query node at plan position depth.
@@ -360,6 +404,10 @@ func (e *Evaluator) extend(st *State, c *plan.Compiled, depth int, mode Mode, su
 	nbrs := e.g.Neighbors(anchor)
 	cands := st.cands[depth][:0]
 	qn := step.QueryNode
+	var fd *obs.FunnelDepth
+	if st.fun != nil {
+		fd = st.fun.At(depth) // pre-grown in run; no reallocation here
+	}
 	for i := lo; i < hi; i++ {
 		cand := nbrs[i]
 		if super && len(cands) >= SuperOptimisticCap {
@@ -367,6 +415,9 @@ func (e *Evaluator) extend(st *State, c *plan.Compiled, depth int, mode Mode, su
 			break // GetLimitedCandidates (Algorithm 1, line 4)
 		}
 		st.stats.Candidates++
+		if fd != nil {
+			fd.Generated++
+		}
 		if step.AnchorEdgeLabel != graph.NoLabel && e.g.EdgeLabelAt(anchor, i) != step.AnchorEdgeLabel {
 			continue
 		}
@@ -380,7 +431,11 @@ func (e *Evaluator) extend(st *State, c *plan.Compiled, depth int, mode Mode, su
 		case Pessimistic:
 			// Aggressive pruning: degree then signature (line 7).
 			if e.g.Degree(cand) < step.Degree {
+				st.stats.DegPrunes++
 				continue
+			}
+			if fd != nil {
+				fd.DegOK++
 			}
 			if !st.noSigPrune && !e.satisfies(e.dataSigs.Row(cand), qn) {
 				st.stats.SigPrunes++
@@ -389,7 +444,13 @@ func (e *Evaluator) extend(st *State, c *plan.Compiled, depth int, mode Mode, su
 			cands = append(cands, scored{node: cand})
 		case Optimistic:
 			st.stats.ScoreCalcs++
+			if fd != nil {
+				fd.DegOK++
+			}
 			cands = append(cands, scored{node: cand, score: e.score(e.dataSigs.Row(cand), qn)})
+		}
+		if fd != nil {
+			fd.SigOK++
 		}
 	}
 	if mode == Optimistic && len(cands) > 1 {
@@ -404,6 +465,9 @@ func (e *Evaluator) extend(st *State, c *plan.Compiled, depth int, mode Mode, su
 	st.cands[depth] = cands // keep grown capacity
 
 	for _, cand := range cands {
+		if fd != nil {
+			fd.Recursed++
+		}
 		st.bound = append(st.bound, cand.node)
 		ok, err := e.extend(st, c, depth+1, mode, super)
 		st.bound = st.bound[:len(st.bound)-1]
@@ -411,6 +475,9 @@ func (e *Evaluator) extend(st *State, c *plan.Compiled, depth int, mode Mode, su
 			return false, err
 		}
 		if ok {
+			if fd != nil {
+				fd.Matched++
+			}
 			return true, nil // stop at the first full mapping
 		}
 	}

@@ -54,6 +54,11 @@ type Result struct {
 	// cap hits, deadline aborts, ...) across training and all candidate
 	// workers, merged with the canonical psi.Stats.Add.
 	Work psi.Stats
+	// Profile is the query's execution profile — the EXPLAIN ANALYZE
+	// document rendered by `psi-query -explain` and retained by the
+	// /profilez flight recorder. Nil when obs collection is disabled;
+	// obs.ProfileData methods are nil-safe so callers need not check.
+	Profile *obs.Profile
 }
 
 // AccuracyReport is a correct/total counter pair.
@@ -82,23 +87,53 @@ func (e *Engine) Evaluate(q graph.Query) (*Result, error) {
 // When the deadline passes mid-query the evaluation aborts with
 // psi.ErrDeadline; partial results are discarded, matching how the
 // paper's 24-hour task limit censors runs.
-func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, error) {
+func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (_ *Result, retErr error) {
 	start := time.Now()
 	enabled := obs.Enabled()
 	var tr *obs.QueryTrace
+	var prof *obs.Profile
 	if enabled {
 		obs.SmartQueries.Inc()
-		tr = obs.StartQuery(fmt.Sprintf("smartpsi/q%d.p%d", q.Size(), int(q.Pivot)))
+		name := fmt.Sprintf("smartpsi/q%d.p%d", q.Size(), int(q.Pivot))
+		tr = obs.StartQuery(name)
+		prof = obs.StartProfile(name)
 	}
 	defer tr.Finish()
+	// Seal the profile on every exit: error paths record the error so
+	// the flight recorder retains aborted (deadline/stop) queries too.
+	defer func() {
+		if retErr != nil {
+			prof.SetError(retErr.Error())
+		}
+		prof.Finish()
+	}()
 	// finishQuery flushes the per-query aggregates into the obs
-	// registry on the success paths.
-	finishQuery := func(res *Result) {
+	// registry and seals the profile on the success paths. With deep
+	// checking on it also validates the profiler's candidate funnel
+	// (per-depth monotone non-increasing stages).
+	finishQuery := func(res *Result) error {
+		prof.SetOutcome(len(res.Bindings))
+		psi.RecordWork(prof, res.Work)
 		if enabled {
 			obs.SmartQuerySeconds.Observe(time.Since(start).Seconds())
 			obs.SmartRecursionDist.Observe(float64(res.Work.Recursions))
 			psi.PublishStats(res.Work)
+			if prof != nil {
+				tot := prof.FunnelTotals()
+				obs.SmartFunnelGenerated.Observe(float64(tot.Generated))
+				obs.SmartFunnelDegOK.Observe(float64(tot.DegOK))
+				obs.SmartFunnelSigOK.Observe(float64(tot.SigOK))
+				obs.SmartFunnelRecursed.Observe(float64(tot.Recursed))
+				obs.SmartFunnelMatched.Observe(float64(tot.Matched))
+			}
 		}
+		if invariant.Enabled() && prof != nil {
+			if err := invariant.CheckFunnel(prof.FunnelSnapshot()); err != nil {
+				return err
+			}
+		}
+		prof.Finish()
+		return nil
 	}
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("smartpsi: %w", err)
@@ -115,12 +150,15 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 		return nil, fmt.Errorf("smartpsi: %w", err)
 	}
 
-	res := &Result{}
+	res := &Result{Profile: prof}
 	candidates := e.g.NodesWithLabel(q.G.Label(q.Pivot))
 	res.Candidates = len(candidates)
+	prof.SetCandidates(len(candidates))
 	if len(candidates) == 0 {
 		res.TotalTime = time.Since(start)
-		finishQuery(res)
+		if err := finishQuery(res); err != nil {
+			return nil, err
+		}
 		return res, nil
 	}
 
@@ -137,8 +175,12 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 	if len(candidates) < e.opts.MinTrainNodes {
 		// Too few candidates to train on: evaluate everything
 		// pessimistically with the heuristic plan (compiled[0]).
+		prof.SetMethod("pessimistic-heuristic")
 		evalStart := time.Now()
 		st := psi.NewState(q.Size())
+		if prof != nil {
+			st.SetFunnel(&obs.Funnel{})
+		}
 		for _, u := range candidates {
 			ok, err := ev.Evaluate(st, compiled[0], u, psi.Pessimistic, psi.Limits{Deadline: deadline})
 			if err != nil {
@@ -148,14 +190,18 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 		}
 		res.EvalTime = time.Since(evalStart)
 		res.Work = st.Stats()
+		prof.MergeFunnel(st.Funnel())
 		if err := e.collect(res, q, valid); err != nil {
 			return nil, err
 		}
 		res.TotalTime = time.Since(start)
-		finishQuery(res)
+		if err := finishQuery(res); err != nil {
+			return nil, err
+		}
 		return res, nil
 	}
 	res.UsedML = true
+	prof.SetMethod("ml")
 	if enabled {
 		obs.SmartQueriesML.Inc()
 	}
@@ -182,6 +228,9 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 	alphaDS := ml.Dataset{NumClasses: 2}
 	betaDS := ml.Dataset{NumClasses: len(plans)}
 	st := psi.NewState(q.Size())
+	if prof != nil {
+		st.SetFunnel(&obs.Funnel{})
+	}
 	for i, u := range trainNodes {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return nil, psi.ErrDeadline
@@ -233,6 +282,8 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 	}
 	res.TrainTime = time.Since(trainStart)
 	res.Work.Add(st.Stats())
+	prof.MergeFunnel(st.Funnel())
+	prof.SetTraining(trainCount, len(plans), res.TrainTime)
 	if enabled {
 		obs.SmartTrainedNodes.Add(int64(trainCount))
 		obs.SmartTrainSeconds.Observe(res.TrainTime.Seconds())
@@ -269,11 +320,15 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 		go func(w int, nodes []graph.NodeID) {
 			defer wg.Done()
 			wst := psi.NewState(q.Size())
+			if prof != nil {
+				wst.SetFunnel(&obs.Funnel{})
+			}
 			local := workerCounters{}
 			// Merge the worker's counters even on the error paths, so
 			// censored runs still account their work.
 			defer func() {
 				local.work = wst.Stats()
+				prof.MergeFunnel(wst.Funnel())
 				mu.Lock()
 				local.mergeInto(res, &modelNanos)
 				mu.Unlock()
@@ -283,7 +338,7 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 					errs[w] = psi.ErrDeadline
 					return
 				}
-				ok, err := e.evaluateOne(ev, wst, compiled, u, alphaModel, betaModel, timing, &cache, &local, tr, deadline)
+				ok, err := e.evaluateOne(ev, wst, compiled, u, alphaModel, betaModel, timing, &cache, &local, tr, prof, deadline)
 				if err != nil {
 					errs[w] = err
 					return
@@ -306,7 +361,9 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 		return nil, err
 	}
 	res.TotalTime = time.Since(start)
-	finishQuery(res)
+	if err := finishQuery(res); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -455,10 +512,10 @@ type decision struct {
 
 // evaluateOne runs the prediction + preemptive pipeline for one
 // candidate node, emitting the recovery-ladder trace grammar
-// documented on obs.EventKind.
+// documented on obs.EventKind and the profiler's per-rung timeline.
 func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.Compiled,
 	u graph.NodeID, alphaModel, betaModel *ml.Forest, timing *planTiming,
-	cache *sync.Map, local *workerCounters, tr *obs.QueryTrace, global time.Time) (bool, error) {
+	cache *sync.Map, local *workerCounters, tr *obs.QueryTrace, prof *obs.Profile, global time.Time) (bool, error) {
 
 	enabled := obs.Enabled()
 	if enabled {
@@ -480,6 +537,7 @@ func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.
 			dec = v.(decision)
 			cached = true
 			local.cacheHits++
+			prof.RecordDecision(true, int(dec.mode), dec.planIdx)
 			if enabled {
 				obs.SmartCacheHits.Inc()
 				tr.Event(obs.EvCacheHit, int64(u), int64(dec.planIdx))
@@ -509,6 +567,7 @@ func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.
 			}
 		}
 		local.modelNanos += time.Since(t0).Nanoseconds()
+		prof.RecordDecision(false, int(dec.mode), dec.planIdx)
 		if enabled {
 			tr.Event(obs.EvModePredicted, int64(u), int64(dec.mode))
 			tr.Event(obs.EvPlanChosen, int64(u), int64(dec.planIdx))
@@ -539,8 +598,10 @@ func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.
 	} else {
 		ok, err = ev.Evaluate(st, compiled[dec.planIdx], u, dec.mode, psi.Limits{Deadline: capDeadline(deadline)})
 	}
+	took := time.Since(t0)
+	prof.LadderObserve(obs.LadderPredicted, err == nil, took)
 	if err == nil {
-		timing.record(dec.mode, dec.planIdx, time.Since(t0))
+		timing.record(dec.mode, dec.planIdx, took)
 		if !cached && !e.opts.DisableCache {
 			cache.Store(key, dec)
 		}
@@ -569,8 +630,10 @@ func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.
 	} else {
 		ok, err = ev.Evaluate(st, compiled[dec.planIdx], u, opp, psi.Limits{Deadline: capDeadline(deadline)})
 	}
+	took = time.Since(t0)
+	prof.LadderObserve(obs.LadderOpposite, err == nil, took)
 	if err == nil {
-		timing.record(opp, dec.planIdx, time.Since(t0))
+		timing.record(opp, dec.planIdx, took)
 		e.scoreAlpha(local, tr, u, predicted, dec.mode, ok)
 		return ok, nil
 	}
@@ -594,10 +657,12 @@ func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.
 	} else {
 		ok, err = ev.Evaluate(st, compiled[0], u, dec.mode, psi.Limits{Deadline: global})
 	}
+	took = time.Since(t0)
+	prof.LadderObserve(obs.LadderHeuristic, err == nil, took)
 	if err != nil {
 		return false, err
 	}
-	timing.record(dec.mode, 0, time.Since(t0))
+	timing.record(dec.mode, 0, took)
 	e.scoreAlpha(local, tr, u, predicted, dec.mode, ok)
 	return ok, nil
 }

@@ -187,7 +187,8 @@ func TestObsRecoveryLadderTraceSequences(t *testing.T) {
 			timing := newPlanTiming(len(compiled))
 			recBefore := obs.SmartRecoveries.Value()
 
-			got, err := e.evaluateOne(ev, st, compiled, u, nil, nil, timing, &cache, &local, tr, tc.global)
+			prof := obs.NewProfile(tc.name)
+			got, err := e.evaluateOne(ev, st, compiled, u, nil, nil, timing, &cache, &local, tr, prof, tc.global)
 			if !errors.Is(err, tc.wantErr) {
 				t.Fatalf("err = %v, want %v", err, tc.wantErr)
 			}
@@ -218,6 +219,28 @@ func TestObsRecoveryLadderTraceSequences(t *testing.T) {
 				if evn.Node != int64(u) {
 					t.Errorf("event %v carries node %d, want %d", evn.Kind, evn.Node, u)
 				}
+			}
+			// The profiler's recovery-ladder timeline must mirror the
+			// states the hook ran: rung N entered iff state N executed,
+			// resolved iff it returned without error.
+			snap := prof.Snapshot()
+			for s := 1; s <= obs.NumLadderRungs; s++ {
+				var wantEntered, wantResolved int64
+				if step, ran := tc.states[s]; ran {
+					wantEntered = 1
+					if step.err == nil {
+						wantResolved = 1
+					}
+				}
+				r := snap.Ladder[s-1]
+				if r.Entered != wantEntered || r.Resolved != wantResolved {
+					t.Errorf("ladder rung %d = entered %d resolved %d, want %d/%d",
+						s, r.Entered, r.Resolved, wantEntered, wantResolved)
+				}
+			}
+			if snap.CacheHits != tc.wantCacheHits || snap.CacheMisses != tc.wantCacheMiss {
+				t.Errorf("profile cache hits/misses = %d/%d, want %d/%d",
+					snap.CacheHits, snap.CacheMisses, tc.wantCacheHits, tc.wantCacheMiss)
 			}
 		})
 	}

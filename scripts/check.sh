@@ -3,9 +3,10 @@
 # race-enabled tests, and a short fuzz smoke over every fuzz target.
 #
 # Usage:
-#   ./scripts/check.sh              # everything, ~2-5 minutes
-#   FUZZTIME=30s ./scripts/check.sh # longer fuzz smoke
-#   FUZZTIME=0 ./scripts/check.sh   # skip the fuzz smoke
+#   ./scripts/check.sh                    # everything, ~2-5 minutes
+#   FUZZTIME=30s ./scripts/check.sh       # longer fuzz smoke
+#   FUZZTIME=0 ./scripts/check.sh         # skip the fuzz smoke
+#   BENCH_REGRESSION=1 ./scripts/check.sh # also run the bench-regression gate
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,6 +38,13 @@ go test -race ./...
 step "observability suite (-run TestObs -race, includes overhead guard)"
 go test -race -count=1 -run 'TestObs' ./internal/obs/ ./internal/psi/ ./internal/smartpsi/ \
     ./cmd/psi-bench/ ./cmd/psi-workload/
+
+# Opt-in: diff this machine's quick-run work counters against the
+# committed baseline (the bench-regression CI job always runs this).
+if [[ "${BENCH_REGRESSION:-0}" != "0" ]]; then
+    step "bench regression gate (-quick vs BENCH_seed.json)"
+    go run ./cmd/psi-bench -quick -baseline BENCH_seed.json -compare -tolerance 0.15
+fi
 
 if [[ "$FUZZTIME" != "0" ]]; then
     step "fuzz smoke ($FUZZTIME per target)"
