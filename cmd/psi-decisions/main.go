@@ -1,0 +1,288 @@
+// Command psi-decisions replays a JSONL decision log captured by the
+// SmartPSI engine (psi-workload -decision-log, or any
+// obs.DecisionLog) into model-quality reports: the model-α confusion
+// matrix and vote-margin calibration, model-β plan ranks, prediction-
+// cache staleness, and shadow-scoring regret — the same quantities
+// /modelz serves live, recomputed offline from the raw records.
+//
+// Usage:
+//
+//	psi-decisions decisions.jsonl
+//	psi-decisions -json decisions.jsonl
+//	psi-decisions -refit -seed 7 decisions.jsonl
+//
+// With -refit the logged signature rows and ground-truth labels are
+// used to re-fit a Random-Forest node-type classifier offline and score
+// it on a holdout split — a quick check of how much headroom the online
+// per-query model leaves on the table.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/ml"
+	"repro/internal/obs"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	refit := flag.Bool("refit", false, "re-fit a forest on the logged features and score it on a holdout split")
+	seed := flag.Int64("seed", 42, "refit split/training seed")
+	trees := flag.Int("trees", 0, "refit forest size (0: library default)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: psi-decisions [-json] [-refit] <decisions.jsonl>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *jsonOut, *refit, *seed, *trees, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "psi-decisions:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, jsonOut, refit bool, seed int64, trees int, w io.Writer) error {
+	recs, err := obs.ReadDecisionLogFile(path)
+	if err != nil {
+		return err
+	}
+	rep := analyze(recs)
+	if refit {
+		r, err := refitAlpha(recs, seed, trees)
+		if err != nil {
+			return err
+		}
+		rep.Refit = r
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	return rep.writeText(w)
+}
+
+// report is the analyzer's output: the offline mirror of /modelz,
+// recomputed from the raw decision records.
+type report struct {
+	Records int            `json:"records"`
+	Kinds   map[string]int `json:"kinds"`
+
+	// Alpha is the model-α confusion matrix over mode-audit records:
+	// [actual][predicted] with 1 = valid.
+	Alpha       [2][2]int64                                      `json:"alpha_confusion"`
+	Calibration [obs.NumCalibrationBuckets]obs.CalibrationBucket `json:"calibration"`
+
+	// BetaRanks[r-1] counts beta records whose predicted plan ranked r.
+	BetaRanks []int64 `json:"beta_ranks,omitempty"`
+
+	CacheChecks int64 `json:"cache_checks"`
+	CacheStale  int64 `json:"cache_stale"`
+
+	ModeRegret obs.RegretAggregate `json:"mode_regret"`
+	PlanRegret obs.RegretAggregate `json:"plan_regret"`
+
+	Refit *refitReport `json:"refit,omitempty"`
+}
+
+// refitReport scores a forest re-fit offline from the logged features.
+type refitReport struct {
+	TrainRows       int     `json:"train_rows"`
+	TestRows        int     `json:"test_rows"`
+	HoldoutAccuracy float64 `json:"holdout_accuracy"`
+	OnlineAccuracy  float64 `json:"online_accuracy"`
+}
+
+// analyze folds the records into the report. Deterministic: the same
+// log always produces the same report, which is what the round-trip
+// tests pin.
+func analyze(recs []obs.DecisionRecord) *report {
+	rep := &report{Records: len(recs), Kinds: make(map[string]int)}
+	observeRegret := func(a *obs.RegretAggregate, r *obs.DecisionRecord) {
+		a.Runs++
+		if r.ShadowTimeout {
+			a.Timeouts++
+		}
+		a.TotalNanos += r.RegretNanos
+		if r.RegretNanos > a.MaxNanos {
+			a.MaxNanos = r.RegretNanos
+		}
+	}
+	for i := range recs {
+		r := &recs[i]
+		rep.Kinds[r.Kind]++
+		switch r.Kind {
+		case obs.DecisionKindMode:
+			rep.Alpha[boolIdx(r.ActualValid)][boolIdx(r.PredValid())]++
+			b := obs.CalibrationBucketIndex(r.VoteMargin)
+			rep.Calibration[b].N++
+			if r.PredValid() == r.ActualValid {
+				rep.Calibration[b].Correct++
+			}
+			observeRegret(&rep.ModeRegret, r)
+		case obs.DecisionKindPlan:
+			observeRegret(&rep.PlanRegret, r)
+		case obs.DecisionKindCache:
+			rep.CacheChecks++
+			if r.CacheStale {
+				rep.CacheStale++
+			}
+		case obs.DecisionKindBeta:
+			if r.Rank >= 1 {
+				for len(rep.BetaRanks) < r.Rank {
+					rep.BetaRanks = append(rep.BetaRanks, 0)
+				}
+				rep.BetaRanks[r.Rank-1]++
+			}
+		}
+	}
+	return rep
+}
+
+// alphaTotal/alphaAccuracy mirror obs.ModelStatsData's helpers.
+func (rep *report) alphaTotal() int64 {
+	return rep.Alpha[0][0] + rep.Alpha[0][1] + rep.Alpha[1][0] + rep.Alpha[1][1]
+}
+
+func (rep *report) alphaAccuracy() float64 {
+	t := rep.alphaTotal()
+	if t == 0 {
+		return 1
+	}
+	return float64(rep.Alpha[0][0]+rep.Alpha[1][1]) / float64(t)
+}
+
+func (rep *report) betaObserved() int64 {
+	var n int64
+	for _, c := range rep.BetaRanks {
+		n += c
+	}
+	return n
+}
+
+func (rep *report) betaTopK(k int) float64 {
+	total := rep.betaObserved()
+	if total == 0 {
+		return 1
+	}
+	var in int64
+	for i, c := range rep.BetaRanks {
+		if i < k {
+			in += c
+		}
+	}
+	return float64(in) / float64(total)
+}
+
+func (rep *report) writeText(w io.Writer) error {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "decision log: %d records (", rep.Records)
+	for i, k := range []string{obs.DecisionKindMode, obs.DecisionKindPlan, obs.DecisionKindCache, obs.DecisionKindBeta} {
+		if i > 0 {
+			fmt.Fprint(&buf, " ")
+		}
+		fmt.Fprintf(&buf, "%s:%d", k, rep.Kinds[k])
+	}
+	fmt.Fprintf(&buf, ")\n\n")
+
+	fmt.Fprintf(&buf, "model α confusion matrix (%d mode audits)\n", rep.alphaTotal())
+	fmt.Fprintf(&buf, "  %-16s  %12s  %12s\n", "", "pred-invalid", "pred-valid")
+	fmt.Fprintf(&buf, "  %-16s  %12d  %12d\n", "actual-invalid", rep.Alpha[0][0], rep.Alpha[0][1])
+	fmt.Fprintf(&buf, "  %-16s  %12d  %12d\n", "actual-valid", rep.Alpha[1][0], rep.Alpha[1][1])
+	fmt.Fprintf(&buf, "  accuracy %.4f\n\n", rep.alphaAccuracy())
+
+	fmt.Fprintf(&buf, "vote-margin calibration\n")
+	for i, b := range rep.Calibration {
+		lo := float64(i) / obs.NumCalibrationBuckets
+		hi := float64(i+1) / obs.NumCalibrationBuckets
+		acc := "-"
+		if b.N > 0 {
+			acc = fmt.Sprintf("%.4f", float64(b.Correct)/float64(b.N))
+		}
+		fmt.Fprintf(&buf, "  [%.1f,%.1f)  %8d  %10s\n", lo, hi, b.N, acc)
+	}
+	fmt.Fprintf(&buf, "\n")
+
+	fmt.Fprintf(&buf, "model β plan rank: %d observed", rep.betaObserved())
+	if rep.betaObserved() > 0 {
+		fmt.Fprintf(&buf, ", top-1 %.3f, top-2 %.3f", rep.betaTopK(1), rep.betaTopK(2))
+	}
+	fmt.Fprintf(&buf, "\n")
+
+	rate := "-"
+	if rep.CacheChecks > 0 {
+		rate = fmt.Sprintf("%.4f", float64(rep.CacheStale)/float64(rep.CacheChecks))
+	}
+	fmt.Fprintf(&buf, "cache quality: %d checks, %d stale (rate %s)\n", rep.CacheChecks, rep.CacheStale, rate)
+
+	writeRegret := func(name string, a obs.RegretAggregate) {
+		fmt.Fprintf(&buf, "%s regret: %d runs (%d censored), total %s, mean %s, max %s\n",
+			name, a.Runs, a.Timeouts,
+			time.Duration(a.TotalNanos).Round(time.Microsecond),
+			a.Mean().Round(time.Microsecond),
+			time.Duration(a.MaxNanos).Round(time.Microsecond))
+	}
+	writeRegret("mode", rep.ModeRegret)
+	writeRegret("plan", rep.PlanRegret)
+
+	if rep.Refit != nil {
+		fmt.Fprintf(&buf, "\nrefit: %d train / %d test rows, holdout accuracy %.4f (online %.4f)\n",
+			rep.Refit.TrainRows, rep.Refit.TestRows, rep.Refit.HoldoutAccuracy, rep.Refit.OnlineAccuracy)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// refitAlpha re-fits a node-type forest from the logged signature rows
+// (mode and cache records carry Features + ground truth) and scores it
+// on a 30% holdout.
+func refitAlpha(recs []obs.DecisionRecord, seed int64, trees int) (*refitReport, error) {
+	ds := ml.Dataset{NumClasses: 2}
+	width := 0
+	for i := range recs {
+		r := &recs[i]
+		if (r.Kind != obs.DecisionKindMode && r.Kind != obs.DecisionKindCache) || len(r.Features) == 0 {
+			continue
+		}
+		if width == 0 {
+			width = len(r.Features)
+		}
+		if len(r.Features) != width {
+			continue // mixed graphs in one log: keep the first row shape
+		}
+		ds.X = append(ds.X, r.Features)
+		ds.Y = append(ds.Y, boolIdx(r.ActualValid))
+	}
+	const minRows = 10
+	if ds.Len() < minRows {
+		return nil, fmt.Errorf("refit: only %d usable feature rows (need >= %d; was the log captured with a shadow rate > 0?)", ds.Len(), minRows)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	train, test := ds.Split(0.7, rng)
+	cfg := ml.ForestConfig{Seed: seed, Trees: trees}
+	forest, err := ml.TrainForest(train, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("refit: %w", err)
+	}
+	cm := ml.Evaluate(forest, test)
+	online := analyze(recs).alphaAccuracy()
+	return &refitReport{
+		TrainRows:       train.Len(),
+		TestRows:        test.Len(),
+		HoldoutAccuracy: cm.Accuracy(),
+		OnlineAccuracy:  online,
+	}, nil
+}
+
+func boolIdx(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

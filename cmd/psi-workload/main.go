@@ -13,6 +13,14 @@
 // SmartPSI engine (useful with -debug-addr to watch live /metrics and
 // /tracez while a workload executes). -debug-addr starts the obs debug
 // HTTP server (metrics + traces + pprof) and implies metric collection.
+//
+// With -shadow-rate > 0 the engine additionally audits that fraction of
+// its model decisions by shadow scoring (see /modelz), and -decision-log
+// captures one JSONL record per audited decision for offline analysis
+// with psi-decisions:
+//
+//	psi-workload -dataset cora -sizes 4-6 -count 10 -evaluate \
+//	             -shadow-rate 0.05 -decision-log decisions.jsonl
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	repro "repro"
 	"repro/internal/graph"
@@ -38,6 +47,10 @@ func main() {
 	evaluate := flag.Bool("evaluate", false, "also evaluate the extracted queries with SmartPSI")
 	threads := flag.Int("threads", 1, "evaluation workers (with -evaluate)")
 	debugAddr := flag.String("debug-addr", "", "serve obs debug HTTP (metrics, traces, pprof) on this address")
+	shadowRate := flag.Float64("shadow-rate", 0, "model-decision audit sampling rate in [0,1] (with -evaluate; 0 disables shadow scoring)")
+	planShadowRate := flag.Float64("plan-shadow-rate", 0, "model-β plan-audit sampling rate (0: shadow-rate/4)")
+	decisionLog := flag.String("decision-log", "", "capture audited decisions as JSONL to this file (with -evaluate; analyze with psi-decisions)")
+	decisionLogCap := flag.Int64("decision-log-cap", 0, "max decision records (0: default cap)")
 	flag.Parse()
 
 	if *debugAddr != "" {
@@ -54,13 +67,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics /tracez /debug/pprof)\n", addr)
 	}
 
-	if err := run(*graphPath, *dataset, *sizes, *count, *seed, *out, *evaluate, *threads); err != nil {
+	audit := auditOptions{
+		shadowRate:     *shadowRate,
+		planShadowRate: *planShadowRate,
+		decisionLog:    *decisionLog,
+		decisionLogCap: *decisionLogCap,
+	}
+	if err := run(*graphPath, *dataset, *sizes, *count, *seed, *out, *evaluate, *threads, audit); err != nil {
 		fmt.Fprintln(os.Stderr, "psi-workload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, dataset, sizes string, count int, seed int64, out string, evaluate bool, threads int) error {
+// auditOptions carries the model-decision audit flags to the evaluator.
+type auditOptions struct {
+	shadowRate     float64
+	planShadowRate float64
+	decisionLog    string
+	decisionLogCap int64
+}
+
+func run(graphPath, dataset, sizes string, count int, seed int64, out string, evaluate bool, threads int, audit auditOptions) error {
 	lo, hi, err := parseSizes(sizes)
 	if err != nil {
 		return err
@@ -103,20 +130,38 @@ func run(graphPath, dataset, sizes string, count int, seed int64, out string, ev
 	fmt.Fprintf(os.Stderr, "extracted %d queries (sizes %d-%d, %d per size)\n",
 		len(queries), lo, hi, count)
 	if evaluate {
-		return evaluateQueries(g, queries, threads, seed)
+		return evaluateQueries(g, queries, threads, seed, audit)
 	}
 	return nil
 }
 
 // evaluateQueries runs every extracted query through the SmartPSI
 // engine. With collection enabled (-debug-addr or PSI_OBS) each query
-// feeds the obs registry and tracer as it executes.
-func evaluateQueries(g *graph.Graph, queries []graph.Query, threads int, seed int64) error {
-	engine, err := repro.NewEngine(g, repro.Options{Threads: threads, Seed: seed})
+// feeds the obs registry and tracer as it executes; with a shadow rate
+// set, sampled model decisions are audited (regret shows up on /modelz)
+// and optionally captured to a JSONL decision log.
+func evaluateQueries(g *graph.Graph, queries []graph.Query, threads int, seed int64, audit auditOptions) error {
+	opts := repro.Options{
+		Threads:        threads,
+		Seed:           seed,
+		ShadowRate:     audit.shadowRate,
+		PlanShadowRate: audit.planShadowRate,
+	}
+	var dlog *obs.DecisionLog
+	if audit.decisionLog != "" {
+		var err error
+		dlog, err = obs.CreateDecisionLog(audit.decisionLog, audit.decisionLogCap)
+		if err != nil {
+			return err
+		}
+		opts.DecisionLog = dlog
+	}
+	engine, err := repro.NewEngine(g, opts)
 	if err != nil {
 		return err
 	}
-	var bindings, work int64
+	var bindings, work, shadowRuns int64
+	var regret time.Duration
 	for i, q := range queries {
 		res, err := engine.Evaluate(q)
 		if err != nil {
@@ -124,9 +169,21 @@ func evaluateQueries(g *graph.Graph, queries []graph.Query, threads int, seed in
 		}
 		bindings += int64(len(res.Bindings))
 		work += res.Work.Recursions
+		shadowRuns += res.ShadowModeRuns + res.ShadowPlanRuns
+		regret += res.Regret
 	}
 	fmt.Fprintf(os.Stderr, "evaluated %d queries: %d pivot bindings, %d recursions\n",
 		len(queries), bindings, work)
+	if shadowRuns > 0 {
+		fmt.Fprintf(os.Stderr, "shadow audits: %d runs, total regret %s\n", shadowRuns, regret)
+	}
+	if dlog != nil {
+		if err := dlog.Close(); err != nil {
+			return fmt.Errorf("decision log: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "decision log: %d records written, %d dropped -> %s\n",
+			dlog.Written(), dlog.Dropped(), audit.decisionLog)
+	}
 	return nil
 }
 

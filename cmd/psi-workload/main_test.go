@@ -58,7 +58,7 @@ func TestRunExtractsWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "q.lg")
-	if err := run(gp, "", "3-4", 5, 1, out, false, 1); err != nil {
+	if err := run(gp, "", "3-4", 5, 1, out, false, 1, auditOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -74,10 +74,10 @@ func TestRunExtractsWorkload(t *testing.T) {
 		t.Errorf("extracted %d queries, want 10", len(qs))
 	}
 	// Error paths.
-	if err := run("", "", "3", 1, 1, "", false, 1); err == nil {
+	if err := run("", "", "3", 1, 1, "", false, 1, auditOptions{}); err == nil {
 		t.Error("missing inputs accepted")
 	}
-	if err := run(gp, "", "bogus", 1, 1, "", false, 1); err == nil {
+	if err := run(gp, "", "bogus", 1, 1, "", false, 1, auditOptions{}); err == nil {
 		t.Error("bogus sizes accepted")
 	}
 }
@@ -116,7 +116,7 @@ func TestObsWorkloadDebugServerAcceptance(t *testing.T) {
 	}()
 
 	out := filepath.Join(dir, "q.lg")
-	if err := run(gp, "", "3-4", 4, 1, out, true, 2); err != nil {
+	if err := run(gp, "", "3-4", 4, 1, out, true, 2, auditOptions{}); err != nil {
 		t.Fatal(err)
 	}
 

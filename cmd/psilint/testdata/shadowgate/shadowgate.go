@@ -1,0 +1,54 @@
+// Package shadowgate exercises the shadowgate rule: shadow-scoring
+// entry points must be reached only through a *Sampled sampling
+// predicate, so audit overhead stays opt-in.
+package shadowgate
+
+type engine struct{ rate float64 }
+
+func (e *engine) shadowSampled(rate float64) bool { return rate > 0 }
+
+func modeSampled() bool { return false }
+
+func (e *engine) shadowModeRun(u int) {}
+
+func (e *engine) shadowPlanRun(u int) {}
+
+func shadowEvaluate(u int) bool { return u > 0 }
+
+// auditGood gates every shadow call on a sampling predicate.
+func auditGood(e *engine, u int) {
+	if e.shadowSampled(e.rate) {
+		e.shadowModeRun(u)
+	}
+	if modeSampled() {
+		_ = shadowEvaluate(u)
+		e.shadowPlanRun(u) // several calls under one gate are fine
+	}
+}
+
+// auditBad reaches shadow entry points without any sampling gate.
+func auditBad(e *engine, u int) {
+	e.shadowModeRun(u) // want "Sampled condition"
+	if u > 0 {
+		e.shadowPlanRun(u) // want "Sampled condition"
+	}
+	if e.shadowSampled(e.rate) {
+		e.shadowModeRun(u)
+	} else {
+		_ = shadowEvaluate(u) // want "Sampled condition"
+	}
+}
+
+// shadowInternals is part of the subsystem (shadow-named): internal
+// fan-out after the entry gate is exempt.
+func (e *engine) shadowInternals(u int) {
+	e.shadowModeRun(u)
+	e.shadowPlanRun(u)
+	_ = shadowEvaluate(u)
+}
+
+// newShadowThing contains "Shadow": construction helpers are exempt.
+func newShadowThing(e *engine) func(int) {
+	_ = shadowEvaluate(1)
+	return e.shadowModeRun
+}

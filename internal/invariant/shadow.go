@@ -1,0 +1,41 @@
+package invariant
+
+// Shadow-scoring invariants (model-decision observability).
+//
+// A shadow run re-evaluates an already-decided candidate with the
+// opposite method or an alternative plan. Both the primary and the
+// shadow evaluation are exact algorithms for the same decision problem,
+// so their matched/not-matched verdicts must agree; and a shadow run is
+// an audit, never a budget participant — it must not execute for
+// training nodes (their ground truth is the training label; a shadow
+// would double-charge the training budget) nor inside the §4.3
+// recovery ladder (rungs 2–3 are themselves counterfactual re-runs).
+
+// CheckShadowAgreement validates that a shadow evaluation of node u
+// reproduced the primary verdict. kind names the audited model ("mode"
+// or "plan") for the violation message.
+func CheckShadowAgreement(kind string, u int64, primary, shadow bool) error {
+	if primary == shadow {
+		return nil
+	}
+	return violationf("shadow",
+		"%s shadow run disagrees with primary on node %d: primary=%v shadow=%v (both are exact; one evaluator is unsound)",
+		kind, u, primary, shadow)
+}
+
+// CheckShadowContext validates that a shadow run was requested from a
+// legal site: only for non-training candidates whose primary evaluation
+// resolved at recovery-ladder rung 1 (the predicted method and plan).
+// rung is the 1-based ladder rung of the resolving primary run;
+// training marks training-phase nodes.
+func CheckShadowContext(u int64, rung int, training bool) error {
+	if training {
+		return violationf("shadow",
+			"shadow run requested for training node %d; training nodes are labeled by the training sweep and must never be shadow-audited", u)
+	}
+	if rung != 1 {
+		return violationf("shadow",
+			"shadow run requested for node %d from recovery-ladder rung %d; shadows may only follow a rung-1 resolution (rungs 2-3 are already counterfactuals)", u, rung)
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package ml
+
+import "fmt"
+
+// DriftConfig configures a DriftDetector.
+type DriftConfig struct {
+	// Window is the sample count of both the frozen reference window and
+	// the sliding current window (default 64).
+	Window int
+	// Threshold is the minimum accuracy drop (reference − current) that
+	// counts as drift (default 0.2). Only drops fire: a model that
+	// *improves* never raises an event.
+	Threshold float64
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.2
+	}
+	return c
+}
+
+// DriftDetector is a windowed-delta change detector over a boolean
+// correctness stream (one observation per scored model prediction).
+// The first Window samples freeze a reference accuracy; subsequent
+// samples fill a sliding window of the same size, and once that window
+// is full, an accuracy drop exceeding Threshold raises a drift event.
+// On an event the detector re-anchors: the current window becomes the
+// new reference and the sliding window restarts, so a persistent step
+// fires exactly once rather than on every subsequent sample.
+//
+// The zero value is not ready; use NewDriftDetector. The detector is
+// not safe for concurrent use — callers (smartpsi's engine) serialize
+// Observe with their own mutex.
+type DriftDetector struct {
+	cfg DriftConfig
+
+	refSum, refN int64 // frozen reference window (refN grows to Window, then freezes)
+
+	ring   []bool // sliding current window, circular
+	ringN  int    // filled entries (grows to Window)
+	ringAt int    // next write position
+	curSum int64  // ones in the ring
+
+	samples int64 // total observations
+	events  int64 // drift events raised
+}
+
+// NewDriftDetector returns a detector with cfg (zero fields take
+// defaults).
+func NewDriftDetector(cfg DriftConfig) *DriftDetector {
+	cfg = cfg.withDefaults()
+	return &DriftDetector{cfg: cfg, ring: make([]bool, cfg.Window)}
+}
+
+// Observe feeds one correctness observation and reports whether it
+// completed a drift event (reference accuracy minus current-window
+// accuracy above the threshold, with both windows full).
+func (d *DriftDetector) Observe(correct bool) bool {
+	d.samples++
+	// Phase 1: the first Window samples define the reference.
+	if d.refN < int64(d.cfg.Window) {
+		d.refN++
+		if correct {
+			d.refSum++
+		}
+		return false
+	}
+	// Phase 2: slide the current window.
+	if d.ringN == d.cfg.Window {
+		if d.ring[d.ringAt] {
+			d.curSum--
+		}
+	} else {
+		d.ringN++
+	}
+	d.ring[d.ringAt] = correct
+	if correct {
+		d.curSum++
+	}
+	d.ringAt = (d.ringAt + 1) % d.cfg.Window
+	if d.ringN < d.cfg.Window {
+		return false // window not yet full: no verdicts on partial data
+	}
+	refAcc := float64(d.refSum) / float64(d.refN)
+	curAcc := float64(d.curSum) / float64(d.ringN)
+	if refAcc-curAcc <= d.cfg.Threshold {
+		return false
+	}
+	// Drift: re-anchor the reference at the degraded level and restart
+	// the sliding window, so the event fires once per step.
+	d.events++
+	d.refSum, d.refN = d.curSum, int64(d.ringN)
+	d.curSum, d.ringN, d.ringAt = 0, 0, 0
+	return true
+}
+
+// Samples returns the total number of observations.
+func (d *DriftDetector) Samples() int64 { return d.samples }
+
+// Events returns the number of drift events raised so far.
+func (d *DriftDetector) Events() int64 { return d.events }
+
+// ReferenceAccuracy returns the frozen reference-window accuracy
+// (1.0 before any observation).
+func (d *DriftDetector) ReferenceAccuracy() float64 {
+	if d.refN == 0 {
+		return 1
+	}
+	return float64(d.refSum) / float64(d.refN)
+}
+
+// WindowAccuracy returns the current sliding-window accuracy (1.0 when
+// the window is empty).
+func (d *DriftDetector) WindowAccuracy() float64 {
+	if d.ringN == 0 {
+		return 1
+	}
+	return float64(d.curSum) / float64(d.ringN)
+}
+
+// String summarizes the detector state for debug output.
+func (d *DriftDetector) String() string {
+	return fmt.Sprintf("drift{samples=%d events=%d ref=%.3f window=%.3f}",
+		d.samples, d.events, d.ReferenceAccuracy(), d.WindowAccuracy())
+}

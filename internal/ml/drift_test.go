@@ -1,0 +1,121 @@
+package ml
+
+import "testing"
+
+// feed pushes n observations of the given correctness and returns how
+// many drift events fired.
+func feed(d *DriftDetector, n int, correct bool) int {
+	fired := 0
+	for i := 0; i < n; i++ {
+		if d.Observe(correct) {
+			fired++
+		}
+	}
+	return fired
+}
+
+// TestDriftConstantStreamNeverAlerts pins the false-positive contract:
+// a perfectly stable stream (any constant accuracy, here 1.0 and 0.0)
+// never raises an event, however long it runs.
+func TestDriftConstantStreamNeverAlerts(t *testing.T) {
+	for _, correct := range []bool{true, false} {
+		d := NewDriftDetector(DriftConfig{Window: 16, Threshold: 0.2})
+		if fired := feed(d, 1000, correct); fired != 0 {
+			t.Errorf("constant %v stream fired %d drift events, want 0", correct, fired)
+		}
+		if d.Events() != 0 {
+			t.Errorf("Events() = %d, want 0", d.Events())
+		}
+	}
+	// A stable mixed stream (alternating) is constant in distribution:
+	// ref acc = window acc = 0.5, so no event either.
+	d := NewDriftDetector(DriftConfig{Window: 16, Threshold: 0.2})
+	for i := 0; i < 1000; i++ {
+		if d.Observe(i%2 == 0) {
+			t.Fatalf("alternating stream fired a drift event at sample %d", i)
+		}
+	}
+}
+
+// TestDriftStepAlertsAtWindowBoundary pins the exact firing boundary: a
+// reference window of W correct predictions followed by wrong ones must
+// alert exactly when the sliding window fills — sample 2W, not 2W−1.
+func TestDriftStepAlertsAtWindowBoundary(t *testing.T) {
+	const w = 32
+	d := NewDriftDetector(DriftConfig{Window: w, Threshold: 0.2})
+	if fired := feed(d, w, true); fired != 0 {
+		t.Fatalf("reference phase fired %d events", fired)
+	}
+	// W−1 wrong answers: the sliding window is not yet full, so no
+	// verdict may be issued on partial data.
+	if fired := feed(d, w-1, false); fired != 0 {
+		t.Fatalf("partial window fired %d events, want 0", fired)
+	}
+	// The W-th wrong answer completes the window: acc 1.0 → 0.0 > 0.2.
+	if !d.Observe(false) {
+		t.Fatalf("full degraded window did not fire (ref=%.2f cur=%.2f)",
+			d.ReferenceAccuracy(), d.WindowAccuracy())
+	}
+	if d.Events() != 1 {
+		t.Fatalf("Events() = %d, want 1", d.Events())
+	}
+	// The detector re-anchors at the degraded level: continued wrong
+	// answers are the new normal and must not re-fire.
+	if fired := feed(d, 5*w, false); fired != 0 {
+		t.Errorf("re-anchored detector re-fired %d times on the same step", fired)
+	}
+	// Recovery (accuracy going back up) is an improvement, never drift.
+	if fired := feed(d, 5*w, true); fired != 0 {
+		t.Errorf("accuracy improvement fired %d drift events, want 0", fired)
+	}
+}
+
+// TestDriftSubThresholdDropStaysQuiet checks drops at or below the
+// threshold never fire: ref 1.0 vs window 0.8 with threshold 0.2 is a
+// drop of exactly 0.2, which is not "> threshold".
+func TestDriftSubThresholdDropStaysQuiet(t *testing.T) {
+	const w = 20
+	d := NewDriftDetector(DriftConfig{Window: w, Threshold: 0.2})
+	feed(d, w, true)
+	// Repeating pattern with exactly 4/20 wrong: acc 0.8.
+	for i := 0; i < 20*w; i++ {
+		if d.Observe(i%5 != 0) {
+			t.Fatalf("0.2 drop (== threshold) fired at sample %d", i)
+		}
+	}
+	// A slightly deeper drop (5/20 wrong: acc 0.75, drop 0.25) fires.
+	d2 := NewDriftDetector(DriftConfig{Window: w, Threshold: 0.2})
+	feed(d2, w, true)
+	fired := 0
+	for i := 0; i < 20*w; i++ {
+		if d2.Observe(i%4 != 0) {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Errorf("0.25 drop never fired (ref=%.2f cur=%.2f)", d2.ReferenceAccuracy(), d2.WindowAccuracy())
+	}
+}
+
+// TestDriftAccessors covers the inspection surface used by /modelz and
+// the engine's trace annotation.
+func TestDriftAccessors(t *testing.T) {
+	d := NewDriftDetector(DriftConfig{})
+	if d.ReferenceAccuracy() != 1 || d.WindowAccuracy() != 1 {
+		t.Errorf("empty detector accuracies = %.2f/%.2f, want 1/1", d.ReferenceAccuracy(), d.WindowAccuracy())
+	}
+	feed(d, 64, true) // default window
+	feed(d, 32, false)
+	if d.Samples() != 96 {
+		t.Errorf("Samples() = %d, want 96", d.Samples())
+	}
+	if acc := d.ReferenceAccuracy(); acc != 1 {
+		t.Errorf("ReferenceAccuracy() = %.2f, want 1", acc)
+	}
+	if acc := d.WindowAccuracy(); acc != 0 {
+		t.Errorf("WindowAccuracy() = %.2f, want 0 (32 wrong in a 32-deep partial window)", acc)
+	}
+	if s := d.String(); s == "" {
+		t.Error("String() returned empty")
+	}
+}

@@ -1,0 +1,603 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// This file is the model-decision observability layer: the aggregate
+// telemetry behind /modelz (ModelStats) and the opt-in decision-log
+// capture pipeline (DecisionLog) consumed by cmd/psi-decisions.
+//
+// SmartPSI's bet (paper §4) is that the per-node choices of model α
+// (optimistic vs pessimistic method) and model β (search order) beat
+// either fixed strategy. ModelStats turns that bet into measurable
+// quantities: a full 2×2 confusion matrix and vote-margin calibration
+// for model α, plan-rank tracking for model β against the training
+// sweeps, prediction-cache quality (cached vs fresh answers on sampled
+// hits), and per-decision regret from shadow scoring — the extra time
+// the predicted choice cost versus a counterfactual run of the
+// opposite method or an alternative plan.
+
+// DecisionSchemaVersion is the schema tag written into every decision
+// record; cmd/psi-decisions refuses records from other versions.
+const DecisionSchemaVersion = 1
+
+// Decision-record kinds.
+const (
+	// DecisionKindMode is a shadow run of the opposite method (audits
+	// model α): regret compares the predicted method against its
+	// counterfactual on the same plan.
+	DecisionKindMode = "mode"
+	// DecisionKindPlan is a shadow run of a sampled alternative plan
+	// (audits model β) under the same method.
+	DecisionKindPlan = "plan"
+	// DecisionKindCache is a cache-quality audit: the cached decision
+	// compared against a fresh model prediction (no shadow evaluation).
+	DecisionKindCache = "cache"
+	// DecisionKindBeta is a model-β plan-rank observation from the
+	// training sweeps: Rank is the predicted plan's 1-based position in
+	// the sweep's measured per-plan times.
+	DecisionKindBeta = "beta"
+)
+
+// DecisionRecord is one audited model decision, serialized as a single
+// JSONL line by DecisionLog. Fields are populated per Kind; zero-valued
+// optional fields are omitted.
+type DecisionRecord struct {
+	// Schema is DecisionSchemaVersion; readers must reject others.
+	Schema int `json:"schema"`
+	// Kind is one of the DecisionKind* constants.
+	Kind string `json:"kind"`
+	// Query names the originating query (the profile name).
+	Query string `json:"query,omitempty"`
+	// Node is the audited candidate node (-1 for beta-rank records).
+	Node int64 `json:"node"`
+	// Features is the candidate's signature row (the model input).
+	Features []float64 `json:"features,omitempty"`
+	// FromCache marks decisions served by the prediction cache.
+	FromCache bool `json:"from_cache,omitempty"`
+	// PredMode is model α's method choice (0 optimistic, 1 pessimistic,
+	// psi.Mode numbering).
+	PredMode int `json:"pred_mode"`
+	// PredPlan is model β's plan choice.
+	PredPlan int `json:"pred_plan"`
+	// VoteMargin is model α's forest vote margin in [0,1]:
+	// (winner − loser) / trees. Zero when no fresh prediction was made.
+	VoteMargin float64 `json:"vote_margin"`
+	// ActualValid is the ground-truth node label established by the
+	// primary evaluation.
+	ActualValid bool `json:"actual_valid"`
+	// ShadowMode / ShadowPlan identify the counterfactual that was run
+	// (mode and plan kinds).
+	ShadowMode int `json:"shadow_mode,omitempty"`
+	ShadowPlan int `json:"shadow_plan,omitempty"`
+	// PrimaryNanos / ShadowNanos are the primary and counterfactual wall
+	// times; RegretNanos is max(0, primary − shadow) — the cost of the
+	// predicted choice versus the counterfactual.
+	PrimaryNanos int64 `json:"primary_nanos,omitempty"`
+	ShadowNanos  int64 `json:"shadow_nanos,omitempty"`
+	RegretNanos  int64 `json:"regret_nanos"`
+	// ShadowTimeout marks counterfactuals censored by the shadow budget
+	// (the predicted choice was at least budget/primary times faster, so
+	// regret is 0 but the shadow time is a lower bound).
+	ShadowTimeout bool `json:"shadow_timeout,omitempty"`
+	// CacheStale marks cache-kind records whose fresh prediction
+	// disagreed with the cached decision.
+	CacheStale bool `json:"cache_stale,omitempty"`
+	// Rank is the beta-kind plan rank (1 = the predicted plan was the
+	// sweep's fastest).
+	Rank int `json:"rank,omitempty"`
+}
+
+// PredValid reports the validity model α's method choice implies
+// (optimistic ⇒ predicted valid).
+func (r *DecisionRecord) PredValid() bool { return r.PredMode == 0 }
+
+// DecisionLog is a bounded, schema-versioned JSONL writer: one line per
+// audited decision. All methods are safe for concurrent use and
+// nil-safe, so call sites hold a possibly-nil *DecisionLog
+// unconditionally. Once the record cap is reached further appends are
+// counted as dropped rather than growing the file without bound.
+type DecisionLog struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	closer  io.Closer // non-nil when the log owns the underlying file
+	max     int64
+	written int64
+	dropped int64
+	closed  bool
+	err     error // first write error; subsequent appends are dropped
+}
+
+// DefaultDecisionLogCap bounds a log when NewDecisionLog is given a
+// non-positive cap.
+const DefaultDecisionLogCap = 1 << 20
+
+// NewDecisionLog returns a bounded JSONL decision log writing to w
+// (maxRecords <= 0 means DefaultDecisionLogCap). The caller retains
+// ownership of w; Close flushes but does not close it.
+func NewDecisionLog(w io.Writer, maxRecords int64) *DecisionLog {
+	if maxRecords <= 0 {
+		maxRecords = DefaultDecisionLogCap
+	}
+	return &DecisionLog{bw: bufio.NewWriter(w), max: maxRecords}
+}
+
+// CreateDecisionLog creates (truncates) path and returns a log that
+// owns the file: Close flushes and closes it.
+func CreateDecisionLog(path string, maxRecords int64) (*DecisionLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: decision log: %w", err)
+	}
+	l := NewDecisionLog(f, maxRecords)
+	l.closer = f
+	return l, nil
+}
+
+// Append writes one record (stamping the schema version). Appends past
+// the record cap, after Close, or after a write error are counted as
+// dropped. Nil-safe: a nil log drops everything silently.
+func (l *DecisionLog) Append(rec DecisionRecord) {
+	if l == nil {
+		return
+	}
+	rec.Schema = DecisionSchemaVersion
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.err != nil || l.written >= l.max {
+		l.dropped++
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err == nil {
+		data = append(data, '\n')
+		_, err = l.bw.Write(data)
+	}
+	if err != nil {
+		l.err = err
+		l.dropped++
+		return
+	}
+	l.written++
+}
+
+// Written returns the number of records written.
+func (l *DecisionLog) Written() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.written
+}
+
+// Dropped returns the number of records dropped (cap reached, closed,
+// or write error).
+func (l *DecisionLog) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Close flushes buffered records (closing the underlying file when the
+// log owns it) and marks the log closed; later appends are dropped.
+// Idempotent and nil-safe.
+func (l *DecisionLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return l.err
+	}
+	l.closed = true
+	if err := l.bw.Flush(); err != nil && l.err == nil {
+		l.err = err
+	}
+	if l.closer != nil {
+		if err := l.closer.Close(); err != nil && l.err == nil {
+			l.err = err
+		}
+	}
+	return l.err
+}
+
+// ReadDecisionLog parses a JSONL decision log, rejecting records with a
+// foreign schema version. Blank lines are skipped.
+func ReadDecisionLog(r io.Reader) ([]DecisionRecord, error) {
+	var recs []DecisionRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		var rec DecisionRecord
+		if err := json.Unmarshal(text, &rec); err != nil {
+			return nil, fmt.Errorf("obs: decision log line %d: %w", line, err)
+		}
+		if rec.Schema != DecisionSchemaVersion {
+			return nil, fmt.Errorf("obs: decision log line %d: schema %d, this reader handles %d",
+				line, rec.Schema, DecisionSchemaVersion)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: decision log: %w", err)
+	}
+	return recs, nil
+}
+
+// ReadDecisionLogFile opens path and parses it with ReadDecisionLog.
+func ReadDecisionLogFile(path string) ([]DecisionRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: decision log: %w", err)
+	}
+	defer f.Close()
+	return ReadDecisionLog(f)
+}
+
+// NumCalibrationBuckets is the vote-margin calibration resolution:
+// margin ∈ [0,1] split into equal buckets.
+const NumCalibrationBuckets = 5
+
+// CalibrationBucketIndex maps a vote margin to its bucket.
+func CalibrationBucketIndex(margin float64) int {
+	i := int(margin * NumCalibrationBuckets)
+	if i < 0 {
+		i = 0
+	}
+	if i >= NumCalibrationBuckets {
+		i = NumCalibrationBuckets - 1
+	}
+	return i
+}
+
+// CalibrationBucket is one vote-margin calibration cell: how often
+// predictions with this confidence were right.
+type CalibrationBucket struct {
+	N       int64 `json:"n"`
+	Correct int64 `json:"correct"`
+}
+
+// RegretAggregate summarizes one shadow-scoring family.
+type RegretAggregate struct {
+	// Runs counts shadow evaluations; Timeouts the ones censored by the
+	// shadow budget (regret 0, counterfactual at least the budget).
+	Runs     int64 `json:"runs"`
+	Timeouts int64 `json:"timeouts"`
+	// TotalNanos / MaxNanos aggregate the per-decision regret
+	// max(0, primary − shadow).
+	TotalNanos int64 `json:"total_nanos"`
+	MaxNanos   int64 `json:"max_nanos"`
+}
+
+func (a *RegretAggregate) observe(regret time.Duration, timedOut bool) {
+	a.Runs++
+	if timedOut {
+		a.Timeouts++
+	}
+	n := regret.Nanoseconds()
+	a.TotalNanos += n
+	if n > a.MaxNanos {
+		a.MaxNanos = n
+	}
+}
+
+// Mean returns the mean regret per shadow run.
+func (a RegretAggregate) Mean() time.Duration {
+	if a.Runs == 0 {
+		return 0
+	}
+	return time.Duration(a.TotalNanos / a.Runs)
+}
+
+// ModelStats aggregates model-decision telemetry for /modelz. All
+// methods take the stats mutex and also publish into the Default
+// registry's shadow/quality metrics, so /metrics and /modelz stay
+// consistent from a single call site. Methods are nil-safe.
+type ModelStats struct {
+	mu sync.Mutex
+	// alpha is the model-α confusion matrix: [actual][predicted], with
+	// 1 = valid (optimistic). Every scored prediction lands here, not
+	// just shadow-sampled ones — ground truth is free (§4.2.1: the
+	// evaluation itself labels the node).
+	alpha [2][2]int64
+	// calib buckets scored predictions by forest vote margin.
+	calib [NumCalibrationBuckets]CalibrationBucket
+	// betaRanks[r-1] counts sweep nodes whose predicted plan ranked r
+	// among the sweep's finished plans (1 = fastest).
+	betaRanks []int64
+	// cache-quality audit counts (sampled cache hits re-predicted).
+	cacheChecks, cacheStale int64
+	// Shadow-scoring regret, split by audited model.
+	mode, plan RegretAggregate
+	// shadowMismatches counts shadow runs whose matched/not-matched
+	// verdict contradicted the primary run (a soundness bug; also an
+	// invariant violation when deep checking is on).
+	shadowMismatches int64
+	// driftEvents counts model-α drift-detector firings.
+	driftEvents int64
+}
+
+// DefaultModelStats is the process-wide aggregate served at /modelz.
+var DefaultModelStats = &ModelStats{}
+
+// ObserveAlpha scores one fresh model-α prediction against ground
+// truth: confusion matrix + vote-margin calibration.
+func (m *ModelStats) ObserveAlpha(predValid, actualValid bool, margin float64) {
+	if m == nil {
+		return
+	}
+	b := CalibrationBucketIndex(margin)
+	m.mu.Lock()
+	m.alpha[boolIdx(actualValid)][boolIdx(predValid)]++
+	m.calib[b].N++
+	if predValid == actualValid {
+		m.calib[b].Correct++
+	}
+	m.mu.Unlock()
+}
+
+// ObserveBetaRank records the 1-based rank of model β's predicted plan
+// in one training sweep's measured plan times.
+func (m *ModelStats) ObserveBetaRank(rank int) {
+	if m == nil || rank < 1 {
+		return
+	}
+	m.mu.Lock()
+	for len(m.betaRanks) < rank {
+		m.betaRanks = append(m.betaRanks, 0)
+	}
+	m.betaRanks[rank-1]++
+	m.mu.Unlock()
+	SmartBetaRankChecks.Inc()
+	if rank == 1 {
+		SmartBetaRankTop1.Inc()
+	}
+}
+
+// ObserveCacheCheck records one sampled cache-quality audit.
+func (m *ModelStats) ObserveCacheCheck(stale bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.cacheChecks++
+	if stale {
+		m.cacheStale++
+	}
+	m.mu.Unlock()
+	SmartCacheQualityChecks.Inc()
+	if stale {
+		SmartCacheStaleHits.Inc()
+	}
+}
+
+// ObserveRegret records one shadow run: kind is DecisionKindMode or
+// DecisionKindPlan, regret is max(0, primary − shadow), timedOut marks
+// budget-censored counterfactuals. Also feeds the regret histograms.
+func (m *ModelStats) ObserveRegret(kind string, regret time.Duration, timedOut bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	switch kind {
+	case DecisionKindPlan:
+		m.plan.observe(regret, timedOut)
+	default:
+		m.mode.observe(regret, timedOut)
+	}
+	m.mu.Unlock()
+	if kind == DecisionKindPlan {
+		SmartShadowPlanRuns.Inc()
+		SmartPlanRegretSeconds.Observe(regret.Seconds())
+	} else {
+		SmartShadowModeRuns.Inc()
+		SmartModeRegretSeconds.Observe(regret.Seconds())
+	}
+	if timedOut {
+		SmartShadowTimeouts.Inc()
+	}
+}
+
+// ObserveShadowMismatch records a shadow/primary verdict disagreement.
+func (m *ModelStats) ObserveShadowMismatch() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.shadowMismatches++
+	m.mu.Unlock()
+	SmartShadowMismatches.Inc()
+}
+
+// ObserveDrift records one drift-detector event.
+func (m *ModelStats) ObserveDrift() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.driftEvents++
+	m.mu.Unlock()
+	SmartDriftEvents.Inc()
+}
+
+// Reset zeroes the aggregate (tests only; the registry metrics are
+// reset separately via Registry.Reset).
+func (m *ModelStats) Reset() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.alpha = [2][2]int64{}
+	m.calib = [NumCalibrationBuckets]CalibrationBucket{}
+	m.betaRanks = nil
+	m.cacheChecks, m.cacheStale = 0, 0
+	m.mode, m.plan = RegretAggregate{}, RegretAggregate{}
+	m.shadowMismatches = 0
+	m.driftEvents = 0
+	m.mu.Unlock()
+}
+
+func boolIdx(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ModelStatsData is a point-in-time ModelStats snapshot: plain data,
+// JSON-ready, and the input of the /modelz text renderer.
+type ModelStatsData struct {
+	// Alpha is [actual][predicted] with 1 = valid.
+	Alpha [2][2]int64 `json:"alpha_confusion"`
+	// Calibration buckets cover margin [i/N, (i+1)/N).
+	Calibration [NumCalibrationBuckets]CalibrationBucket `json:"calibration"`
+	// BetaRanks[r-1] counts predictions of sweep-rank r.
+	BetaRanks        []int64         `json:"beta_ranks,omitempty"`
+	CacheChecks      int64           `json:"cache_checks"`
+	CacheStale       int64           `json:"cache_stale"`
+	ModeRegret       RegretAggregate `json:"mode_regret"`
+	PlanRegret       RegretAggregate `json:"plan_regret"`
+	ShadowMismatches int64           `json:"shadow_mismatches"`
+	DriftEvents      int64           `json:"drift_events"`
+}
+
+// Snapshot captures the aggregate's current state.
+func (m *ModelStats) Snapshot() ModelStatsData {
+	var d ModelStatsData
+	if m == nil {
+		return d
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d.Alpha = m.alpha
+	d.Calibration = m.calib
+	d.BetaRanks = append([]int64(nil), m.betaRanks...)
+	d.CacheChecks, d.CacheStale = m.cacheChecks, m.cacheStale
+	d.ModeRegret, d.PlanRegret = m.mode, m.plan
+	d.ShadowMismatches = m.shadowMismatches
+	d.DriftEvents = m.driftEvents
+	return d
+}
+
+// AlphaTotal returns the number of scored model-α predictions.
+func (d ModelStatsData) AlphaTotal() int64 {
+	return d.Alpha[0][0] + d.Alpha[0][1] + d.Alpha[1][0] + d.Alpha[1][1]
+}
+
+// AlphaAccuracy returns the confusion-matrix diagonal fraction (1.0
+// when empty).
+func (d ModelStatsData) AlphaAccuracy() float64 {
+	t := d.AlphaTotal()
+	if t == 0 {
+		return 1
+	}
+	return float64(d.Alpha[0][0]+d.Alpha[1][1]) / float64(t)
+}
+
+// BetaObserved returns the number of plan-rank observations.
+func (d ModelStatsData) BetaObserved() int64 {
+	var n int64
+	for _, c := range d.BetaRanks {
+		n += c
+	}
+	return n
+}
+
+// BetaTopK returns the fraction of plan predictions ranked ≤ k (1.0
+// when nothing was observed).
+func (d ModelStatsData) BetaTopK(k int) float64 {
+	total := d.BetaObserved()
+	if total == 0 {
+		return 1
+	}
+	var in int64
+	for i, c := range d.BetaRanks {
+		if i < k {
+			in += c
+		}
+	}
+	return float64(in) / float64(total)
+}
+
+// WriteText renders the /modelz report.
+func (d ModelStatsData) WriteText(w io.Writer) error {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "model-decision observability (/modelz?format=json for JSON)\n\n")
+
+	fmt.Fprintf(&buf, "model α (node type, §4.2) — confusion matrix, %d scored predictions\n", d.AlphaTotal())
+	fmt.Fprintf(&buf, "  %-16s  %12s  %12s\n", "", "pred-invalid", "pred-valid")
+	fmt.Fprintf(&buf, "  %-16s  %12d  %12d\n", "actual-invalid", d.Alpha[0][0], d.Alpha[0][1])
+	fmt.Fprintf(&buf, "  %-16s  %12d  %12d\n", "actual-valid", d.Alpha[1][0], d.Alpha[1][1])
+	fmt.Fprintf(&buf, "  accuracy %.4f", d.AlphaAccuracy())
+	if pv := d.Alpha[0][1] + d.Alpha[1][1]; pv > 0 {
+		fmt.Fprintf(&buf, "  precision(valid) %.4f", float64(d.Alpha[1][1])/float64(pv))
+	}
+	if av := d.Alpha[1][0] + d.Alpha[1][1]; av > 0 {
+		fmt.Fprintf(&buf, "  recall(valid) %.4f", float64(d.Alpha[1][1])/float64(av))
+	}
+	fmt.Fprintf(&buf, "\n\n")
+
+	fmt.Fprintf(&buf, "vote-margin calibration (forest margin → empirical accuracy)\n")
+	fmt.Fprintf(&buf, "  %-12s  %10s  %10s\n", "margin", "n", "accuracy")
+	for i, b := range d.Calibration {
+		lo := float64(i) / NumCalibrationBuckets
+		hi := float64(i+1) / NumCalibrationBuckets
+		acc := "-"
+		if b.N > 0 {
+			acc = fmt.Sprintf("%.4f", float64(b.Correct)/float64(b.N))
+		}
+		fmt.Fprintf(&buf, "  [%.1f,%.1f)    %10d  %10s\n", lo, hi, b.N, acc)
+	}
+	fmt.Fprintf(&buf, "\n")
+
+	fmt.Fprintf(&buf, "model β (plan choice, §4.2) — predicted-plan rank vs training sweeps: %d observed", d.BetaObserved())
+	if d.BetaObserved() > 0 {
+		fmt.Fprintf(&buf, ", top-1 %.3f, top-2 %.3f\n  ranks:", d.BetaTopK(1), d.BetaTopK(2))
+		for i, c := range d.BetaRanks {
+			if c != 0 {
+				fmt.Fprintf(&buf, " %d:%d", i+1, c)
+			}
+		}
+	}
+	fmt.Fprintf(&buf, "\n\n")
+
+	rate := "-"
+	if d.CacheChecks > 0 {
+		rate = fmt.Sprintf("%.4f", float64(d.CacheStale)/float64(d.CacheChecks))
+	}
+	fmt.Fprintf(&buf, "prediction-cache quality (§4.2.3): %d sampled hits, %d stale (stale rate %s)\n\n",
+		d.CacheChecks, d.CacheStale, rate)
+
+	writeRegret := func(name string, a RegretAggregate) {
+		fmt.Fprintf(&buf, "shadow %s regret: %d runs (%d censored by budget), total %s, mean %s, max %s\n",
+			name, a.Runs, a.Timeouts,
+			time.Duration(a.TotalNanos).Round(time.Microsecond),
+			a.Mean().Round(time.Microsecond),
+			time.Duration(a.MaxNanos).Round(time.Microsecond))
+	}
+	writeRegret("mode (model α counterfactual)", d.ModeRegret)
+	writeRegret("plan (model β counterfactual)", d.PlanRegret)
+	fmt.Fprintf(&buf, "shadow verdict mismatches: %d (must be 0; invariant-gated)\n", d.ShadowMismatches)
+	fmt.Fprintf(&buf, "model-α drift events (§4.3 mispredict stream): %d\n", d.DriftEvents)
+	_, err := w.Write(buf.Bytes())
+	return err
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDecisionLogBounded(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewDecisionLog(&buf, 3)
+	for i := 0; i < 5; i++ {
+		l.Append(DecisionRecord{Kind: DecisionKindMode, Node: int64(i)})
+	}
+	if w, d := l.Written(), l.Dropped(); w != 3 || d != 2 {
+		t.Errorf("written/dropped = %d/%d, want 3/2", w, d)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(DecisionRecord{Kind: DecisionKindMode}) // post-close: dropped
+	if d := l.Dropped(); d != 3 {
+		t.Errorf("dropped after post-close append = %d, want 3", d)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	recs, err := ReadDecisionLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("read %d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Schema != DecisionSchemaVersion {
+			t.Errorf("record %d schema = %d, want %d (Append must stamp it)", i, r.Schema, DecisionSchemaVersion)
+		}
+		if r.Node != int64(i) {
+			t.Errorf("record %d node = %d, want %d (order must be preserved)", i, r.Node, i)
+		}
+	}
+}
+
+func TestDecisionLogNilSafe(t *testing.T) {
+	var l *DecisionLog
+	l.Append(DecisionRecord{Kind: DecisionKindMode})
+	if l.Written() != 0 || l.Dropped() != 0 {
+		t.Error("nil log reports nonzero counts")
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+}
+
+func TestDecisionLogDefaultCap(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewDecisionLog(&buf, 0)
+	if l.max != DefaultDecisionLogCap {
+		t.Errorf("cap = %d with maxRecords=0, want DefaultDecisionLogCap %d", l.max, DefaultDecisionLogCap)
+	}
+}
+
+func TestReadDecisionLogRejectsForeignSchema(t *testing.T) {
+	rec := DecisionRecord{Schema: DecisionSchemaVersion + 1, Kind: DecisionKindMode}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDecisionLog(bytes.NewReader(data)); err == nil {
+		t.Error("schema version +1 accepted; readers must reject foreign schemas")
+	}
+	if _, err := ReadDecisionLog(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("malformed JSON line accepted")
+	}
+	// Blank lines are tolerated.
+	var buf bytes.Buffer
+	l := NewDecisionLog(&buf, 0)
+	l.Append(DecisionRecord{Kind: DecisionKindCache})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadDecisionLog(strings.NewReader("\n" + buf.String() + "\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("read %d records with padding blank lines, want 1", len(recs))
+	}
+}
+
+func TestDecisionLogConcurrentAppend(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewDecisionLog(&buf, 1000)
+	var wg sync.WaitGroup
+	const writers, each = 8, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				l.Append(DecisionRecord{Kind: DecisionKindMode, Node: int64(w*each + i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Written() != writers*each {
+		t.Fatalf("written = %d, want %d", l.Written(), writers*each)
+	}
+	recs, err := ReadDecisionLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != writers*each {
+		t.Errorf("read %d records, want %d (interleaved writes must stay line-atomic)", len(recs), writers*each)
+	}
+}
+
+func TestCalibrationBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		margin float64
+		want   int
+	}{
+		{-0.5, 0}, {0, 0}, {0.19, 0}, {0.2, 1}, {0.5, 2}, {0.99, 4}, {1, 4}, {1.5, 4},
+	}
+	for _, tc := range cases {
+		if got := CalibrationBucketIndex(tc.margin); got != tc.want {
+			t.Errorf("CalibrationBucketIndex(%v) = %d, want %d", tc.margin, got, tc.want)
+		}
+	}
+}
+
+// TestModelStatsSnapshot pins the aggregate arithmetic: confusion
+// matrix cells, calibration buckets, rank histogram growth, regret
+// split by kind, and the derived accuracy/top-k helpers.
+func TestModelStatsSnapshot(t *testing.T) {
+	var m ModelStats
+	m.ObserveAlpha(true, true, 0.9)   // TP, bucket 4
+	m.ObserveAlpha(true, false, 0.1)  // FP, bucket 0
+	m.ObserveAlpha(false, false, 0.9) // TN, bucket 4
+	m.ObserveBetaRank(1)
+	m.ObserveBetaRank(3)
+	m.ObserveCacheCheck(false)
+	m.ObserveCacheCheck(true)
+	m.ObserveRegret(DecisionKindMode, 100, false)
+	m.ObserveRegret(DecisionKindPlan, 300, true)
+	m.ObserveShadowMismatch()
+	m.ObserveDrift()
+
+	d := m.Snapshot()
+	if d.Alpha != [2][2]int64{{1, 1}, {0, 1}} {
+		t.Errorf("alpha = %v, want [[1 1] [0 1]]", d.Alpha)
+	}
+	if got := d.AlphaAccuracy(); got != 2.0/3.0 {
+		t.Errorf("accuracy = %v, want 2/3", got)
+	}
+	if d.Calibration[4].N != 2 || d.Calibration[4].Correct != 2 || d.Calibration[0].N != 1 || d.Calibration[0].Correct != 0 {
+		t.Errorf("calibration = %v", d.Calibration)
+	}
+	if want := []int64{1, 0, 1}; fmt.Sprint(d.BetaRanks) != fmt.Sprint(want) {
+		t.Errorf("betaRanks = %v, want %v", d.BetaRanks, want)
+	}
+	if d.BetaTopK(1) != 0.5 || d.BetaTopK(3) != 1 {
+		t.Errorf("top-1 = %v, top-3 = %v", d.BetaTopK(1), d.BetaTopK(3))
+	}
+	if d.CacheChecks != 2 || d.CacheStale != 1 {
+		t.Errorf("cache = %d/%d, want 2/1", d.CacheChecks, d.CacheStale)
+	}
+	if d.ModeRegret.Runs != 1 || d.ModeRegret.TotalNanos != 100 || d.ModeRegret.Timeouts != 0 {
+		t.Errorf("mode regret = %+v", d.ModeRegret)
+	}
+	if d.PlanRegret.Runs != 1 || d.PlanRegret.TotalNanos != 300 || d.PlanRegret.Timeouts != 1 {
+		t.Errorf("plan regret = %+v", d.PlanRegret)
+	}
+	if d.ShadowMismatches != 1 || d.DriftEvents != 1 {
+		t.Errorf("mismatches/drift = %d/%d, want 1/1", d.ShadowMismatches, d.DriftEvents)
+	}
+
+	m.Reset()
+	if d := m.Snapshot(); d.AlphaTotal() != 0 || d.BetaObserved() != 0 {
+		t.Errorf("Reset left data behind: %+v", d)
+	}
+
+	// Nil-safety: every method on a nil receiver is a no-op.
+	var nm *ModelStats
+	nm.ObserveAlpha(true, true, 0)
+	nm.ObserveBetaRank(1)
+	nm.ObserveCacheCheck(true)
+	nm.ObserveRegret(DecisionKindMode, 1, false)
+	nm.ObserveShadowMismatch()
+	nm.ObserveDrift()
+	nm.Reset()
+	if d := nm.Snapshot(); d.AlphaTotal() != 0 {
+		t.Error("nil ModelStats snapshot non-empty")
+	}
+}
+
+// TestModelzConcurrent hammers DefaultModelStats from writer goroutines
+// while readers fetch /modelz in both renderings — the -race test of the
+// model-telemetry path (writers take the stats mutex, the handler
+// snapshots under it).
+func TestModelzConcurrent(t *testing.T) {
+	withEnabled(t, func() {
+		DefaultModelStats.Reset()
+		defer DefaultModelStats.Reset()
+		h := Handler(NewRegistry(), NewTracer(1), NewRecorder(1))
+
+		var wg sync.WaitGroup
+		const writers, iters = 4, 200
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					DefaultModelStats.ObserveAlpha(i%2 == 0, i%3 == 0, float64(i%10)/10)
+					DefaultModelStats.ObserveBetaRank(1 + i%4)
+					DefaultModelStats.ObserveCacheCheck(i%7 == 0)
+					DefaultModelStats.ObserveRegret(DecisionKindMode, 50, false)
+					DefaultModelStats.ObserveRegret(DecisionKindPlan, 80, i%5 == 0)
+				}
+			}(w)
+		}
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if code, body := get(t, h, "/modelz"); code != 200 || !strings.Contains(body, "confusion matrix") {
+						t.Errorf("/modelz = %d\n%s", code, body)
+						return
+					}
+					if code, body := get(t, h, "/modelz?format=json"); code != 200 || !strings.Contains(body, `"alpha_confusion"`) {
+						t.Errorf("/modelz?format=json = %d\n%s", code, body)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+
+		d := DefaultModelStats.Snapshot()
+		if got, want := d.AlphaTotal(), int64(writers*iters); got != want {
+			t.Errorf("alpha total = %d, want %d (lost updates under contention)", got, want)
+		}
+		if got, want := d.BetaObserved(), int64(writers*iters); got != want {
+			t.Errorf("beta observed = %d, want %d", got, want)
+		}
+		if got, want := d.ModeRegret.Runs+d.PlanRegret.Runs, int64(2*writers*iters); got != want {
+			t.Errorf("regret runs = %d, want %d", got, want)
+		}
+
+		// The final rendering reflects the settled totals in both formats.
+		_, body := get(t, h, "/modelz?format=json")
+		var js ModelStatsData
+		if err := json.Unmarshal([]byte(body), &js); err != nil {
+			t.Fatalf("/modelz JSON: %v", err)
+		}
+		if js.AlphaTotal() != d.AlphaTotal() {
+			t.Errorf("/modelz JSON alpha total = %d, snapshot %d", js.AlphaTotal(), d.AlphaTotal())
+		}
+	})
+}

@@ -22,6 +22,10 @@ import (
 //	/profilez           flight recorder: K slowest + K most recent profiles
 //	/profilez?id=N      one profile as an EXPLAIN ANALYZE text tree
 //	/profilez?format=json  the same data as JSON (combinable with id=N)
+//	/modelz             model-decision telemetry: model-α confusion matrix,
+//	                    vote-margin calibration, model-β plan rank, cache
+//	                    quality, shadow-scoring regret, drift events
+//	/modelz?format=json the same data as JSON
 //	/debug/pprof/       the standard net/http/pprof handlers
 func Handler(reg *Registry, tracer *Tracer, recorder *Recorder) http.Handler {
 	mux := http.NewServeMux()
@@ -128,6 +132,22 @@ func Handler(reg *Registry, tracer *Tracer, recorder *Recorder) http.Handler {
 		writeProfileTable(&buf, "slowest finished profiles", slowest)
 		writeProfileTable(&buf, "most recent profiles (newest first)", recent)
 		if _, err := w.Write(buf.Bytes()); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/modelz", func(w http.ResponseWriter, req *http.Request) {
+		d := DefaultModelStats.Snapshot()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(d); err != nil {
+				return
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := d.WriteText(w); err != nil {
 			return
 		}
 	})

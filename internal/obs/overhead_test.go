@@ -11,6 +11,7 @@
 package obs_test
 
 import (
+	"bytes"
 	"math/rand"
 	"strings"
 	"testing"
@@ -183,6 +184,87 @@ func TestObsOverheadGuard(t *testing.T) {
 		perCheck*1e9, perNilCheck*1e9, events, profEvents, overhead*1e6, wall*1e3, limit*1e6)
 	if overhead > limit {
 		t.Errorf("disabled-path overhead %.3gs exceeds 2%% of workload wall time %.3gs", overhead, wall)
+	}
+}
+
+// auditRate is package-level so the compiler cannot fold the
+// auditing() stand-in branch below.
+var auditRate float64
+
+// TestObsShadowDisabledOverhead is the ShadowRate=0 guard: shadow
+// scoring off must cost at most a rate comparison per rung-1 candidate
+// — under 2% of workload wall time — and must leave every shadow
+// artifact empty: no shadow runs, no shadow work, no regret, and zero
+// decision-log records even when a log is attached.
+func TestObsShadowDisabledOverhead(t *testing.T) {
+	prev := obs.Enabled()
+	defer obs.Enable(prev)
+	obs.Enable(false)
+
+	// 1. Per-candidate cost of the disabled audit gate. Options.auditing
+	// is two float comparisons on plain struct fields; model the branch
+	// with a package-level rate the compiler cannot constant-fold.
+	const checks = 1 << 21
+	start := time.Now()
+	hits := 0
+	for i := 0; i < checks; i++ {
+		if auditRate > 0 {
+			hits++
+		}
+	}
+	perCheck := time.Since(start).Seconds() / checks
+	sink = hits
+
+	// 2. Representative workload with ShadowRate=0 and a decision log
+	// attached (appends are sampling-gated, so it must stay empty).
+	g := overheadGraph(t)
+	rng := rand.New(rand.NewSource(2))
+	queries, err := repro.ExtractQueries(g, 4, 16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	dlog := obs.NewDecisionLog(&logBuf, 0)
+	eng, err := repro.NewEngine(g, repro.Options{Seed: 2, DecisionLog: dlog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var candidates int64
+	var shadowRuns, shadowWork, regretNanos int64
+	t0 := time.Now()
+	for _, q := range queries {
+		res, err := eng.Evaluate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		candidates += int64(res.Candidates)
+		shadowRuns += res.ShadowModeRuns + res.ShadowPlanRuns + res.ShadowTimeouts
+		shadowWork += res.ShadowWork.Total()
+		regretNanos += res.Regret.Nanoseconds()
+	}
+	wall := time.Since(t0).Seconds()
+	if err := dlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if shadowRuns != 0 || shadowWork != 0 || regretNanos != 0 {
+		t.Errorf("ShadowRate=0 left shadow artifacts: runs=%d work=%d regret=%dns", shadowRuns, shadowWork, regretNanos)
+	}
+	if dlog.Written() != 0 || logBuf.Len() != 0 {
+		t.Errorf("ShadowRate=0 wrote %d decision records (%d bytes); appends must be sampling-gated", dlog.Written(), logBuf.Len())
+	}
+	if candidates == 0 {
+		t.Fatal("workload evaluated no candidates; fixture broken")
+	}
+
+	// 3. Budget: a bounded handful of audit-gate branches per candidate.
+	const sitesPerCandidate = 4
+	overhead := perCheck * float64(candidates) * sitesPerCandidate
+	limit := 0.02 * wall
+	t.Logf("perCheck=%.2fns candidates=%d overhead=%.3fµs wall=%.3fms (limit %.3fµs)",
+		perCheck*1e9, candidates, overhead*1e6, wall*1e3, limit*1e6)
+	if overhead > limit {
+		t.Errorf("ShadowRate=0 audit-gate overhead %.3gs exceeds 2%% of workload wall time %.3gs", overhead, wall)
 	}
 }
 

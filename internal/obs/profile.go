@@ -186,12 +186,20 @@ type Profile struct {
 	trainTime    time.Duration
 	cacheHits    int64
 	cacheMisses  int64
-	modeCounts   [len(modeNames)]int64
-	planCounts   []int64
-	ladder       [NumLadderRungs]LadderRung
-	funnel       Funnel
-	work         map[string]int64
-	errMsg       string
+	// Shadow-audit aggregates (regret is the per-query total of
+	// max(0, primary − counterfactual) across audited decisions).
+	shadowModeRuns int64
+	shadowPlanRuns int64
+	shadowTimeouts int64
+	regretNanos    int64
+	cacheChecks    int64
+	cacheStale     int64
+	modeCounts     [len(modeNames)]int64
+	planCounts     []int64
+	ladder         [NumLadderRungs]LadderRung
+	funnel         Funnel
+	work           map[string]int64
+	errMsg         string
 }
 
 // NewProfile returns a standalone profile (no recorder); tests and
@@ -300,6 +308,49 @@ func (p *Profile) RecordDecision(fromCache bool, mode, planIdx int) {
 		p.planCounts[planIdx]++
 	}
 	p.mu.Unlock()
+}
+
+// RecordShadow records one shadow audit: kind (DecisionKindMode or
+// DecisionKindPlan), the decision's regret, and whether the
+// counterfactual was censored by the shadow budget.
+func (p *Profile) RecordShadow(kind string, regret time.Duration, timedOut bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if kind == DecisionKindPlan {
+		p.shadowPlanRuns++
+	} else {
+		p.shadowModeRuns++
+	}
+	if timedOut {
+		p.shadowTimeouts++
+	}
+	p.regretNanos += regret.Nanoseconds()
+	p.mu.Unlock()
+}
+
+// RecordCacheCheck records one sampled cache-quality audit.
+func (p *Profile) RecordCacheCheck(stale bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.cacheChecks++
+	if stale {
+		p.cacheStale++
+	}
+	p.mu.Unlock()
+}
+
+// RegretNanos returns the per-query total shadow-scoring regret.
+func (p *Profile) RegretNanos() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.regretNanos
 }
 
 // LadderObserve records one recovery-ladder rung execution: the rung
@@ -417,26 +468,34 @@ func (p *Profile) FinishIn(d time.Duration) {
 // ready, and the input of the text renderer. Durations are nanoseconds
 // in JSON.
 type ProfileData struct {
-	ID            uint64           `json:"id"`
-	Name          string           `json:"name"`
-	Start         time.Time        `json:"start"`
-	DurationNanos int64            `json:"duration_nanos"`
-	Finished      bool             `json:"finished"`
-	Method        string           `json:"method"`
-	Candidates    int              `json:"candidates"`
-	Bindings      int              `json:"bindings"`
-	TrainedNodes  int              `json:"trained_nodes"`
-	PlanClasses   int              `json:"plan_classes"`
-	TrainNanos    int64            `json:"train_nanos"`
-	CacheHits     int64            `json:"cache_hits"`
-	CacheMisses   int64            `json:"cache_misses"`
-	ModePredicted map[string]int64 `json:"mode_predicted,omitempty"`
-	PlanChosen    []int64          `json:"plan_chosen,omitempty"`
-	Ladder        []LadderRung     `json:"ladder"`
-	LadderNames   []string         `json:"ladder_names"`
-	Funnel        []FunnelDepth    `json:"funnel,omitempty"`
-	Work          map[string]int64 `json:"work,omitempty"`
-	Error         string           `json:"error,omitempty"`
+	ID            uint64    `json:"id"`
+	Name          string    `json:"name"`
+	Start         time.Time `json:"start"`
+	DurationNanos int64     `json:"duration_nanos"`
+	Finished      bool      `json:"finished"`
+	Method        string    `json:"method"`
+	Candidates    int       `json:"candidates"`
+	Bindings      int       `json:"bindings"`
+	TrainedNodes  int       `json:"trained_nodes"`
+	PlanClasses   int       `json:"plan_classes"`
+	TrainNanos    int64     `json:"train_nanos"`
+	CacheHits     int64     `json:"cache_hits"`
+	CacheMisses   int64     `json:"cache_misses"`
+	// Shadow-audit aggregates: runs per audited model, budget-censored
+	// counterfactuals, per-query total regret, and cache-quality checks.
+	ShadowModeRuns int64            `json:"shadow_mode_runs,omitempty"`
+	ShadowPlanRuns int64            `json:"shadow_plan_runs,omitempty"`
+	ShadowTimeouts int64            `json:"shadow_timeouts,omitempty"`
+	RegretNanos    int64            `json:"regret_nanos,omitempty"`
+	CacheChecks    int64            `json:"cache_quality_checks,omitempty"`
+	CacheStale     int64            `json:"cache_stale_hits,omitempty"`
+	ModePredicted  map[string]int64 `json:"mode_predicted,omitempty"`
+	PlanChosen     []int64          `json:"plan_chosen,omitempty"`
+	Ladder         []LadderRung     `json:"ladder"`
+	LadderNames    []string         `json:"ladder_names"`
+	Funnel         []FunnelDepth    `json:"funnel,omitempty"`
+	Work           map[string]int64 `json:"work,omitempty"`
+	Error          string           `json:"error,omitempty"`
 }
 
 // Snapshot captures the profile's current state.
@@ -451,24 +510,30 @@ func (p *Profile) Snapshot() ProfileData {
 		dur = time.Since(p.start)
 	}
 	d := ProfileData{
-		ID:            p.id,
-		Name:          p.name,
-		Start:         p.start,
-		DurationNanos: dur.Nanoseconds(),
-		Finished:      p.finished,
-		Method:        p.method,
-		Candidates:    p.candidates,
-		Bindings:      p.bindings,
-		TrainedNodes:  p.trainedNodes,
-		PlanClasses:   p.planClasses,
-		TrainNanos:    p.trainTime.Nanoseconds(),
-		CacheHits:     p.cacheHits,
-		CacheMisses:   p.cacheMisses,
-		PlanChosen:    append([]int64(nil), p.planCounts...),
-		Ladder:        append([]LadderRung(nil), p.ladder[:]...),
-		LadderNames:   append([]string(nil), ladderRungNames[:]...),
-		Funnel:        append([]FunnelDepth(nil), p.funnel.Depths...),
-		Error:         p.errMsg,
+		ID:             p.id,
+		Name:           p.name,
+		Start:          p.start,
+		DurationNanos:  dur.Nanoseconds(),
+		Finished:       p.finished,
+		Method:         p.method,
+		Candidates:     p.candidates,
+		Bindings:       p.bindings,
+		TrainedNodes:   p.trainedNodes,
+		PlanClasses:    p.planClasses,
+		TrainNanos:     p.trainTime.Nanoseconds(),
+		CacheHits:      p.cacheHits,
+		CacheMisses:    p.cacheMisses,
+		ShadowModeRuns: p.shadowModeRuns,
+		ShadowPlanRuns: p.shadowPlanRuns,
+		ShadowTimeouts: p.shadowTimeouts,
+		RegretNanos:    p.regretNanos,
+		CacheChecks:    p.cacheChecks,
+		CacheStale:     p.cacheStale,
+		PlanChosen:     append([]int64(nil), p.planCounts...),
+		Ladder:         append([]LadderRung(nil), p.ladder[:]...),
+		LadderNames:    append([]string(nil), ladderRungNames[:]...),
+		Funnel:         append([]FunnelDepth(nil), p.funnel.Depths...),
+		Error:          p.errMsg,
 	}
 	for m, n := range p.modeCounts {
 		if n != 0 {
@@ -526,6 +591,12 @@ func (d ProfileData) WriteText(w io.Writer) error {
 			}
 		}
 		fmt.Fprintf(&buf, "\n")
+	}
+
+	if d.ShadowModeRuns+d.ShadowPlanRuns+d.CacheChecks > 0 {
+		fmt.Fprintf(&buf, "├─ shadow audit  mode=%d plan=%d censored=%d regret=%s  cache-quality: %d checks / %d stale\n",
+			d.ShadowModeRuns, d.ShadowPlanRuns, d.ShadowTimeouts,
+			time.Duration(d.RegretNanos).Round(time.Microsecond), d.CacheChecks, d.CacheStale)
 	}
 
 	fmt.Fprintf(&buf, "├─ recovery ladder (§4.3)\n")

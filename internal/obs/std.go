@@ -71,6 +71,21 @@ var (
 	SmartFunnelRecursed  = Default.Histogram("smartpsi_funnel_recursed", "per-query funnel: candidates recursed into", CountBuckets)
 	SmartFunnelMatched   = Default.Histogram("smartpsi_funnel_matched", "per-query funnel: candidates whose subtree produced a full mapping", CountBuckets)
 
+	// --- package smartpsi: model-decision audit (shadow scoring, drift) ---
+
+	SmartShadowModeRuns     = Default.Counter("smartpsi_shadow_mode_runs_total", "shadow runs of the opposite method on sampled candidates (model-α audit)")
+	SmartShadowPlanRuns     = Default.Counter("smartpsi_shadow_plan_runs_total", "shadow runs of a sampled alternative plan (model-β audit)")
+	SmartShadowTimeouts     = Default.Counter("smartpsi_shadow_timeouts_total", "shadow runs censored by the shadow budget (counterfactual at least budget; regret 0)")
+	SmartShadowMismatches   = Default.Counter("smartpsi_shadow_mismatches_total", "shadow runs whose matched/not-matched verdict contradicted the primary run (must stay 0)")
+	SmartModeRegretSeconds  = Default.Histogram("smartpsi_shadow_mode_regret_seconds", "per-decision regret of the predicted method vs its counterfactual (max(0, primary − shadow))", LatencyBuckets)
+	SmartPlanRegretSeconds  = Default.Histogram("smartpsi_shadow_plan_regret_seconds", "per-decision regret of the predicted plan vs a sampled alternative", LatencyBuckets)
+	SmartQueryRegretSeconds = Default.Histogram("smartpsi_query_regret_seconds", "per-query total shadow-scoring regret", LatencyBuckets)
+	SmartCacheQualityChecks = Default.Counter("smartpsi_cache_quality_checks_total", "sampled cache hits re-predicted against the fresh per-query models")
+	SmartCacheStaleHits     = Default.Counter("smartpsi_cache_stale_hits_total", "sampled cache hits whose cached decision disagreed with a fresh prediction")
+	SmartBetaRankChecks     = Default.Counter("smartpsi_beta_rank_checks_total", "model-β predictions ranked against the per-plan training sweeps")
+	SmartBetaRankTop1       = Default.Counter("smartpsi_beta_rank_top1_total", "model-β predictions that picked the sweep's fastest plan")
+	SmartDriftEvents        = Default.Counter("smartpsi_model_drift_events_total", "model-α accuracy drift events (windowed-delta detector, internal/ml)")
+
 	// --- package fsm: frequent-subgraph-mining support counting ---
 
 	FSMSupportCalls    = Default.Counter("fsm_support_calls_total", "MNI support evaluations")

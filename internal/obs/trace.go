@@ -43,6 +43,14 @@ const (
 	// one candidate list while evaluating Node; Arg is the number of
 	// truncations.
 	EvCapHit
+	// EvShadow: a shadow audit ran for Node after its primary evaluation
+	// resolved at rung 1; Arg is the regret in nanoseconds.
+	EvShadow
+	// EvDrift: the model-α drift detector fired while scoring Node; Arg
+	// is the detector's cumulative event count. Annotates the recovery-
+	// ladder trace, since §4.3 recoveries are ground-truth-labeled
+	// mispredictions feeding the same stream.
+	EvDrift
 )
 
 var eventKindNames = [...]string{
@@ -56,6 +64,8 @@ var eventKindNames = [...]string{
 	EvFallback:      "fallback",
 	EvModeActual:    "mode_actual",
 	EvCapHit:        "cap_hit",
+	EvShadow:        "shadow",
+	EvDrift:         "drift",
 }
 
 func (k EventKind) String() string {

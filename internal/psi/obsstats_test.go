@@ -51,11 +51,39 @@ func TestObsStatsMergeCoversAllFields(t *testing.T) {
 }
 
 // TestObsPublishStatsCoversAllFields asserts the obs bridge publishes
-// every Stats field to its own counter.
+// every Stats field to its own counter. Coverage is established by
+// probing: each field is set alone and must be read by exactly one
+// publisher, so a failure names the forgotten fields instead of just
+// reporting a count mismatch.
 func TestObsPublishStatsCoversAllFields(t *testing.T) {
-	n := reflect.TypeOf(Stats{}).NumField()
+	typ := reflect.TypeOf(Stats{})
+	n := typ.NumField()
+	var missing, shared []string
+	for i := 0; i < n; i++ {
+		var s Stats
+		reflect.ValueOf(&s).Elem().Field(i).SetInt(7)
+		readers := 0
+		for _, p := range statsPublishers {
+			if p.get(s) != 0 {
+				readers++
+			}
+		}
+		switch readers {
+		case 1:
+		case 0:
+			missing = append(missing, typ.Field(i).Name)
+		default:
+			shared = append(shared, typ.Field(i).Name)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("statsPublishers does not publish Stats fields %v; map each new field to its own obs counter", missing)
+	}
+	if len(shared) > 0 {
+		t.Fatalf("Stats fields %v are read by multiple statsPublishers entries; each field must feed exactly one counter", shared)
+	}
 	if len(statsPublishers) != n {
-		t.Fatalf("statsPublishers has %d entries for %d Stats fields; map the new field to an obs counter", len(statsPublishers), n)
+		t.Fatalf("statsPublishers has %d entries for %d Stats fields; some publisher reads no field", len(statsPublishers), n)
 	}
 	seen := make(map[*obs.Counter]int)
 	for i, p := range statsPublishers {

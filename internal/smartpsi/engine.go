@@ -9,6 +9,7 @@ package smartpsi
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/graph"
@@ -54,8 +55,35 @@ type Options struct {
 	// Threads is the number of candidate-evaluation workers (default 1;
 	// Figure 9 uses 2 for parity with the two-threaded baseline).
 	Threads int
-	// Seed drives all sampling (training-set choice, plan sampling).
+	// Seed drives all sampling (training-set choice, plan sampling, and
+	// the deterministic per-worker shadow-sampling streams).
 	Seed int64
+
+	// ShadowRate is the model-decision audit sampling rate (default 0 =
+	// off): on that fraction of non-training candidates whose primary
+	// evaluation resolves at recovery-ladder rung 1, the engine also
+	// runs the *opposite* method as a shadow and records the decision's
+	// regret (max(0, primary − counterfactual) wall time). The same rate
+	// samples cache hits for cache-quality audits (cached decision vs a
+	// fresh model prediction). Rate 1 audits every eligible decision —
+	// the deterministic seam tests use. Shadow work is accounted in
+	// Result.ShadowWork, never in Result.Work.
+	ShadowRate float64
+	// PlanShadowRate samples shadow runs of a random *alternative plan*
+	// under the same method (model-β audit). Zero defaults to
+	// ShadowRate/4 — plan counterfactuals are costlier and noisier, so
+	// they run at a lower rate.
+	PlanShadowRate float64
+	// DecisionLog, when non-nil, captures one schema-versioned JSONL
+	// record per audited decision (see obs.DecisionRecord); replay it
+	// with cmd/psi-decisions. Only audited decisions are logged, so
+	// ShadowRate=0 writes nothing.
+	DecisionLog *obs.DecisionLog
+	// Drift configures the model-α accuracy drift detector fed by every
+	// scored prediction across the engine's lifetime (zero: defaults —
+	// window 64, threshold 0.2). Events raise
+	// smartpsi_model_drift_events_total and annotate the query trace.
+	Drift ml.DriftConfig
 
 	// Ablation switches (all false in the full system).
 	DisableCache      bool // skip the Section 4.2.3 prediction cache
@@ -63,6 +91,17 @@ type Options struct {
 	DisablePreemption bool // no Section 4.3 detection & recovery
 	DisableTypeModel  bool // always predict "invalid" (pessimistic only)
 }
+
+// planShadowRate resolves the effective model-β shadow rate.
+func (o Options) planShadowRate() float64 {
+	if o.PlanShadowRate > 0 {
+		return o.PlanShadowRate
+	}
+	return o.ShadowRate / 4
+}
+
+// auditing reports whether any decision audit can trigger.
+func (o Options) auditing() bool { return o.ShadowRate > 0 || o.PlanShadowRate > 0 }
 
 func (o Options) withDefaults() Options {
 	if o.SignatureDepth <= 0 {
@@ -112,6 +151,17 @@ type Engine struct {
 	// state (1, 2, 3). Only the recovery-ladder tests set it, to force
 	// exact timeout sequences without depending on wall-clock budgets.
 	evalHook func(state int, mode psi.Mode, planIdx int) (bool, error)
+	// shadowHook, when non-nil, replaces the counterfactual evaluation
+	// inside shadow audits with a deterministic stand-in keyed by the
+	// shadow's (mode, plan). Only the shadow-audit tests set it — paired
+	// with evalHook it pins the exact audit call sites without timing.
+	shadowHook func(mode psi.Mode, planIdx int) (bool, error)
+
+	// drift is the model-α accuracy drift detector, fed by every scored
+	// prediction across the engine's lifetime (Options.Drift). Candidate
+	// workers run concurrently, so driftMu serializes Observe.
+	driftMu sync.Mutex
+	drift   *ml.DriftDetector
 }
 
 // NewEngine builds an engine over g, computing node signatures with the
@@ -133,6 +183,7 @@ func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
 		sigs:               sigs,
 		opts:               opts,
 		SignatureBuildTime: buildTime,
+		drift:              ml.NewDriftDetector(opts.Drift),
 	}, nil
 }
 
@@ -155,7 +206,15 @@ func NewEngineWithSignatures(g *graph.Graph, sigs *signature.Signatures, opts Op
 	if sigs.Depth() != opts.SignatureDepth {
 		return nil, fmt.Errorf("smartpsi: signature depth %d, options want %d", sigs.Depth(), opts.SignatureDepth)
 	}
-	return &Engine{g: g, sigs: sigs, opts: opts}, nil
+	return &Engine{g: g, sigs: sigs, opts: opts, drift: ml.NewDriftDetector(opts.Drift)}, nil
+}
+
+// DriftEvents returns the cumulative model-α drift-event count raised by
+// this engine's detector (see Options.Drift).
+func (e *Engine) DriftEvents() int64 {
+	e.driftMu.Lock()
+	defer e.driftMu.Unlock()
+	return e.drift.Events()
 }
 
 // Graph returns the engine's data graph.

@@ -54,6 +54,21 @@ type Result struct {
 	// cap hits, deadline aborts, ...) across training and all candidate
 	// workers, merged with the canonical psi.Stats.Add.
 	Work psi.Stats
+
+	// ShadowModeRuns / ShadowPlanRuns count the sampled shadow audits
+	// (Options.ShadowRate); ShadowTimeouts counts counterfactuals
+	// censored by the 16x-primary shadow budget.
+	ShadowModeRuns, ShadowPlanRuns, ShadowTimeouts int64
+	// Regret totals the audited decisions' regret: max(0, primary −
+	// counterfactual) wall time, summed over this query's shadow runs.
+	Regret time.Duration
+	// CacheChecks / CacheStale count sampled cache-quality audits and
+	// the hits whose fresh prediction disagreed with the cached decision.
+	CacheChecks, CacheStale int64
+	// ShadowWork aggregates the counterfactual evaluators' work. Audits
+	// never contribute to Work: primary accounting must be identical
+	// with auditing on or off.
+	ShadowWork psi.Stats
 	// Profile is the query's execution profile — the EXPLAIN ANALYZE
 	// document rendered by `psi-query -explain` and retained by the
 	// /profilez flight recorder. Nil when obs collection is disabled;
@@ -92,11 +107,14 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (_ *Result, r
 	enabled := obs.Enabled()
 	var tr *obs.QueryTrace
 	var prof *obs.Profile
+	qname := ""
+	if enabled || e.opts.auditing() || e.opts.DecisionLog != nil {
+		qname = fmt.Sprintf("smartpsi/q%d.p%d", q.Size(), int(q.Pivot))
+	}
 	if enabled {
 		obs.SmartQueries.Inc()
-		name := fmt.Sprintf("smartpsi/q%d.p%d", q.Size(), int(q.Pivot))
-		tr = obs.StartQuery(name)
-		prof = obs.StartProfile(name)
+		tr = obs.StartQuery(qname)
+		prof = obs.StartProfile(qname)
 	}
 	defer tr.Finish()
 	// Seal the profile on every exit: error paths record the error so
@@ -118,6 +136,9 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (_ *Result, r
 			obs.SmartQuerySeconds.Observe(time.Since(start).Seconds())
 			obs.SmartRecursionDist.Observe(float64(res.Work.Recursions))
 			psi.PublishStats(res.Work)
+			if e.opts.auditing() {
+				obs.SmartQueryRegretSeconds.Observe(res.Regret.Seconds())
+			}
 			if prof != nil {
 				tot := prof.FunnelTotals()
 				obs.SmartFunnelGenerated.Observe(float64(tot.Generated))
@@ -231,6 +252,10 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (_ *Result, r
 	if prof != nil {
 		st.SetFunnel(&obs.Funnel{})
 	}
+	// Retain the per-plan sweep measurements for the model-β plan-rank
+	// audit (scoreBetaRanks) when anyone will consume them.
+	collectSweeps := (enabled || (e.opts.DecisionLog != nil && e.opts.auditing())) && !e.opts.DisablePlanModel
+	var sweeps []betaSweep
 	for i, u := range trainNodes {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return nil, psi.ErrDeadline
@@ -239,9 +264,13 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (_ *Result, r
 		var bestPlan int
 		if i < e.opts.PlanSweepNodes {
 			// Full per-plan sweep: labels both models.
-			isValid, bestPlan, err = e.trainOne(ev, st, compiled, u, timing, deadline)
+			var outcomes []planOutcome
+			isValid, bestPlan, outcomes, err = e.trainOne(ev, st, compiled, u, timing, deadline)
 			if err != nil {
 				return nil, err
+			}
+			if collectSweeps && bestPlan >= 0 {
+				sweeps = append(sweeps, betaSweep{node: u, outcomes: outcomes})
 			}
 		} else {
 			// Single heuristic-plan evaluation: labels model α only.
@@ -289,6 +318,9 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (_ *Result, r
 		obs.SmartTrainSeconds.Observe(res.TrainTime.Seconds())
 		tr.Event(obs.EvTrainDone, -1, int64(trainCount))
 	}
+	if betaModel != nil && len(sweeps) > 0 {
+		e.scoreBetaRanks(qname, betaModel, sweeps)
+	}
 
 	// ----- Prediction + preemptive evaluation (Sections 4.2.3, 4.3) -----
 	evalStart := time.Now()
@@ -324,10 +356,20 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (_ *Result, r
 				wst.SetFunnel(&obs.Funnel{})
 			}
 			local := workerCounters{}
+			if e.opts.auditing() {
+				// Shadow audits get their own sampling stream and their
+				// own evaluator state: counterfactual work must land in
+				// ShadowWork, never in the primary accounting.
+				local.rng = newShadowRNG(e.opts.Seed, w)
+				local.shadowState = psi.NewState(q.Size())
+			}
 			// Merge the worker's counters even on the error paths, so
 			// censored runs still account their work.
 			defer func() {
 				local.work = wst.Stats()
+				if local.shadowState != nil {
+					local.shadowWork = local.shadowState.Stats()
+				}
 				prof.MergeFunnel(wst.Funnel())
 				mu.Lock()
 				local.mergeInto(res, &modelNanos)
@@ -338,7 +380,7 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (_ *Result, r
 					errs[w] = psi.ErrDeadline
 					return
 				}
-				ok, err := e.evaluateOne(ev, wst, compiled, u, alphaModel, betaModel, timing, &cache, &local, tr, prof, deadline)
+				ok, err := e.evaluateOne(ev, wst, compiled, qname, u, alphaModel, betaModel, timing, &cache, &local, tr, prof, deadline)
 				if err != nil {
 					errs[w] = err
 					return
@@ -404,16 +446,21 @@ func (e *Engine) collect(res *Result, q graph.Query, valid map[graph.NodeID]bool
 	return nil
 }
 
+// planOutcome is one plan's measurement in a training sweep: whether it
+// finished within the escalating limit, the node's validity under it,
+// and its wall time. scoreBetaRanks replays retained outcomes to rank
+// model β's predictions.
+type planOutcome struct {
+	done  bool
+	valid bool
+	took  time.Duration
+}
+
 // trainOne evaluates a training node under every sampled plan with the
 // escalating time limit of Section 4.2.2, returning its ground-truth
-// validity and the fastest plan's index.
-func (e *Engine) trainOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.Compiled, u graph.NodeID, timing *planTiming, global time.Time) (bool, int, error) {
-	type planResult struct {
-		done  bool
-		valid bool
-		took  time.Duration
-	}
-	results := make([]planResult, len(compiled))
+// validity, the fastest plan's index, and the per-plan outcomes.
+func (e *Engine) trainOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.Compiled, u graph.NodeID, timing *planTiming, global time.Time) (bool, int, []planOutcome, error) {
+	results := make([]planOutcome, len(compiled))
 	limit := e.opts.PlanTimeLimit
 	// Cap the whole sweep for one node: expensive nodes would otherwise
 	// burn escalation rounds across every plan (each retry restarts from
@@ -439,14 +486,14 @@ func (e *Engine) trainOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.Com
 			took := time.Since(t0)
 			if err == psi.ErrDeadline {
 				if !global.IsZero() && time.Now().After(global) {
-					return false, 0, psi.ErrDeadline
+					return false, 0, nil, psi.ErrDeadline
 				}
 				continue
 			}
 			if err != nil {
-				return false, 0, err
+				return false, 0, nil, err
 			}
-			results[i] = planResult{done: true, valid: ok, took: took}
+			results[i] = planOutcome{done: true, valid: ok, took: took}
 			timing.record(psi.Pessimistic, i, took)
 			anyDone = true
 		}
@@ -458,11 +505,12 @@ func (e *Engine) trainOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.Com
 		t0 := time.Now()
 		ok, err := ev.Evaluate(st, compiled[0], u, psi.Pessimistic, psi.Limits{Deadline: global})
 		if err != nil {
-			return false, 0, err
+			return false, 0, nil, err
 		}
 		took := time.Since(t0)
 		timing.record(psi.Pessimistic, 0, took)
-		return ok, 0, nil
+		results[0] = planOutcome{done: true, valid: ok, took: took}
+		return ok, 0, results, nil
 	}
 	best, bestTook := -1, time.Duration(0)
 	var validity bool
@@ -472,7 +520,7 @@ func (e *Engine) trainOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.Com
 			validity = r.valid
 		}
 	}
-	return validity, best, nil
+	return validity, best, results, nil
 }
 
 type workerCounters struct {
@@ -480,13 +528,24 @@ type workerCounters struct {
 	flips, fallbacks         int64
 	alphaCorrect, alphaTotal int64
 	modelNanos               int64
-	work                     psi.Stats // the worker State's counters, captured at exit
-	votesScratch             []int     // forest-vote scratch, reused per worker
+	// Shadow-audit counters (Options.ShadowRate; see shadow.go).
+	shadowModeRuns, shadowPlanRuns, shadowTimeouts int64
+	regretNanos                                    int64
+	cacheChecks, cacheStale                        int64
+	work                                           psi.Stats // the worker State's counters, captured at exit
+	shadowWork                                     psi.Stats // the shadow State's counters, captured at exit
+
+	// Non-counter scratch (exempt from the mergeInto coverage test).
+	votesScratch []int      // forest-vote scratch, reused per worker
+	rng          *rand.Rand // deterministic shadow-sampling stream
+	shadowState  *psi.State // counterfactual evaluator state (nil unless auditing)
 }
 
 // mergeInto folds one worker's counters into the shared result. The
 // caller holds the result mutex. Evaluator work merges through the
-// canonical psi.Stats.Add so new Stats fields propagate automatically.
+// canonical psi.Stats.Add so new Stats fields propagate automatically;
+// TestMergeIntoCoversAllCounters enumerates the int64 fields and fails
+// with the names of any this function forgets.
 func (w *workerCounters) mergeInto(res *Result, modelNanos *int64) {
 	res.CacheHits += w.cacheHits
 	res.CacheMisses += w.cacheMisses
@@ -494,7 +553,14 @@ func (w *workerCounters) mergeInto(res *Result, modelNanos *int64) {
 	res.Fallbacks += w.fallbacks
 	res.Alpha.Correct += w.alphaCorrect
 	res.Alpha.Total += w.alphaTotal
+	res.ShadowModeRuns += w.shadowModeRuns
+	res.ShadowPlanRuns += w.shadowPlanRuns
+	res.ShadowTimeouts += w.shadowTimeouts
+	res.Regret += time.Duration(w.regretNanos)
+	res.CacheChecks += w.cacheChecks
+	res.CacheStale += w.cacheStale
 	res.Work.Add(w.work)
+	res.ShadowWork.Add(w.shadowWork)
 	*modelNanos += w.modelNanos
 }
 
@@ -508,12 +574,18 @@ func (w *workerCounters) votes(n int) []int {
 type decision struct {
 	mode    psi.Mode
 	planIdx int
+	// margin is model α's forest vote margin in [0,1] for this decision
+	// ((winner − runner-up) / trees); 0 when no model predicted. Cached
+	// decisions carry the margin of the prediction that filled the cache.
+	margin float64
 }
 
 // evaluateOne runs the prediction + preemptive pipeline for one
 // candidate node, emitting the recovery-ladder trace grammar
 // documented on obs.EventKind and the profiler's per-rung timeline.
-func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.Compiled,
+// Rung-1 resolutions additionally run the sampled shadow audits
+// (shadow.go); rungs 2–3 never do — they are already counterfactuals.
+func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.Compiled, qname string,
 	u graph.NodeID, alphaModel, betaModel *ml.Forest, timing *planTiming,
 	cache *sync.Map, local *workerCounters, tr *obs.QueryTrace, prof *obs.Profile, global time.Time) (bool, error) {
 
@@ -554,9 +626,11 @@ func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.
 		t0 := time.Now()
 		dec.mode = psi.Pessimistic
 		if alphaModel != nil {
-			if alphaModel.PredictInto(row, local.votes(alphaModel.NumClasses())) == 1 {
+			votes := local.votes(alphaModel.NumClasses())
+			if alphaModel.PredictInto(row, votes) == 1 {
 				dec.mode = psi.Optimistic
 			}
+			dec.margin = voteMargin(votes, alphaModel.NumTrees())
 			predicted = true
 		}
 		dec.planIdx = 0
@@ -605,7 +679,13 @@ func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.
 		if !cached && !e.opts.DisableCache {
 			cache.Store(key, dec)
 		}
-		e.scoreAlpha(local, tr, u, predicted, dec.mode, ok)
+		e.scoreAlpha(local, tr, u, predicted, dec.mode, dec.margin, ok)
+		if e.opts.auditing() {
+			if aerr := e.auditDecision(ev, compiled, qname, u, row, dec, cached, ok, took,
+				alphaModel, betaModel, local, tr, prof, global); aerr != nil {
+				return false, aerr
+			}
+		}
 		return ok, nil
 	}
 	if err != psi.ErrDeadline || globalExpired() {
@@ -634,7 +714,7 @@ func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.
 	prof.LadderObserve(obs.LadderOpposite, err == nil, took)
 	if err == nil {
 		timing.record(opp, dec.planIdx, took)
-		e.scoreAlpha(local, tr, u, predicted, dec.mode, ok)
+		e.scoreAlpha(local, tr, u, predicted, dec.mode, dec.margin, ok)
 		return ok, nil
 	}
 	if err != psi.ErrDeadline || globalExpired() {
@@ -663,14 +743,17 @@ func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.
 		return false, err
 	}
 	timing.record(dec.mode, 0, took)
-	e.scoreAlpha(local, tr, u, predicted, dec.mode, ok)
+	e.scoreAlpha(local, tr, u, predicted, dec.mode, dec.margin, ok)
 	return ok, nil
 }
 
 // scoreAlpha records ground truth for one candidate: the EvModeActual
 // trace event plus model α's accuracy counters when a prediction was
-// actually made.
-func (e *Engine) scoreAlpha(local *workerCounters, tr *obs.QueryTrace, u graph.NodeID, predicted bool, mode psi.Mode, actualValid bool) {
+// actually made. With collection enabled every scored prediction also
+// feeds the /modelz confusion matrix, the vote-margin calibration
+// buckets, and the engine's drift detector (ground truth is free here —
+// the evaluation itself labels the node, §4.2.1).
+func (e *Engine) scoreAlpha(local *workerCounters, tr *obs.QueryTrace, u graph.NodeID, predicted bool, mode psi.Mode, margin float64, actualValid bool) {
 	enabled := obs.Enabled()
 	if enabled {
 		v := int64(0)
@@ -691,6 +774,16 @@ func (e *Engine) scoreAlpha(local *workerCounters, tr *obs.QueryTrace, u graph.N
 		obs.SmartModeChecks.Inc()
 		if !correct {
 			obs.SmartMispredicts.Inc()
+		}
+		obs.DefaultModelStats.ObserveAlpha(mode == psi.Optimistic, actualValid, margin)
+		e.driftMu.Lock()
+		fired := e.drift.Observe(correct)
+		events := e.drift.Events()
+		e.driftMu.Unlock()
+		if fired {
+			// ObserveDrift also raises smartpsi_model_drift_events_total.
+			obs.DefaultModelStats.ObserveDrift()
+			tr.Event(obs.EvDrift, int64(u), events)
 		}
 	}
 }

@@ -1,0 +1,76 @@
+package smartpsi
+
+import (
+	"reflect"
+	"testing"
+	"unsafe"
+
+	"repro/internal/psi"
+)
+
+// setInt writes v into a (possibly unexported) int64-kind field via its
+// address — the test lives in-package, so this only bypasses reflect's
+// settability rule, not visibility.
+func setInt(f reflect.Value, v int64) {
+	reflect.NewAt(f.Type(), unsafe.Pointer(f.UnsafeAddr())).Elem().SetInt(v)
+}
+
+// sumInt64 deep-sums every int64-kind field (plain counters and
+// time.Durations) reachable through nested structs, skipping pointers,
+// slices and non-counter scalars.
+func sumInt64(v reflect.Value) int64 {
+	switch v.Kind() {
+	case reflect.Int64:
+		return v.Int()
+	case reflect.Struct:
+		var t int64
+		for i := 0; i < v.NumField(); i++ {
+			t += sumInt64(v.Field(i))
+		}
+		return t
+	}
+	return 0
+}
+
+// TestMergeIntoCoversAllCounters is the reflection guard of the worker
+// merge: every int64 counter of workerCounters (and, representatively,
+// its psi.Stats blocks) must land somewhere in Result or the modelNanos
+// out-param. Each field is probed alone, so a failure names the exact
+// dropped (or double-counted) fields instead of reporting a count.
+func TestMergeIntoCoversAllCounters(t *testing.T) {
+	typ := reflect.TypeOf(workerCounters{})
+	statsType := reflect.TypeOf(psi.Stats{})
+	var bad []string
+	probed := 0
+	for i := 0; i < typ.NumField(); i++ {
+		ft := typ.Field(i)
+		var w workerCounters
+		f := reflect.ValueOf(&w).Elem().Field(i)
+		switch {
+		case ft.Type.Kind() == reflect.Int64:
+			setInt(f, 7)
+		case ft.Type == statsType:
+			// One representative Stats counter; Stats.Add has its own
+			// per-field guard (TestObsStatsMergeCoversAllFields).
+			setInt(f.Field(0), 7)
+		default:
+			// Scratch state (votesScratch, rng, shadowState) carries no
+			// counts and is exempt.
+			continue
+		}
+		probed++
+		var res Result
+		var modelNanos int64
+		w.mergeInto(&res, &modelNanos)
+		w.mergeInto(&res, &modelNanos) // twice: catches `=` where `+=` was meant
+		if got := sumInt64(reflect.ValueOf(res)) + modelNanos; got != 14 {
+			bad = append(bad, ft.Name)
+		}
+	}
+	if len(bad) > 0 {
+		t.Fatalf("workerCounters.mergeInto drops or double-counts fields %v; fold each counter into Result (or modelNanos) exactly once", bad)
+	}
+	if probed < 13 {
+		t.Fatalf("probed only %d workerCounters fields; did counter fields change type?", probed)
+	}
+}

@@ -188,7 +188,7 @@ func TestObsRecoveryLadderTraceSequences(t *testing.T) {
 			recBefore := obs.SmartRecoveries.Value()
 
 			prof := obs.NewProfile(tc.name)
-			got, err := e.evaluateOne(ev, st, compiled, u, nil, nil, timing, &cache, &local, tr, prof, tc.global)
+			got, err := e.evaluateOne(ev, st, compiled, "test", u, nil, nil, timing, &cache, &local, tr, prof, tc.global)
 			if !errors.Is(err, tc.wantErr) {
 				t.Fatalf("err = %v, want %v", err, tc.wantErr)
 			}
@@ -260,11 +260,11 @@ func TestObsScoreAlphaMispredictions(t *testing.T) {
 	before := obs.SmartMispredicts.Value()
 
 	// Optimistic prediction means "valid"; actual invalid → mispredict.
-	e.scoreAlpha(&local, tr, 0, true, psi.Optimistic, false)
+	e.scoreAlpha(&local, tr, 0, true, psi.Optimistic, 0, false)
 	// Pessimistic prediction means "invalid"; actual invalid → correct.
-	e.scoreAlpha(&local, tr, 1, true, psi.Pessimistic, false)
+	e.scoreAlpha(&local, tr, 1, true, psi.Pessimistic, 0, false)
 	// No prediction made → not scored.
-	e.scoreAlpha(&local, tr, 2, false, psi.Pessimistic, true)
+	e.scoreAlpha(&local, tr, 2, false, psi.Pessimistic, 0, true)
 
 	if local.alphaTotal != 2 || local.alphaCorrect != 1 {
 		t.Errorf("alpha = %d/%d, want 1/2", local.alphaCorrect, local.alphaTotal)

@@ -1,0 +1,352 @@
+package smartpsi
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/invariant"
+	"repro/internal/obs"
+	"repro/internal/psi"
+)
+
+// auditFixture builds a modest 2-hop-query workload over a sparse
+// random graph: cheap per-candidate evaluations, enough label-0
+// candidates to enter the ML path with MinTrainNodes=10.
+func auditFixture(t *testing.T) (*graph.Graph, graph.Query) {
+	t.Helper()
+	const n, m = 300, 900
+	rng := rand.New(rand.NewSource(9))
+	b := graph.NewBuilder(n, m)
+	for i := 0; i < n; i++ {
+		b.AddNode(graph.Label(i % 3))
+	}
+	for b.NumEdges() < m {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u != v && !b.HasEdge(u, v) {
+			if err := b.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g := b.MustBuild()
+	qb := graph.NewBuilder(3, 2)
+	qb.AddNode(0)
+	qb.AddNode(1)
+	qb.AddNode(2)
+	if err := qb.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := qb.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Pivot at the middle node: two distinct matching orders exist
+	// ([1,0,2] and [1,2,0]), so plan.Sample with PlanSamples=2 yields
+	// two plan classes and the plan-audit path is exercised.
+	q, err := graph.NewQuery(qb.MustBuild(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, q
+}
+
+func auditOptions(rate float64) Options {
+	return Options{
+		Seed:              3,
+		MinTrainNodes:     10,
+		MaxTrainNodes:     20,
+		PlanSamples:       2,
+		DisablePreemption: true, // rung 1 always resolves: deterministic
+		ShadowRate:        rate,
+		PlanShadowRate:    rate,
+	}
+}
+
+// TestShadowRungOneOnly pins the audit call sites with deterministic
+// hooks: a shadow may run only after a rung-1 resolution — never when
+// the recovery ladder advanced to rung 2 or 3.
+func TestShadowRungOneOnly(t *testing.T) {
+	prev := obs.Enabled()
+	obs.Enable(true)
+	defer obs.Enable(prev)
+
+	cases := []struct {
+		name       string
+		states     map[int]bool // ladder state -> resolves (false: ErrDeadline)
+		wantShadow int64
+	}{
+		{"rung1-resolves-audited", map[int]bool{1: true}, 1},
+		{"rung2-flip-never-audited", map[int]bool{1: false, 2: true}, 0},
+		{"rung3-fallback-never-audited", map[int]bool{1: false, 2: false, 3: true}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, ev, compiled := ladderFixture(t)
+			e.opts.ShadowRate = 1 // audit every eligible decision
+			e.evalHook = func(state int, mode psi.Mode, planIdx int) (bool, error) {
+				if ok, known := tc.states[state]; known {
+					if ok {
+						return true, nil
+					}
+					return false, psi.ErrDeadline
+				}
+				t.Fatalf("ladder reached unexpected state %d", state)
+				return false, nil
+			}
+			var shadowCalls int64
+			e.shadowHook = func(mode psi.Mode, planIdx int) (bool, error) {
+				shadowCalls++
+				return true, nil // agree with the primary verdict
+			}
+
+			var cache sync.Map
+			local := workerCounters{rng: newShadowRNG(1, 0)}
+			st := psi.NewState(2)
+			timing := newPlanTiming(len(compiled))
+			tracer := obs.NewTracer(1)
+			tr := tracer.StartQuery(tc.name)
+			got, err := e.evaluateOne(ev, st, compiled, "test", 0, nil, nil, timing, &cache, &local, tr, nil, time.Time{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got {
+				t.Errorf("primary verdict = false, want true")
+			}
+			if shadowCalls != tc.wantShadow {
+				t.Errorf("shadow hook ran %d times, want %d", shadowCalls, tc.wantShadow)
+			}
+			if local.shadowModeRuns != tc.wantShadow {
+				t.Errorf("shadowModeRuns = %d, want %d", local.shadowModeRuns, tc.wantShadow)
+			}
+			// The shadow event (if any) must follow the primary's
+			// mode_actual: audits run strictly after the verdict.
+			kinds := tr.Kinds()
+			sawActual := false
+			for _, k := range kinds {
+				if k == obs.EvModeActual {
+					sawActual = true
+				}
+				if k == obs.EvShadow && !sawActual {
+					t.Errorf("shadow event before mode_actual in %v", kinds)
+				}
+			}
+		})
+	}
+}
+
+// TestShadowMismatchDetection: a shadow verdict disagreeing with the
+// primary is a soundness signal — counted always, an invariant
+// violation with deep checking on — but the primary verdict must stand.
+func TestShadowMismatchDetection(t *testing.T) {
+	prev := obs.Enabled()
+	obs.Enable(true)
+	defer obs.Enable(prev)
+
+	run := func(t *testing.T) (bool, error, int64) {
+		e, ev, compiled := ladderFixture(t)
+		e.opts.ShadowRate = 1
+		e.evalHook = func(state int, mode psi.Mode, planIdx int) (bool, error) { return true, nil }
+		e.shadowHook = func(mode psi.Mode, planIdx int) (bool, error) { return false, nil } // contradict
+		var cache sync.Map
+		local := workerCounters{rng: newShadowRNG(1, 0)}
+		st := psi.NewState(2)
+		before := obs.DefaultModelStats.Snapshot().ShadowMismatches
+		got, err := e.evaluateOne(ev, st, compiled, "test", 0, nil, nil, newPlanTiming(len(compiled)), &cache, &local, nil, nil, time.Time{})
+		return got, err, obs.DefaultModelStats.Snapshot().ShadowMismatches - before
+	}
+
+	t.Run("invariants-off-primary-stands", func(t *testing.T) {
+		if invariant.Enabled() {
+			t.Skip("deep checking forced on")
+		}
+		got, err, mismatches := run(t)
+		if err != nil {
+			t.Fatalf("err = %v; a disagreeing shadow must not fail the query without deep checking", err)
+		}
+		if !got {
+			t.Error("primary verdict flipped by shadow run; audits must never mutate the result")
+		}
+		if mismatches != 1 {
+			t.Errorf("shadow mismatch count delta = %d, want 1", mismatches)
+		}
+	})
+	t.Run("invariants-on-violation", func(t *testing.T) {
+		invariant.Enable(true)
+		defer invariant.Enable(false)
+		_, err, _ := run(t)
+		if err == nil {
+			t.Fatal("want shadow-agreement violation with deep checking on, got nil")
+		}
+		var v *invariant.Violation
+		if !errors.As(err, &v) {
+			t.Fatalf("err = %T %v, want *invariant.Violation", err, err)
+		}
+	})
+}
+
+// TestShadowContextInvariants pins the two illegal audit sites.
+func TestShadowContextInvariants(t *testing.T) {
+	if err := invariant.CheckShadowContext(5, 1, false); err != nil {
+		t.Errorf("rung-1 non-training shadow flagged: %v", err)
+	}
+	if err := invariant.CheckShadowContext(5, 2, false); err == nil {
+		t.Error("rung-2 shadow not flagged; shadows may only follow rung-1 resolutions")
+	}
+	if err := invariant.CheckShadowContext(5, 1, true); err == nil {
+		t.Error("training-node shadow not flagged; training nodes are labeled by the sweep")
+	}
+	if err := invariant.CheckShadowAgreement("mode", 5, true, true); err != nil {
+		t.Errorf("agreeing shadow flagged: %v", err)
+	}
+	if err := invariant.CheckShadowAgreement("mode", 5, true, false); err == nil {
+		t.Error("disagreeing shadow not flagged")
+	}
+}
+
+// TestShadowDoesNotPerturbPrimary runs the same workload with auditing
+// off and fully on: bindings, primary work and model accuracy must be
+// bit-identical, shadow work must stay out of Result.Work, and the
+// audit counters must respect the non-training candidate budget.
+//
+// PlanSamples is pinned to 1 here: with two or more plans the β model
+// trains on wall-clock sweep timings, so plan choices (and Work) are
+// not reproducible run-to-run regardless of auditing. Plan audits are
+// covered by TestShadowPlanAudits.
+func TestShadowDoesNotPerturbPrimary(t *testing.T) {
+	g, q := auditFixture(t)
+
+	opts0 := auditOptions(0)
+	opts0.PlanSamples = 1
+	base, err := NewEngine(g, opts0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res0, err := base.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	opts := auditOptions(1)
+	opts.PlanSamples = 1
+	opts.DecisionLog = obs.NewDecisionLog(&buf, 0)
+	audited, err := NewEngine(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := audited.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !res0.UsedML || !res1.UsedML {
+		t.Fatalf("fixture too small: UsedML = %v/%v, want true", res0.UsedML, res1.UsedML)
+	}
+	if !reflect.DeepEqual(res0.Bindings, res1.Bindings) {
+		t.Errorf("bindings differ with auditing on: %d vs %d nodes", len(res0.Bindings), len(res1.Bindings))
+	}
+	if res0.Work != res1.Work {
+		t.Errorf("primary Work differs with auditing on:\n  off: %+v\n  on:  %+v", res0.Work, res1.Work)
+	}
+	if res0.Alpha != res1.Alpha {
+		t.Errorf("Alpha differs with auditing on: %+v vs %+v", res0.Alpha, res1.Alpha)
+	}
+
+	if res0.ShadowModeRuns != 0 || res0.ShadowWork.Total() != 0 {
+		t.Errorf("ShadowRate=0 but shadow runs %d, shadow work %d", res0.ShadowModeRuns, res0.ShadowWork.Total())
+	}
+	nonTraining := int64(res1.Candidates - res1.TrainedNodes)
+	if res1.ShadowModeRuns == 0 {
+		t.Error("ShadowRate=1 but no mode shadows ran")
+	}
+	if res1.ShadowModeRuns > nonTraining {
+		t.Errorf("mode shadows %d exceed the %d non-training candidates; training nodes must never be audited",
+			res1.ShadowModeRuns, nonTraining)
+	}
+	if res1.ShadowPlanRuns != 0 {
+		t.Errorf("PlanSamples=1 but %d plan shadows ran; there is no alternative plan to audit", res1.ShadowPlanRuns)
+	}
+	if res1.ShadowWork.Total() == 0 {
+		t.Error("shadow runs executed but ShadowWork is empty")
+	}
+
+	// The decision log captured the audits even without obs collection.
+	if opts.DecisionLog.Written() == 0 {
+		t.Error("decision log empty with ShadowRate=1")
+	}
+	if err := opts.DecisionLog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadDecisionLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modeRecs int64
+	for _, r := range recs {
+		if r.Kind == obs.DecisionKindMode {
+			modeRecs++
+		}
+	}
+	if modeRecs != res1.ShadowModeRuns {
+		t.Errorf("log has %d mode records, Result reports %d shadow mode runs", modeRecs, res1.ShadowModeRuns)
+	}
+}
+
+// TestShadowPlanAudits exercises the plan-audit path: with two plan
+// classes and PlanShadowRate=1, sampled rung-1 decisions re-run a
+// random alternative plan, plan regret accumulates, and the decision
+// log captures plan records. The primary verdict set must be the one
+// invariant that survives β-timing noise: the binding count is pinned.
+func TestShadowPlanAudits(t *testing.T) {
+	g, q := auditFixture(t)
+
+	var buf bytes.Buffer
+	opts := auditOptions(1) // PlanSamples: 2
+	opts.DecisionLog = obs.NewDecisionLog(&buf, 0)
+	e, err := NewEngine(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.UsedML {
+		t.Fatal("fixture too small: UsedML = false")
+	}
+	if res.PlanClasses < 2 {
+		t.Fatalf("PlanClasses = %d, want >= 2 (pivot-centered path query should admit two orders)", res.PlanClasses)
+	}
+	if res.ShadowPlanRuns == 0 {
+		t.Error("PlanShadowRate=1 with 2 plans but no plan shadows ran")
+	}
+	nonTraining := int64(res.Candidates - res.TrainedNodes)
+	if res.ShadowPlanRuns > nonTraining {
+		t.Errorf("plan shadows %d exceed the %d non-training candidates", res.ShadowPlanRuns, nonTraining)
+	}
+
+	if err := opts.DecisionLog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ReadDecisionLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var planRecs int64
+	for _, r := range recs {
+		if r.Kind == obs.DecisionKindPlan {
+			planRecs++
+			if r.ShadowPlan == r.PredPlan && !r.ShadowTimeout {
+				t.Errorf("plan record audits the predicted plan %d against itself", r.PredPlan)
+			}
+		}
+	}
+	if planRecs != res.ShadowPlanRuns {
+		t.Errorf("log has %d plan records, Result reports %d shadow plan runs", planRecs, res.ShadowPlanRuns)
+	}
+}

@@ -35,9 +35,19 @@ go run ./cmd/psilint -root .
 step "go test -race ./..."
 go test -race ./...
 
-step "observability suite (-run TestObs -race, includes overhead guard)"
-go test -race -count=1 -run 'TestObs' ./internal/obs/ ./internal/psi/ ./internal/smartpsi/ \
-    ./cmd/psi-bench/ ./cmd/psi-workload/
+step "observability suite (-race; overhead + shadow guards, /modelz, decision log)"
+go test -race -count=1 -run 'TestObs|TestShadow|TestModelz|TestDecisionLog|TestMerge' \
+    ./internal/obs/ ./internal/psi/ ./internal/smartpsi/ \
+    ./cmd/psi-bench/ ./cmd/psi-workload/ ./cmd/psi-decisions/
+
+step "decision-log pipeline (psi-workload -shadow-rate -> psi-decisions)"
+declog_dir="$(mktemp -d)"
+trap 'rm -rf "$declog_dir"' EXIT
+go run ./cmd/psi-workload -dataset cora -sizes 4 -count 4 -evaluate \
+    -shadow-rate 0.5 -decision-log "$declog_dir/decisions.jsonl" \
+    -out "$declog_dir/queries.lg"
+go run ./cmd/psi-decisions "$declog_dir/decisions.jsonl"
+go run ./cmd/psi-decisions -json "$declog_dir/decisions.jsonl" > /dev/null
 
 # Opt-in: diff this machine's quick-run work counters against the
 # committed baseline (the bench-regression CI job always runs this).
