@@ -1,0 +1,584 @@
+// Command psi-loadgen drives a running psi-serve instance with a
+// workload extracted from the same data graph (random-walk sampling,
+// Section 5.1 of the paper) and reports client-side latency
+// percentiles, status-code counts, and the server's own metric
+// snapshot.
+//
+// Two driving disciplines:
+//
+//   - closed loop (-mode closed): -concurrency workers each keep one
+//     request in flight, back to back. Measures the server's capacity.
+//   - open loop (-mode open): requests are launched on a fixed -qps
+//     schedule regardless of completions, the way real clients arrive.
+//     Measures behaviour under a load the server does not control.
+//
+// Usage:
+//
+//	psi-loadgen -addr 127.0.0.1:8080 -graph g.lg -duration 10s
+//	psi-loadgen -addr $A -dataset cora -mode open -qps 200 -duration 5s
+//	psi-loadgen -addr $A -graph g.lg -requests 500 -verify -json out.json
+//	psi-loadgen -addr $A -graph g.lg -concurrency 32 -require-shed
+//
+// The -json document has the same top-level shape as psi-bench's
+// ({"schema":1,...,"metrics":{...}}), with the "metrics" key holding
+// the server's /metrics.json snapshot taken after the run, so the same
+// tooling can diff either.
+//
+// Self-asserting flags make the binary usable as a test gate without
+// JSON parsing: the exit status is non-zero when any unexpected 5xx
+// was seen, when -require-shed saw no 429, when fewer than
+// -min-bindings pivot bindings were returned in total, or when -verify
+// finds a served binding set that disagrees with a direct model-free
+// PSI evaluation of the same query.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	repro "repro"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "psi-serve address (host:port, required)")
+		graphPath   = flag.String("graph", "", "data graph file the server is serving (LG format)")
+		dataset     = flag.String("dataset", "", "built-in dataset name (alternative to -graph; must match the server)")
+		querySize   = flag.Int("query-size", 4, "nodes per extracted query")
+		queries     = flag.Int("queries", 16, "distinct queries to sample and cycle through")
+		mode        = flag.String("mode", "closed", "driving discipline: closed or open")
+		concurrency = flag.Int("concurrency", 4, "closed-loop workers / open-loop outstanding-request cap")
+		qps         = flag.Float64("qps", 100, "open-loop launch rate (requests per second)")
+		duration    = flag.Duration("duration", 5*time.Second, "how long to drive load (ignored when -requests > 0)")
+		requests    = flag.Int("requests", 0, "total requests to send (0: run for -duration)")
+		timeoutMS   = flag.Int64("timeout-ms", 0, "per-request timeout_ms sent to the server (0: server default)")
+		batch       = flag.Int("batch", 0, "queries per request via /v1/psi/batch (0: single-query endpoint)")
+		seed        = flag.Int64("seed", 1, "workload sampling seed")
+		jsonPath    = flag.String("json", "", "write a psi-bench-shaped results document to this file")
+		verify      = flag.Bool("verify", false, "cross-check every distinct query against a direct model-free PSI evaluation")
+		requireShed = flag.Bool("require-shed", false, "fail unless at least one request was load-shed (429)")
+		minBindings = flag.Int64("min-bindings", 0, "fail unless OK responses returned at least this many bindings in total")
+	)
+	flag.Parse()
+	cfg := config{
+		addr: *addr, graphPath: *graphPath, dataset: *dataset,
+		querySize: *querySize, queries: *queries,
+		mode: *mode, concurrency: *concurrency, qps: *qps,
+		duration: *duration, requests: *requests,
+		timeoutMS: *timeoutMS, batch: *batch, seed: *seed,
+		jsonPath: *jsonPath, verify: *verify,
+		requireShed: *requireShed, minBindings: *minBindings,
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "psi-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// config carries the parsed flags into run.
+type config struct {
+	addr               string
+	graphPath, dataset string
+	querySize, queries int
+	mode               string
+	concurrency        int
+	qps                float64
+	duration           time.Duration
+	requests           int
+	timeoutMS          int64
+	batch              int
+	seed               int64
+	jsonPath           string
+	verify             bool
+	requireShed        bool
+	minBindings        int64
+}
+
+// report is the -json document: the same top-level shape as
+// psi-bench's regression documents, with loadgen's client-side numbers
+// alongside the server's metric snapshot.
+type report struct {
+	Schema         int          `json:"schema"`
+	Experiment     string       `json:"experiment"`
+	Quick          bool         `json:"quick"`
+	Scale          int          `json:"scale"`
+	Seed           int64        `json:"seed"`
+	ElapsedSeconds float64      `json:"elapsed_seconds"`
+	Metrics        obs.Snapshot `json:"metrics"`
+
+	Mode          string  `json:"mode"`
+	Requests      int64   `json:"requests"`
+	OK            int64   `json:"ok"`
+	Shed          int64   `json:"shed"`
+	Deadline      int64   `json:"deadline"`
+	ClientErrors  int64   `json:"client_errors"`
+	ServerErrors  int64   `json:"server_errors"`
+	TransportErrs int64   `json:"transport_errors"`
+	Bindings      int64   `json:"bindings"`
+	AchievedQPS   float64 `json:"achieved_qps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+}
+
+// stats accumulates request outcomes across driver goroutines.
+type stats struct {
+	mu        sync.Mutex
+	latencies []float64 // seconds, OK responses only
+	requests  int64     // queries sent (batch items count individually)
+	ok        int64
+	shed      int64 // 429
+	deadline  int64 // 504
+	clientErr int64 // other 4xx
+	serverErr int64 // 5xx other than 504 — never expected
+	transport int64 // connection-level failures
+	bindings  int64
+}
+
+// record files one query outcome under the status code conventions of
+// internal/server (429 shed, 504 deadline, other 5xx unexpected).
+func (st *stats) record(status int, bindings int, elapsed time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.requests++
+	switch {
+	case status == 0:
+		st.transport++
+	case status == http.StatusOK:
+		st.ok++
+		st.bindings += int64(bindings)
+		st.latencies = append(st.latencies, elapsed.Seconds())
+	case status == http.StatusTooManyRequests:
+		st.shed++
+	case status == http.StatusGatewayTimeout:
+		st.deadline++
+	case status >= 500:
+		st.serverErr++
+	default:
+		st.clientErr++
+	}
+}
+
+func run(cfg config, out io.Writer) error {
+	if cfg.addr == "" {
+		return fmt.Errorf("need -addr (the psi-serve address)")
+	}
+	if cfg.mode != "closed" && cfg.mode != "open" {
+		return fmt.Errorf("-mode must be closed or open, got %q", cfg.mode)
+	}
+	if cfg.concurrency < 1 {
+		return fmt.Errorf("-concurrency must be >= 1")
+	}
+	if cfg.requests == 0 && cfg.duration <= 0 {
+		return fmt.Errorf("need -requests > 0 or -duration > 0")
+	}
+
+	var g *graph.Graph
+	var err error
+	switch {
+	case cfg.graphPath != "":
+		g, err = repro.LoadGraph(cfg.graphPath)
+	case cfg.dataset != "":
+		g, err = repro.GenerateDataset(cfg.dataset)
+	default:
+		return fmt.Errorf("need -graph or -dataset (to extract the workload from)")
+	}
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.seed))
+	qs, err := workload.ExtractQueries(g, cfg.querySize, cfg.queries, rng)
+	if err != nil {
+		return fmt.Errorf("workload extraction: %w", err)
+	}
+	wire := make([]server.QueryJSON, len(qs))
+	for i, q := range qs {
+		wire[i] = server.QueryToJSON(q)
+	}
+
+	base := "http://" + cfg.addr
+	client := &http.Client{Timeout: clientTimeout(cfg.timeoutMS)}
+
+	st := &stats{}
+	start := time.Now()
+	if cfg.mode == "closed" {
+		err = driveClosed(cfg, client, base, wire, st)
+	} else {
+		err = driveOpen(cfg, client, base, wire, st)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	snap, snapErr := fetchMetrics(client, base)
+	if snapErr != nil {
+		fmt.Fprintf(os.Stderr, "psi-loadgen: warning: could not fetch /metrics.json: %v\n", snapErr)
+	}
+
+	rep := buildReport(cfg, st, elapsed, snap)
+	printSummary(out, rep)
+
+	if cfg.jsonPath != "" {
+		if err := writeReport(cfg.jsonPath, rep); err != nil {
+			return err
+		}
+	}
+
+	if cfg.verify {
+		mismatches, err := verifyQueries(client, base, g, qs, wire)
+		if err != nil {
+			return err
+		}
+		_, _ = fmt.Fprintf(out, "verify: %d/%d queries match the model-free reference\n",
+			len(qs)-mismatches, len(qs))
+		if mismatches > 0 {
+			return fmt.Errorf("verify: %d of %d queries disagree with the reference evaluation", mismatches, len(qs))
+		}
+	}
+
+	return assertOutcome(cfg, rep)
+}
+
+// clientTimeout picks an HTTP client timeout comfortably above the
+// server-side deadline so 504s come from the server, not the client.
+func clientTimeout(timeoutMS int64) time.Duration {
+	t := 10 * time.Second
+	if d := 2 * time.Duration(timeoutMS) * time.Millisecond; d > t {
+		t = d
+	}
+	return t
+}
+
+// driveClosed runs cfg.concurrency workers, each keeping exactly one
+// request in flight until the budget (count or clock) runs out.
+func driveClosed(cfg config, client *http.Client, base string, wire []server.QueryJSON, st *stats) error {
+	ctx := context.Background()
+	if cfg.requests == 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.duration)
+		defer cancel()
+	}
+	// Tickets bound the total when -requests is set; each send consumes
+	// one. With -duration the channel is effectively unbounded and the
+	// context ends the run.
+	tickets := make(chan struct{}, cfg.requests)
+	for i := 0; i < cfg.requests; i++ {
+		tickets <- struct{}{}
+	}
+	close(tickets)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i++ {
+				if cfg.requests > 0 {
+					if _, ok := <-tickets; !ok {
+						return
+					}
+				} else if ctx.Err() != nil {
+					return
+				}
+				sendOne(cfg, client, base, wire, i, st)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}
+
+// driveOpen launches requests on a fixed schedule. A semaphore caps
+// outstanding requests at 4x concurrency so an unresponsive server
+// cannot accumulate unbounded goroutines; launches that would exceed
+// the cap are recorded as transport failures (the client gave up).
+func driveOpen(cfg config, client *http.Client, base string, wire []server.QueryJSON, st *stats) error {
+	if cfg.qps <= 0 {
+		return fmt.Errorf("-qps must be > 0 in open mode")
+	}
+	interval := time.Duration(float64(time.Second) / cfg.qps)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	total := cfg.requests
+	if total == 0 {
+		total = int(float64(cfg.duration) / float64(interval))
+		if total < 1 {
+			total = 1
+		}
+	}
+	sem := make(chan struct{}, 4*cfg.concurrency)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		<-ticker.C
+		select {
+		case sem <- struct{}{}:
+		default:
+			st.record(0, 0, 0) // over the outstanding cap: client-side drop
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sendOne(cfg, client, base, wire, i, st)
+		}(i)
+	}
+	wg.Wait()
+	return nil
+}
+
+// sendOne issues the i-th request — a single query or a batch slice —
+// and files the outcome(s) in st.
+func sendOne(cfg config, client *http.Client, base string, wire []server.QueryJSON, i int, st *stats) {
+	if cfg.batch > 0 {
+		sendBatch(cfg, client, base, wire, i, st)
+		return
+	}
+	qj := wire[i%len(wire)]
+	body, err := json.Marshal(server.PSIRequest{Query: &qj, TimeoutMS: cfg.timeoutMS})
+	if err != nil {
+		st.record(0, 0, 0)
+		return
+	}
+	start := time.Now()
+	resp, err := client.Post(base+"/v1/psi", "application/json", bytes.NewReader(body))
+	if err != nil {
+		st.record(0, 0, time.Since(start))
+		return
+	}
+	var res server.QueryResult
+	decErr := json.NewDecoder(resp.Body).Decode(&res)
+	closeErr := resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && (decErr != nil || closeErr != nil) {
+		st.record(0, 0, time.Since(start))
+		return
+	}
+	st.record(resp.StatusCode, len(res.Bindings), time.Since(start))
+}
+
+// sendBatch issues one /v1/psi/batch request of cfg.batch queries and
+// files each item's embedded status individually.
+func sendBatch(cfg config, client *http.Client, base string, wire []server.QueryJSON, i int, st *stats) {
+	req := server.BatchRequest{TimeoutMS: cfg.timeoutMS}
+	for j := 0; j < cfg.batch; j++ {
+		req.Queries = append(req.Queries, wire[(i*cfg.batch+j)%len(wire)])
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		st.record(0, 0, 0)
+		return
+	}
+	start := time.Now()
+	resp, err := client.Post(base+"/v1/psi/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		st.record(0, 0, time.Since(start))
+		return
+	}
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		closeErr := resp.Body.Close()
+		_ = closeErr
+		for j := 0; j < cfg.batch; j++ {
+			st.record(resp.StatusCode, 0, elapsed)
+		}
+		return
+	}
+	var br server.BatchResponse
+	decErr := json.NewDecoder(resp.Body).Decode(&br)
+	closeErr := resp.Body.Close()
+	if decErr != nil || closeErr != nil {
+		st.record(0, 0, elapsed)
+		return
+	}
+	for _, item := range br.Results {
+		n := 0
+		if item.Result != nil {
+			n = len(item.Result.Bindings)
+		}
+		st.record(item.Status, n, elapsed)
+	}
+}
+
+// fetchMetrics pulls the server's post-run metric snapshot.
+func fetchMetrics(client *http.Client, base string) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	resp, err := client.Get(base + "/metrics.json")
+	if err != nil {
+		return snap, err
+	}
+	decErr := json.NewDecoder(resp.Body).Decode(&snap)
+	closeErr := resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("/metrics.json: HTTP %d", resp.StatusCode)
+	}
+	if decErr != nil {
+		return snap, decErr
+	}
+	return snap, closeErr
+}
+
+// verifyQueries re-runs each distinct query once with a generous
+// timeout and compares the served bindings against a direct
+// pessimistic-only PSI evaluation (server.Reference). Returns the
+// number of mismatching queries.
+func verifyQueries(client *http.Client, base string, g *graph.Graph, qs []graph.Query, wire []server.QueryJSON) (int, error) {
+	ref, err := server.NewReference(g)
+	if err != nil {
+		return 0, err
+	}
+	mismatches := 0
+	for i := range qs {
+		want, err := ref.Bindings(qs[i])
+		if err != nil {
+			return 0, fmt.Errorf("verify: reference on query %d: %w", i, err)
+		}
+		body, err := json.Marshal(server.PSIRequest{Query: &wire[i], TimeoutMS: 30_000})
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Post(base+"/v1/psi", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, fmt.Errorf("verify: query %d: %w", i, err)
+		}
+		var res server.QueryResult
+		decErr := json.NewDecoder(resp.Body).Decode(&res)
+		closeErr := resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("verify: query %d: HTTP %d", i, resp.StatusCode)
+		}
+		if decErr != nil {
+			return 0, fmt.Errorf("verify: query %d: %w", i, decErr)
+		}
+		if closeErr != nil {
+			return 0, closeErr
+		}
+		if !equalInt64s(res.Bindings, want) {
+			fmt.Fprintf(os.Stderr, "psi-loadgen: verify mismatch on query %d: served %v, reference %v\n",
+				i, res.Bindings, want)
+			mismatches++
+		}
+	}
+	return mismatches, nil
+}
+
+func equalInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildReport assembles the results document.
+func buildReport(cfg config, st *stats, elapsed time.Duration, snap obs.Snapshot) *report {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rep := &report{
+		Schema:         1,
+		Experiment:     "loadgen",
+		Scale:          cfg.concurrency,
+		Seed:           cfg.seed,
+		ElapsedSeconds: elapsed.Seconds(),
+		Metrics:        snap,
+		Mode:           cfg.mode,
+		Requests:       st.requests,
+		OK:             st.ok,
+		Shed:           st.shed,
+		Deadline:       st.deadline,
+		ClientErrors:   st.clientErr,
+		ServerErrors:   st.serverErr,
+		TransportErrs:  st.transport,
+		Bindings:       st.bindings,
+	}
+	if elapsed > 0 {
+		rep.AchievedQPS = float64(st.requests) / elapsed.Seconds()
+	}
+	rep.P50MS = percentileMS(st.latencies, 0.50)
+	rep.P95MS = percentileMS(st.latencies, 0.95)
+	rep.P99MS = percentileMS(st.latencies, 0.99)
+	return rep
+}
+
+// percentileMS returns the p-th percentile of secs in milliseconds
+// (nearest-rank on a sorted copy; 0 for an empty sample).
+func percentileMS(secs []float64, p float64) float64 {
+	if len(secs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(secs))
+	copy(sorted, secs)
+	sort.Float64s(sorted)
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx] * 1000
+}
+
+// printSummary writes the human-readable run summary. Write errors on
+// the summary stream are not actionable and are discarded.
+func printSummary(out io.Writer, rep *report) {
+	_, _ = fmt.Fprintf(out, "mode=%s requests=%d elapsed=%.2fs achieved=%.1f qps\n",
+		rep.Mode, rep.Requests, rep.ElapsedSeconds, rep.AchievedQPS)
+	_, _ = fmt.Fprintf(out, "ok=%d shed(429)=%d deadline(504)=%d client-4xx=%d server-5xx=%d transport=%d\n",
+		rep.OK, rep.Shed, rep.Deadline, rep.ClientErrors, rep.ServerErrors, rep.TransportErrs)
+	_, _ = fmt.Fprintf(out, "bindings=%d latency p50=%.2fms p95=%.2fms p99=%.2fms\n",
+		rep.Bindings, rep.P50MS, rep.P95MS, rep.P99MS)
+}
+
+// writeReport writes the JSON document atomically next to its final
+// path so concurrent readers never see a truncated file.
+func writeReport(path string, rep *report) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// assertOutcome enforces the self-asserting flags and the always-on
+// "no unexpected 5xx" rule.
+func assertOutcome(cfg config, rep *report) error {
+	if rep.ServerErrors > 0 {
+		return fmt.Errorf("%d unexpected 5xx responses (500/502/503 are never expected from a healthy server)", rep.ServerErrors)
+	}
+	if cfg.requireShed && rep.Shed == 0 {
+		return fmt.Errorf("-require-shed: no request was load-shed (ok=%d, total=%d)", rep.OK, rep.Requests)
+	}
+	if rep.Bindings < cfg.minBindings {
+		return fmt.Errorf("-min-bindings: got %d bindings, need at least %d", rep.Bindings, cfg.minBindings)
+	}
+	return nil
+}

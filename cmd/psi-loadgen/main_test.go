@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/server"
+	"repro/internal/smartpsi"
+)
+
+const testGraph = `t # 0
+v 0 A
+v 1 B
+v 2 C
+v 3 C
+v 4 B
+v 5 A
+e 0 1
+e 0 2
+e 0 3
+e 0 4
+e 1 2
+e 1 3
+e 4 2
+e 4 3
+e 5 4
+e 5 2
+`
+
+// writeGraph materialises the shared test graph as an LG file.
+func writeGraph(t *testing.T) string {
+	t.Helper()
+	gp := filepath.Join(t.TempDir(), "g.lg")
+	if err := os.WriteFile(gp, []byte(testGraph), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return gp
+}
+
+// startServer boots a real SmartPSI server over the test graph and
+// returns its host:port.
+func startServer(t *testing.T, scfg server.Config) string {
+	t.Helper()
+	g, err := graph.ParseLG(strings.NewReader(testGraph))
+	if err != nil {
+		t.Fatalf("ParseLG: %v", err)
+	}
+	engine, err := smartpsi.NewEngine(g, smartpsi.Options{Threads: 1, Seed: 42})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	srv := server.NewServer(engine, scfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.Listener.Addr().String()
+}
+
+// baseConfig returns a loadgen config pointed at addr with small,
+// fast-by-default knobs.
+func baseConfig(addr, graphPath string) config {
+	return config{
+		addr:        addr,
+		graphPath:   graphPath,
+		querySize:   3,
+		queries:     4,
+		mode:        "closed",
+		concurrency: 4,
+		qps:         200,
+		requests:    24,
+		timeoutMS:   2000,
+		seed:        7,
+	}
+}
+
+// TestClosedLoop drives a real server closed-loop with -verify and
+// -min-bindings and checks the -json document round-trips.
+func TestClosedLoop(t *testing.T) {
+	addr := startServer(t, server.Config{Workers: 4})
+	cfg := baseConfig(addr, writeGraph(t))
+	cfg.verify = true
+	cfg.minBindings = 1
+	cfg.jsonPath = filepath.Join(t.TempDir(), "out.json")
+
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok=24") {
+		t.Errorf("summary does not report 24 OK requests:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(cfg.jsonPath)
+	if err != nil {
+		t.Fatalf("read -json: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("decode -json: %v", err)
+	}
+	if rep.Schema != 1 || rep.Experiment != "loadgen" {
+		t.Errorf("report header = schema %d experiment %q", rep.Schema, rep.Experiment)
+	}
+	if rep.OK != 24 || rep.ServerErrors != 0 {
+		t.Errorf("report counts: ok=%d server5xx=%d", rep.OK, rep.ServerErrors)
+	}
+	if rep.Bindings < 1 {
+		t.Errorf("report bindings = %d, want >= 1", rep.Bindings)
+	}
+	// The embedded snapshot is the server's, so it must have seen our
+	// requests.
+	if rep.Metrics.Counters["server_requests_total"] == 0 {
+		t.Errorf("embedded server snapshot has no requests: %+v", rep.Metrics.Counters)
+	}
+}
+
+// TestOpenLoopAndBatch covers the open-loop pacer and the batch
+// endpoint path.
+func TestOpenLoopAndBatch(t *testing.T) {
+	addr := startServer(t, server.Config{Workers: 4})
+	gp := writeGraph(t)
+
+	cfg := baseConfig(addr, gp)
+	cfg.mode = "open"
+	cfg.qps = 500
+	cfg.requests = 20
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("open-loop run: %v\noutput:\n%s", err, out.String())
+	}
+
+	cfg = baseConfig(addr, gp)
+	cfg.batch = 4
+	cfg.requests = 6 // 6 batches x 4 queries = 24 query outcomes
+	out.Reset()
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("batch run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok=24") {
+		t.Errorf("batch summary does not report 24 OK queries:\n%s", out.String())
+	}
+}
+
+// slowEval is a server.Evaluator that takes a fixed wall time per
+// query, so a Workers=1/queue=0 server must shed concurrent load.
+type slowEval struct{ delay time.Duration }
+
+func (e *slowEval) EvaluateBudget(q graph.Query, deadline time.Time) (*smartpsi.Result, error) {
+	time.Sleep(e.delay)
+	return &smartpsi.Result{Bindings: []graph.NodeID{0}}, nil
+}
+
+// TestRequireShed drives an overloaded shed-immediately server and
+// checks both that -require-shed passes when 429s occur and that the
+// in-flight queries still succeed.
+func TestRequireShed(t *testing.T) {
+	srv := server.NewServer(&slowEval{delay: 20 * time.Millisecond}, server.Config{
+		Workers:         1,
+		QueueDepth:      0,
+		ShedImmediately: true,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cfg := baseConfig(ts.Listener.Addr().String(), writeGraph(t))
+	cfg.concurrency = 8
+	cfg.requests = 40
+	cfg.requireShed = true
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "shed(429)=") {
+		t.Errorf("summary missing shed count:\n%s", out.String())
+	}
+}
+
+// TestRequireShedFailsWhenUnloaded pins the self-asserting failure: a
+// server with headroom never sheds, so -require-shed must error.
+func TestRequireShedFailsWhenUnloaded(t *testing.T) {
+	addr := startServer(t, server.Config{Workers: 8, QueueDepth: 64})
+	cfg := baseConfig(addr, writeGraph(t))
+	cfg.requests = 8
+	cfg.requireShed = true
+	var out bytes.Buffer
+	if err := run(cfg, &out); err == nil {
+		t.Fatal("-require-shed passed with zero sheds")
+	}
+}
+
+// TestConfigErrors pins the clean failure modes of bad flag
+// combinations.
+func TestConfigErrors(t *testing.T) {
+	gp := writeGraph(t)
+	cases := []struct {
+		name string
+		mut  func(*config)
+	}{
+		{"missing addr", func(c *config) { c.addr = "" }},
+		{"bad mode", func(c *config) { c.mode = "sideways" }},
+		{"no graph", func(c *config) { c.graphPath = "" }},
+		{"zero concurrency", func(c *config) { c.concurrency = 0 }},
+		{"no budget", func(c *config) { c.requests = 0; c.duration = 0 }},
+		{"bad qps", func(c *config) { c.mode = "open"; c.qps = 0 }},
+		{"missing graph file", func(c *config) { c.graphPath = filepath.Join(t.TempDir(), "nope.lg") }},
+	}
+	for _, tc := range cases {
+		cfg := baseConfig("127.0.0.1:1", gp)
+		tc.mut(&cfg)
+		var out bytes.Buffer
+		if err := run(cfg, &out); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestPercentile pins the nearest-rank percentile helper.
+func TestPercentile(t *testing.T) {
+	if got := percentileMS(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	secs := []float64{0.001, 0.002, 0.003, 0.004, 0.005, 0.006, 0.007, 0.008, 0.009, 0.010}
+	if got := percentileMS(secs, 0.5); got != 5 {
+		t.Errorf("p50 = %v ms, want 5", got)
+	}
+	if got := percentileMS(secs, 0.99); got != 10 {
+		t.Errorf("p99 = %v ms, want 10", got)
+	}
+}

@@ -1,0 +1,197 @@
+// Command psi-serve is the long-lived PSI query service: it loads one
+// data graph, builds the SmartPSI engine once (signatures computed,
+// prediction machinery warm), and serves pivoted-subgraph-isomorphism
+// queries over HTTP/JSON with admission control, per-request deadlines,
+// load shedding, and graceful drain (see internal/server and
+// OPERATIONS.md).
+//
+// Usage:
+//
+//	psi-serve -graph g.lg                        # serve a graph file
+//	psi-serve -dataset cora -addr 127.0.0.1:8080 # serve a built-in dataset
+//	psi-serve -graph g.lg -workers 8 -queue 128 -default-timeout 2s
+//	psi-serve -graph g.lg -addr 127.0.0.1:0 -addr-file /tmp/addr
+//
+// Endpoints: POST /v1/psi, POST /v1/psi/batch, GET /healthz, GET
+// /readyz, plus the full obs debug surface (/metrics, /metrics.json,
+// /tracez, /profilez, /modelz, /debug/pprof). Metric collection is
+// always on in a serving process.
+//
+// A single query:
+//
+//	curl -s localhost:8080/v1/psi -d '{"query":{"nodes":[0,1,0],
+//	  "edges":[[0,1],[1,2],[0,2]],"pivot":0},"timeout_ms":500}'
+//
+// On SIGINT/SIGTERM the server stops admitting work (readyz -> 503,
+// /v1 routes -> 503 + Retry-After), finishes in-flight queries, and
+// exits; -drain-timeout bounds the wait.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	repro "repro"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/smartpsi"
+)
+
+func main() {
+	var (
+		graphPath      = flag.String("graph", "", "data graph file (LG format)")
+		dataset        = flag.String("dataset", "", "built-in dataset name (alternative to -graph)")
+		addr           = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile       = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		workers        = flag.Int("workers", 0, "concurrent query evaluations (0: GOMAXPROCS)")
+		queue          = flag.Int("queue", 64, "admission wait-queue depth (0: shed immediately when busy)")
+		defaultTimeout = flag.Duration("default-timeout", 2*time.Second, "deadline for requests without timeout_ms")
+		maxTimeout     = flag.Duration("max-timeout", 30*time.Second, "clamp on client-requested timeouts")
+		maxBatch       = flag.Int("max-batch", 64, "max queries per /v1/psi/batch request")
+		maxQueryNodes  = flag.Int("max-query-nodes", 32, "max nodes in one query graph")
+		retryAfter     = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+		threads        = flag.Int("threads", 1, "candidate-evaluation workers inside one query")
+		seed           = flag.Int64("seed", 42, "engine sampling seed")
+		shadowRate     = flag.Float64("shadow-rate", 0, "model-decision audit sampling rate in [0,1] (see /modelz)")
+	)
+	flag.Parse()
+	if err := run(config{
+		graphPath: *graphPath, dataset: *dataset,
+		addr: *addr, addrFile: *addrFile,
+		workers: *workers, queue: *queue,
+		defaultTimeout: *defaultTimeout, maxTimeout: *maxTimeout,
+		maxBatch: *maxBatch, maxQueryNodes: *maxQueryNodes,
+		retryAfter: *retryAfter, drainTimeout: *drainTimeout,
+		threads: *threads, seed: *seed, shadowRate: *shadowRate,
+	}, context.Background(), nil); err != nil {
+		fmt.Fprintln(os.Stderr, "psi-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// config carries the parsed flags into run.
+type config struct {
+	graphPath, dataset string
+	addr, addrFile     string
+	workers, queue     int
+	defaultTimeout     time.Duration
+	maxTimeout         time.Duration
+	maxBatch           int
+	maxQueryNodes      int
+	retryAfter         time.Duration
+	drainTimeout       time.Duration
+	threads            int
+	seed               int64
+	shadowRate         float64
+}
+
+// run loads the graph, builds the engine, and serves until a signal
+// arrives or parent is cancelled, then drains. The ready channel (test
+// seam; main passes nil) receives the bound address once listening.
+func run(cfg config, parent context.Context, ready chan<- string) error {
+	logger := log.New(os.Stderr, "psi-serve: ", log.LstdFlags)
+
+	var g *graph.Graph
+	var err error
+	switch {
+	case cfg.graphPath != "":
+		g, err = repro.LoadGraph(cfg.graphPath)
+	case cfg.dataset != "":
+		g, err = repro.GenerateDataset(cfg.dataset)
+	default:
+		return fmt.Errorf("need -graph or -dataset")
+	}
+	if err != nil {
+		return err
+	}
+
+	// A serving process always collects: metrics, traces, the /profilez
+	// flight recorder and /modelz all feed from the same gate.
+	obs.Enable(true)
+
+	engine, err := smartpsi.NewEngine(g, smartpsi.Options{
+		Threads:    cfg.threads,
+		Seed:       cfg.seed,
+		ShadowRate: cfg.shadowRate,
+	})
+	if err != nil {
+		return err
+	}
+	logger.Printf("graph: %d nodes, %d edges, %d labels; signatures built in %s",
+		g.NumNodes(), g.NumEdges(), g.NumLabels(), engine.SignatureBuildTime)
+
+	srv := server.NewServer(engine, server.Config{
+		Workers:         cfg.workers,
+		QueueDepth:      cfg.queue,
+		ShedImmediately: cfg.queue == 0,
+		DefaultTimeout:  cfg.defaultTimeout,
+		MaxTimeout:      cfg.maxTimeout,
+		MaxBatch:        cfg.maxBatch,
+		MaxQueryNodes:   cfg.maxQueryNodes,
+		RetryAfter:      cfg.retryAfter,
+		Log:             logger,
+	})
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if cfg.addrFile != "" {
+		// Write to a temp file and rename so readers never see a
+		// partial address.
+		tmp := cfg.addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, cfg.addrFile); err != nil {
+			return err
+		}
+	}
+	logger.Printf("listening on http://%s (workers=%d queue=%d default-timeout=%s)",
+		bound, srv.Config().Workers, srv.Config().QueueDepth, srv.Config().DefaultTimeout)
+	if ready != nil {
+		ready <- bound
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills us
+
+	logger.Printf("signal received; draining (timeout %s)", cfg.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Printf("drain: %v", err)
+	} else {
+		logger.Printf("drain complete")
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

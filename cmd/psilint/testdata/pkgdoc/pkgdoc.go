@@ -1,0 +1,5 @@
+package pkgdoc // want "package doc comment"
+
+// value exists only to give the file a body; the violation this
+// fixture pins is the missing package comment above the clause.
+func value() int { return 1 }

@@ -46,6 +46,30 @@ var Registry = []Rule{
 		Doc:  "calls into the shadow-scoring subsystem (shadow*-named funcs) must be guarded by a *Sampled sampling condition; shadow-subsystem internals are exempt",
 		Run:  ruleShadowGate,
 	},
+	{
+		Name: "pkgdoc",
+		Doc:  "every package needs a package doc comment (`// Package <name> ...`) on at least one of its files",
+		Run:  rulePkgDoc,
+	},
+}
+
+// ---- pkgdoc ----
+
+// rulePkgDoc requires a package doc comment: godoc renders the package
+// index from it, and an undocumented package is invisible there. One
+// documented file per package is enough (conventionally doc.go or the
+// file named after the package); the finding is reported on the first
+// file's package clause.
+func rulePkgDoc(pkg *Package, report ReportFunc) {
+	if len(pkg.Files) == 0 {
+		return
+	}
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return
+		}
+	}
+	report(pkg.Files[0].Name, "package %s has no package doc comment on any file", pkg.Types.Name())
 }
 
 // ---- gojoin ----

@@ -2,8 +2,9 @@
 // lock-free metrics registry (atomic counters, gauges, and fixed-bucket
 // histograms) with Prometheus-text and JSON encoders, a per-query trace
 // recorder (ring buffer of typed events) with a Chrome-trace-format
-// exporter, and an opt-in debug HTTP endpoint serving /metrics, /tracez
-// and net/http/pprof.
+// exporter, and an opt-in debug HTTP surface serving /metrics,
+// /metrics.json, /tracez, /profilez (the slow-query flight recorder),
+// /modelz (shadow-scoring and drift state) and net/http/pprof.
 //
 // The layer follows the same gating pattern as package invariant:
 // collection is off by default and every instrumentation site costs one
@@ -11,7 +12,9 @@
 // add per event when enabled. Enable it with the PSI_OBS environment
 // variable (any non-empty value), Enable(true) from tests, or the
 // -debug-addr flag of cmd/psi-bench, cmd/psi-query and cmd/psi-workload
-// (StartDebugServer enables collection as a side effect).
+// (StartDebugServer enables collection as a side effect). The
+// long-lived query service (internal/server, cmd/psi-serve) mounts the
+// same surface on its main listener and keeps collection always on.
 //
 // The hot evaluation loops of package psi do not pay even the branch:
 // they keep counting into the plain per-State psi.Stats fields they

@@ -86,6 +86,30 @@ var (
 	SmartBetaRankTop1       = Default.Counter("smartpsi_beta_rank_top1_total", "model-β predictions that picked the sweep's fastest plan")
 	SmartDriftEvents        = Default.Counter("smartpsi_model_drift_events_total", "model-α accuracy drift events (windowed-delta detector, internal/ml)")
 
+	// --- package server: the psi-serve query service ---
+	//
+	// Unlike the evaluator instrumentation above, the serving-path
+	// metrics are updated unconditionally (no Enabled() gate): a serving
+	// process always runs with collection on (cmd/psi-serve enables it
+	// at startup), per-request atomic adds are noise next to an HTTP
+	// round trip, and the in-flight/queue gauges must never drift if
+	// collection is toggled mid-flight.
+
+	ServerRequests     = Default.Counter("server_requests_total", "HTTP requests accepted on /v1/psi and /v1/psi/batch")
+	ServerBatchQueries = Default.Counter("server_batch_queries_total", "individual queries submitted through /v1/psi/batch")
+	ServerInFlight     = Default.Gauge("server_inflight", "admitted queries currently evaluating (holding a worker slot)")
+	ServerQueueDepth   = Default.Gauge("server_queue_depth", "queries waiting in the bounded admission queue")
+	ServerShed         = Default.Counter("server_shed_total", "queries rejected 429 because the admission queue was full (load shedding)")
+	ServerDrainRejects = Default.Counter("server_drain_rejects_total", "requests rejected 503 while the server was draining")
+	ServerDeadlineHits = Default.Counter("server_deadline_hits_total", "queries that exceeded their deadline (504), queued or evaluating")
+	ServerBadRequests  = Default.Counter("server_bad_requests_total", "malformed or oversized requests rejected 4xx before admission")
+	ServerPanics       = Default.Counter("server_panics_total", "request-scoped panics recovered into 500 responses")
+	ServerDraining     = Default.Gauge("server_draining", "1 while a graceful drain is in progress or complete, else 0")
+	ServerPSISeconds   = Default.Histogram("server_psi_seconds", "per-request latency of /v1/psi (admission wait + evaluation + encode)", LatencyBuckets)
+	ServerBatchSeconds = Default.Histogram("server_batch_seconds", "per-request latency of /v1/psi/batch", LatencyBuckets)
+	ServerAdmitWait    = Default.Histogram("server_admission_wait_seconds", "time spent queued before acquiring a worker slot", LatencyBuckets)
+	ServerBatchSize    = Default.Histogram("server_batch_size", "queries per /v1/psi/batch request", CountBuckets)
+
 	// --- package fsm: frequent-subgraph-mining support counting ---
 
 	FSMSupportCalls    = Default.Counter("fsm_support_calls_total", "MNI support evaluations")

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// errShed reports that the admission queue was full and the query was
+// load-shed (HTTP 429 with Retry-After).
+var errShed = errors.New("server: admission queue full, query shed")
+
+// admission is the server's concurrency guardrail: a counting semaphore
+// of worker slots fronted by a bounded wait queue. A query first tries
+// to take a slot without waiting; if every slot is busy it joins the
+// queue — unless the queue is at capacity, in which case it is shed
+// immediately (the caller turns that into 429 + Retry-After). Queued
+// queries give up when their request deadline passes, so the queue can
+// never hold work that nobody is waiting for.
+//
+// The queue bound is enforced with an atomic counter rather than a
+// second channel: an over-subscribed Add is detected and immediately
+// undone, so the bound holds exactly, and the waiter count doubles as
+// the server_queue_depth gauge.
+type admission struct {
+	slots    chan struct{} // capacity = workers; a held token is a running query
+	queueCap int64
+	queued   atomic.Int64
+}
+
+func newAdmission(workers, queueDepth int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, workers),
+		queueCap: int64(queueDepth),
+	}
+}
+
+// acquire obtains a worker slot, waiting in the bounded queue if
+// necessary. It returns errShed when the queue is full, or ctx.Err()
+// when the context expires while queued. On success the caller must
+// release().
+func (a *admission) acquire(ctx context.Context) error {
+	// Fast path: a slot is free, skip the queue entirely.
+	select {
+	case a.slots <- struct{}{}:
+		obs.ServerInFlight.Add(1)
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.queueCap {
+		a.queued.Add(-1)
+		obs.ServerShed.Inc()
+		return errShed
+	}
+	obs.ServerQueueDepth.Set(a.queued.Load())
+	start := time.Now()
+	defer func() {
+		obs.ServerQueueDepth.Set(a.queued.Add(-1))
+		obs.ServerAdmitWait.Observe(time.Since(start).Seconds())
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		obs.ServerInFlight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a worker slot taken by acquire.
+func (a *admission) release() {
+	<-a.slots
+	obs.ServerInFlight.Add(-1)
+}
+
+// queueDepth returns the current number of queued waiters.
+func (a *admission) queueDepth() int64 { return a.queued.Load() }
+
+// inFlight returns the number of held worker slots.
+func (a *admission) inFlight() int { return len(a.slots) }

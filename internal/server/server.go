@@ -1,0 +1,553 @@
+// Package server is the long-lived serving path for the SmartPSI
+// executor: a stdlib-only HTTP/JSON query service (cmd/psi-serve) that
+// loads one data graph — signatures built once, prediction machinery
+// warm — and answers PSI queries over it with production guardrails.
+//
+// Routes:
+//
+//	POST /v1/psi        one pivoted query -> its pivot bindings
+//	POST /v1/psi/batch  up to MaxBatch queries scheduled across the
+//	                    bounded worker pool under one shared deadline
+//	GET  /healthz       liveness: 200 as long as the process serves
+//	GET  /readyz        readiness: 200 when accepting work, 503 draining
+//	(everything else)   the internal/obs debug mux: /metrics,
+//	                    /metrics.json, /tracez, /profilez, /modelz,
+//	                    /debug/pprof — see OPERATIONS.md
+//
+// Every request passes the same guardrail pipeline:
+//
+//	decode/validate -> admission -> deadline-bounded evaluation -> encode
+//
+// Admission control is a counting semaphore of Workers slots fronted by
+// a bounded wait queue of QueueDepth entries; when the queue is full the
+// query is shed immediately with 429 and a Retry-After hint, which keeps
+// tail latency bounded under overload instead of letting the queue grow
+// without bound. The per-request deadline (timeout_ms, clamped to
+// MaxTimeout) covers the admission wait and is propagated into the
+// preemptive executor's global budget (smartpsi.EvaluateBudget), so a
+// deadline doesn't just abandon the response — it stops the evaluation
+// itself (504). A panic while evaluating one request is recovered into a
+// 500 for that request only. Drain flips readiness, rejects new work
+// with 503, and waits for in-flight queries to finish, so a SIGTERM
+// under an orchestrator loses no accepted work.
+//
+// The server publishes its own metric family (server_* in internal/obs:
+// queue depth, in-flight, shed/drain/panic/deadline counters, per-route
+// latency histograms) and, because collection is enabled in a serving
+// process, every query feeds the per-query trace ring, the /profilez
+// flight recorder, and the /modelz decision telemetry exactly as the
+// one-shot CLIs do.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/psi"
+	"repro/internal/smartpsi"
+)
+
+// Evaluator is the query-evaluation dependency of the server:
+// *smartpsi.Engine in production, fakes in the tests. EvaluateBudget
+// must honor the deadline by aborting with psi.ErrDeadline (wrapped or
+// not) and must be safe for concurrent calls.
+type Evaluator interface {
+	EvaluateBudget(q graph.Query, deadline time.Time) (*smartpsi.Result, error)
+}
+
+var _ Evaluator = (*smartpsi.Engine)(nil)
+
+// Config tunes the server's guardrails. The zero value gives sensible
+// defaults for a small deployment.
+type Config struct {
+	// Workers is the number of queries evaluated concurrently (the
+	// admission semaphore's capacity). Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the admission wait queue; a query arriving with
+	// the queue full is shed with 429. Default 64. Zero is valid only
+	// via ShedImmediately (the zero value means "default").
+	QueueDepth int
+	// ShedImmediately forces QueueDepth 0: any query that cannot start
+	// at once is shed. Overload tests and strict-latency deployments.
+	ShedImmediately bool
+	// DefaultTimeout applies when a request carries no timeout_ms.
+	// Default 2s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested timeouts. Default 30s.
+	MaxTimeout time.Duration
+	// MaxBatch bounds queries per /v1/psi/batch request. Default 64.
+	MaxBatch int
+	// MaxQueryNodes bounds the size of one query graph. Default 32.
+	MaxQueryNodes int
+	// MaxBodyBytes bounds a request body. Default 1 MiB.
+	MaxBodyBytes int64
+	// RetryAfter is the hint sent with 429/503 responses. Default 1s,
+	// rounded up to whole seconds on the wire.
+	RetryAfter time.Duration
+	// Log, when non-nil, receives one line per rejected or failed
+	// request (accepted traffic is visible through /metrics instead).
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.ShedImmediately {
+		c.QueueDepth = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxQueryNodes <= 0 {
+		c.MaxQueryNodes = 32
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server owns the admission controller, the route table, and the drain
+// state for one Evaluator. Construct with NewServer, serve via Handler,
+// stop via Drain.
+type Server struct {
+	eval Evaluator
+	cfg  Config
+	adm  *admission
+	mux  *http.ServeMux
+
+	mu       sync.Mutex
+	draining bool
+	inflight int           // in-flight HTTP requests (not worker slots)
+	drained  chan struct{} // closed when draining && inflight == 0
+	start    time.Time
+}
+
+// NewServer wires a server over eval. The obs debug handler (metrics,
+// traces, profiles, model telemetry, pprof) is mounted as the fallback
+// route so one port serves both the query API and its introspection.
+func NewServer(eval Evaluator, cfg Config) *Server {
+	s := &Server{
+		eval:    eval,
+		cfg:     cfg.withDefaults(),
+		drained: make(chan struct{}),
+		start:   time.Now(),
+	}
+	s.adm = newAdmission(s.cfg.Workers, s.cfg.QueueDepth)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/psi", s.handlePSI)
+	s.mux.HandleFunc("/v1/psi/batch", s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.Handle("/", obs.Handler(obs.Default, obs.DefaultTracer, obs.DefaultRecorder))
+	return s
+}
+
+// Config returns the server's effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Handler returns the server's routes wrapped in request-scoped panic
+// recovery: a panic anywhere below turns into a 500 for that request
+// and a server_panics_total increment, never a crashed process.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				obs.ServerPanics.Inc()
+				s.logf("panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				// Headers may already be out; WriteHeader then is a
+				// no-op and the client sees a truncated body.
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// dataGraph returns the evaluator's data graph when it exposes one
+// (smartpsi.Engine does), else nil.
+func (s *Server) dataGraph() *graph.Graph {
+	if gp, ok := s.eval.(interface{ Graph() *graph.Graph }); ok {
+		return gp.Graph()
+	}
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+// begin registers one in-flight HTTP request; it fails when the server
+// is draining.
+func (s *Server) begin() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+// end retires one in-flight HTTP request and completes the drain when
+// it was the last.
+func (s *Server) end() {
+	s.mu.Lock()
+	s.inflight--
+	if s.draining && s.inflight == 0 {
+		s.closeDrainedLocked()
+	}
+	s.mu.Unlock()
+}
+
+// closeDrainedLocked closes the drained channel exactly once. Caller
+// holds mu.
+func (s *Server) closeDrainedLocked() {
+	select {
+	case <-s.drained:
+	default:
+		close(s.drained)
+	}
+}
+
+// Draining reports whether a drain has started.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admitting new requests (readyz flips to 503, /v1 routes
+// reject with 503 + Retry-After) and waits for every in-flight request
+// to complete, or for ctx to expire — in which case the remaining
+// requests keep running and the error reports how many were abandoned.
+// Drain is idempotent; concurrent calls all wait for the same drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		obs.ServerDraining.Set(1)
+		if s.inflight == 0 {
+			s.closeDrainedLocked()
+		}
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		n := s.inflight
+		s.mu.Unlock()
+		return fmt.Errorf("server: drain expired with %d requests in flight: %w", n, ctx.Err())
+	}
+}
+
+// deadlineFor resolves a request's timeout_ms into an absolute
+// deadline, applying the default and the clamp.
+func (s *Server) deadlineFor(timeoutMS int64) (time.Time, error) {
+	if timeoutMS < 0 {
+		return time.Time{}, badRequest("timeout_ms must be >= 0, got %d", timeoutMS)
+	}
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return time.Now().Add(d), nil
+}
+
+// errPanic marks an evaluator panic recovered by safeEvaluate.
+var errPanic = errors.New("server: evaluator panic")
+
+// safeEvaluate runs one evaluation with request-scoped panic recovery:
+// a panicking evaluation poisons only its own request.
+func (s *Server) safeEvaluate(q graph.Query, deadline time.Time) (res *smartpsi.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			obs.ServerPanics.Inc()
+			s.logf("evaluator panic: %v", p)
+			res, err = nil, fmt.Errorf("%w: %v", errPanic, p)
+		}
+	}()
+	return s.eval.EvaluateBudget(q, deadline)
+}
+
+// retryAfterSeconds renders the Retry-After hint, at least 1 second.
+func (s *Server) retryAfterSeconds() string {
+	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// rejectDraining writes the 503 a draining server sends to new work.
+func (s *Server) rejectDraining(w http.ResponseWriter) {
+	obs.ServerDrainRejects.Inc()
+	w.Header().Set("Retry-After", s.retryAfterSeconds())
+	writeError(w, http.StatusServiceUnavailable, "server is draining")
+}
+
+// handlePSI serves POST /v1/psi: decode -> validate -> admission ->
+// deadline-bounded evaluation -> encode.
+func (s *Server) handlePSI(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	obs.ServerRequests.Inc()
+	t0 := time.Now()
+	defer func() { obs.ServerPSISeconds.Observe(time.Since(t0).Seconds()) }()
+	if !s.begin() {
+		s.rejectDraining(w)
+		return
+	}
+	defer s.end()
+
+	var req PSIRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	q, err := s.buildQuery(req.Query, req.QueryLG)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	deadline, err := s.deadlineFor(req.TimeoutMS)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
+	defer cancel()
+	if err := s.adm.acquire(ctx); err != nil {
+		s.writeAdmissionError(w, err)
+		return
+	}
+	defer s.adm.release()
+
+	evalStart := time.Now()
+	res, err := s.safeEvaluate(q, deadline)
+	if err != nil {
+		s.writeEvalError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resultJSON(res, time.Since(evalStart)))
+}
+
+// handleBatch serves POST /v1/psi/batch: every query is validated up
+// front, then scheduled across the worker pool through the same
+// admission controller single queries use — a big batch on a busy
+// server gets exactly its fair share of slots and sheds the rest.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	obs.ServerRequests.Inc()
+	t0 := time.Now()
+	defer func() { obs.ServerBatchSeconds.Observe(time.Since(t0).Seconds()) }()
+	if !s.begin() {
+		s.rejectDraining(w)
+		return
+	}
+	defer s.end()
+
+	var req BatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeRequestError(w, badRequest("queries is empty"))
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		s.writeRequestError(w, &httpError{status: http.StatusRequestEntityTooLarge,
+			msg: fmt.Sprintf("batch has %d queries, server cap is %d", len(req.Queries), s.cfg.MaxBatch)})
+		return
+	}
+	deadline, err := s.deadlineFor(req.TimeoutMS)
+	if err != nil {
+		s.writeRequestError(w, err)
+		return
+	}
+	obs.ServerBatchQueries.Add(int64(len(req.Queries)))
+	obs.ServerBatchSize.Observe(float64(len(req.Queries)))
+
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
+	defer cancel()
+	items := make([]BatchItem, len(req.Queries))
+	var wg sync.WaitGroup
+	for i := range req.Queries {
+		q, err := s.buildQuery(&req.Queries[i], "")
+		if err != nil {
+			items[i] = errorItem(err)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, q graph.Query) {
+			defer wg.Done()
+			if err := s.adm.acquire(ctx); err != nil {
+				items[i] = admissionItem(err)
+				return
+			}
+			defer s.adm.release()
+			evalStart := time.Now()
+			res, err := s.safeEvaluate(q, deadline)
+			if err != nil {
+				items[i] = evalItem(err)
+				return
+			}
+			items[i] = BatchItem{Status: http.StatusOK, Result: resultJSON(res, time.Since(evalStart))}
+		}(i, q)
+	}
+	wg.Wait()
+
+	resp := BatchResponse{Results: items, ElapsedMS: float64(time.Since(t0).Nanoseconds()) / 1e6}
+	for _, it := range items {
+		if it.Status == http.StatusOK {
+			resp.Succeeded++
+		} else {
+			resp.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz is liveness: 200 with uptime as long as the process
+// can serve HTTP at all (draining included — the process is healthy,
+// just not ready).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// handleReadyz is readiness: 200 while accepting work, 503 once a
+// drain has started. Orchestrators use this to stop routing traffic
+// before the pod goes away.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ready",
+		"workers":     s.cfg.Workers,
+		"queue_depth": s.adm.queueDepth(),
+		"in_flight":   s.adm.inFlight(),
+	})
+}
+
+// writeRequestError maps pre-admission failures (decode, validation,
+// size caps) onto their 4xx responses.
+func (s *Server) writeRequestError(w http.ResponseWriter, err error) {
+	obs.ServerBadRequests.Inc()
+	var he *httpError
+	if errors.As(err, &he) {
+		s.logf("bad request: %s", he.msg)
+		writeError(w, he.status, "%s", he.msg)
+		return
+	}
+	s.logf("bad request: %v", err)
+	writeError(w, http.StatusBadRequest, "%v", err)
+}
+
+// writeAdmissionError maps admission failures: queue full -> 429 +
+// Retry-After, deadline while queued -> 504, client gone -> nothing.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errShed):
+		s.logf("shed: queue full")
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeError(w, http.StatusTooManyRequests, "server overloaded, retry later")
+	case errors.Is(err, context.DeadlineExceeded):
+		obs.ServerDeadlineHits.Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded while queued for admission")
+	default:
+		// Client disconnected while queued; nobody is listening.
+	}
+}
+
+// writeEvalError maps evaluation failures: deadline -> 504 (the
+// executor has already stopped — EvaluateBudget aborts the search
+// itself), panic -> 500, anything else -> 500.
+func (s *Server) writeEvalError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, psi.ErrDeadline):
+		obs.ServerDeadlineHits.Inc()
+		writeError(w, http.StatusGatewayTimeout, "query deadline exceeded")
+	case errors.Is(err, errPanic):
+		writeError(w, http.StatusInternalServerError, "internal error evaluating query")
+	default:
+		s.logf("evaluation error: %v", err)
+		writeError(w, http.StatusInternalServerError, "evaluation failed: %v", err)
+	}
+}
+
+// errorItem, admissionItem and evalItem are the batch-item analogues of
+// the single-query error writers.
+func errorItem(err error) BatchItem {
+	obs.ServerBadRequests.Inc()
+	var he *httpError
+	if errors.As(err, &he) {
+		return BatchItem{Status: he.status, Error: he.msg}
+	}
+	return BatchItem{Status: http.StatusBadRequest, Error: err.Error()}
+}
+
+func admissionItem(err error) BatchItem {
+	switch {
+	case errors.Is(err, errShed):
+		return BatchItem{Status: http.StatusTooManyRequests, Error: "server overloaded, retry later"}
+	case errors.Is(err, context.DeadlineExceeded):
+		obs.ServerDeadlineHits.Inc()
+		return BatchItem{Status: http.StatusGatewayTimeout, Error: "deadline exceeded while queued for admission"}
+	default:
+		return BatchItem{Status: http.StatusGatewayTimeout, Error: "request cancelled"}
+	}
+}
+
+func evalItem(err error) BatchItem {
+	switch {
+	case errors.Is(err, psi.ErrDeadline):
+		obs.ServerDeadlineHits.Inc()
+		return BatchItem{Status: http.StatusGatewayTimeout, Error: "query deadline exceeded"}
+	case errors.Is(err, errPanic):
+		return BatchItem{Status: http.StatusInternalServerError, Error: "internal error evaluating query"}
+	default:
+		return BatchItem{Status: http.StatusInternalServerError, Error: "evaluation failed: " + err.Error()}
+	}
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # check.sh is the full local CI gate: formatting, vet, psilint, build,
-# race-enabled tests, and a short fuzz smoke over every fuzz target.
+# race-enabled tests, the serving smoke (scripts/serve_smoke.sh), and a
+# short fuzz smoke over every fuzz target.
 #
 # Usage:
 #   ./scripts/check.sh                    # everything, ~2-5 minutes
@@ -48,6 +49,9 @@ go run ./cmd/psi-workload -dataset cora -sizes 4 -count 4 -evaluate \
     -out "$declog_dir/queries.lg"
 go run ./cmd/psi-decisions "$declog_dir/decisions.jsonl"
 go run ./cmd/psi-decisions -json "$declog_dir/decisions.jsonl" > /dev/null
+
+step "serving smoke (psi-serve + psi-loadgen: verify, overload shed, drain)"
+./scripts/serve_smoke.sh
 
 # Opt-in: diff this machine's quick-run work counters against the
 # committed baseline (the bench-regression CI job always runs this).

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# serve_smoke.sh boots the real serving stack end to end and asserts
+# the two behaviours the server exists for:
+#
+#   1. correctness under normal load — psi-serve on an ephemeral port,
+#      psi-loadgen -verify cross-checks every served binding set
+#      against a model-free PSI evaluation and requires bindings;
+#   2. load shedding under overload — a workers=1/queue=0 server must
+#      answer some of a 16-way burst with 429 (-require-shed) while
+#      everything it does accept stays correct;
+#
+# then sends SIGTERM and requires a clean drain (exit 0). psi-loadgen
+# exits non-zero on any unexpected 5xx, so "the script passed" also
+# means "zero 500/502/503 were served".
+#
+# Usage: ./scripts/serve_smoke.sh  (run from anywhere; ~30s)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d)"
+serve_pid=""
+cleanup() {
+    if [[ -n "$serve_pid" ]] && kill -0 "$serve_pid" 2>/dev/null; then
+        kill -KILL "$serve_pid" 2>/dev/null || true
+    fi
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+step() { printf '\n-- %s\n' "$*"; }
+
+step "build"
+go build -o "$work/psi-serve" ./cmd/psi-serve
+go build -o "$work/psi-loadgen" ./cmd/psi-loadgen
+go build -o "$work/datagen" ./cmd/datagen
+
+step "dataset"
+"$work/datagen" -dataset yeast -out "$work/g.lg" >/dev/null
+
+wait_for_addr() {
+    local file="$1" tries=0
+    until [[ -s "$file" ]]; do
+        tries=$((tries + 1))
+        if [[ "$tries" -gt 100 ]]; then
+            echo "server never published its address" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+    cat "$file"
+}
+
+# start_server launches psi-serve with the given extra flags and sets
+# the globals $serve_pid and $addr. Not a command substitution: stdout
+# must not be captured (the backgrounded server would hold the pipe
+# open) and serve_pid must land in the parent shell.
+start_server() {
+    local addr_file="$work/addr"
+    rm -f "$addr_file"
+    "$work/psi-serve" -graph "$work/g.lg" -addr 127.0.0.1:0 \
+        -addr-file "$addr_file" "$@" >/dev/null 2>"$work/serve.log" &
+    serve_pid=$!
+    addr="$(wait_for_addr "$addr_file")"
+}
+
+stop_server() { # clean SIGTERM drain must exit 0
+    kill -TERM "$serve_pid"
+    local rc=0
+    wait "$serve_pid" || rc=$?
+    serve_pid=""
+    if [[ "$rc" -ne 0 ]]; then
+        echo "psi-serve exited $rc after SIGTERM; log:" >&2
+        cat "$work/serve.log" >&2
+        return 1
+    fi
+}
+
+step "correctness pass (closed loop, -verify, bindings required)"
+start_server -workers 2 -queue 32
+"$work/psi-loadgen" -addr "$addr" -graph "$work/g.lg" \
+    -concurrency 4 -requests 60 -timeout-ms 5000 \
+    -verify -min-bindings 1 -json "$work/load.json"
+"$work/psi-loadgen" -addr "$addr" -graph "$work/g.lg" \
+    -batch 4 -requests 10 -timeout-ms 5000 -min-bindings 1
+grep -q '"schema": 1' "$work/load.json"
+step "drain"
+stop_server
+
+step "overload pass (workers=1, shed-immediately: 429s required)"
+start_server -workers 1 -queue 0
+"$work/psi-loadgen" -addr "$addr" -graph "$work/g.lg" \
+    -concurrency 16 -requests 200 -timeout-ms 5000 \
+    -require-shed -min-bindings 1
+step "drain"
+stop_server
+
+printf '\n-- serve smoke OK\n'
