@@ -178,6 +178,7 @@ func run(cfg config, parent context.Context, ready chan<- string) error {
 	stop() // restore default signal handling: a second signal kills us
 
 	logger.Printf("signal received; draining (timeout %s)", cfg.drainTimeout)
+	//lint:ignore ctxflow the signal context is already cancelled at this point; the drain deadline must be fresh or Drain would return immediately
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
@@ -185,6 +186,7 @@ func run(cfg config, parent context.Context, ready chan<- string) error {
 	} else {
 		logger.Printf("drain complete")
 	}
+	//lint:ignore ctxflow same as the drain context: parent is cancelled, the shutdown bound must be fresh
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {

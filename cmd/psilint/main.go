@@ -1,68 +1,289 @@
 // Command psilint enforces this repository's correctness conventions
-// with a small stdlib-only static analyzer (go/parser + go/types).
+// with a stdlib-only whole-program static analyzer (go/parser +
+// go/types + a type-informed call graph).
 //
 // Usage:
 //
-//	psilint [-root dir] [-rules]
+//	psilint [-root dir] [-rules r1,r2] [-format text|json|sarif]
+//	        [-baseline file] [-update-baseline] [-list]
 //
-// With no flags it locates the module root (the nearest ancestor of the
-// working directory containing go.mod), loads every non-test package,
-// and prints one line per finding:
+// With no flags it locates the module root (the nearest ancestor of
+// the working directory containing go.mod), loads every non-test
+// package, evaluates the rule registry, and prints one line per
+// finding:
 //
 //	path/file.go:12:3: [rulename] message
 //
-// Exit status is 1 when findings exist, 2 on load errors, 0 otherwise.
+// With -baseline, findings already recorded in the baseline file are
+// grandfathered: they are printed (marked "baselined") but do not
+// affect the exit status, stale baseline entries are reported for
+// deletion, and only fresh error-severity findings gate.
+// -update-baseline rewrites the baseline to the current findings.
+//
+// Exit status: 0 clean (no fresh error findings), 1 findings, 2 on
+// usage or load errors — so scripts can tell "the repo is dirty" from
+// "the analyzer could not run".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
 
-func main() {
-	root := flag.String("root", "", "module root to lint (default: nearest ancestor with go.mod)")
-	listRules := flag.Bool("rules", false, "list the enforced rules and exit")
-	flag.Parse()
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitUsage    = 2
+)
 
-	if *listRules {
-		for _, r := range lint.Registry {
-			fmt.Printf("%-12s %s\n", r.Name, r.Doc)
-		}
-		return
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit, so tests can drive the full
+// CLI surface.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("psilint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		root           = fs.String("root", "", "module root to lint (default: nearest ancestor with go.mod)")
+		list           = fs.Bool("list", false, "print the rule registry (name, tier, severity, doc) and exit")
+		rulesFlag      = fs.String("rules", "", "comma-separated rule names to run (default: all)")
+		format         = fs.String("format", "text", "output format: text, json, or sarif")
+		baselinePath   = fs.String("baseline", "", "baseline file to diff findings against")
+		updateBaseline = fs.Bool("update-baseline", false, "rewrite -baseline with the current findings and exit 0")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	if *list {
+		printRegistry(stdout)
+		return exitClean
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fprintf(stderr, "psilint: unknown -format %q (want text, json, or sarif)\n", *format)
+		return exitUsage
+	}
+	rules, err := selectRules(*rulesFlag)
+	if err != nil {
+		fprintln(stderr, "psilint:", err)
+		return exitUsage
+	}
+	if *updateBaseline && *baselinePath == "" {
+		fprintln(stderr, "psilint: -update-baseline requires -baseline")
+		return exitUsage
 	}
 
 	dir := *root
 	if dir == "" {
-		var err error
-		dir, err = findModuleRoot()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "psilint:", err)
-			os.Exit(2)
+		if dir, err = findModuleRoot(); err != nil {
+			fprintln(stderr, "psilint:", err)
+			return exitUsage
 		}
+	}
+	if dir, err = filepath.Abs(dir); err != nil {
+		fprintln(stderr, "psilint:", err)
+		return exitUsage
 	}
 
 	loader, err := lint.NewLoader(dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "psilint:", err)
-		os.Exit(2)
+		fprintln(stderr, "psilint:", err)
+		return exitUsage
 	}
 	pkgs, err := loader.LoadAll()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "psilint:", err)
-		os.Exit(2)
+		fprintln(stderr, "psilint:", err)
+		return exitUsage
 	}
-	findings := lint.Run(loader.Fset, pkgs, lint.Registry)
+	if len(pkgs) == 0 {
+		fprintf(stderr, "psilint: no Go packages under %s\n", dir)
+		return exitUsage
+	}
+	findings := lint.Run(loader.Fset, pkgs, rules)
+
+	if *updateBaseline {
+		b := lint.NewBaseline(dir, findings)
+		if err := b.Write(*baselinePath); err != nil {
+			fprintln(stderr, "psilint:", err)
+			return exitUsage
+		}
+		fprintf(stderr, "psilint: wrote %d finding(s) to %s\n", len(findings), *baselinePath)
+		return exitClean
+	}
+
+	// Baseline diff: only fresh findings gate; grandfathered ones stay
+	// visible and stale entries are called out for deletion.
+	fresh := findings
+	var grandfathered []lint.Finding
+	var stale []lint.BaselineEntry
+	if *baselinePath != "" {
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fprintln(stderr, "psilint:", err)
+			return exitUsage
+		}
+		fresh, grandfathered, stale = b.Diff(dir, findings)
+		// Under -rules filtering, baseline entries for unselected rules
+		// were not checked this run — not finding them does not mean
+		// they were fixed, so they must not be reported stale.
+		selected := map[string]bool{}
+		for _, r := range rules {
+			selected[r.Name] = true
+		}
+		kept := stale[:0]
+		for _, e := range stale {
+			if selected[e.Rule] {
+				kept = append(kept, e)
+			}
+		}
+		stale = kept
+	}
+
+	switch *format {
+	case "json":
+		if err := writeJSON(stdout, dir, fresh, grandfathered); err != nil {
+			fprintln(stderr, "psilint:", err)
+			return exitUsage
+		}
+	case "sarif":
+		// SARIF carries only the gating (fresh) findings: the artifact
+		// uploaded from CI should annotate what the gate failed on.
+		data, err := lint.SARIF(dir, rules, fresh)
+		if err != nil {
+			fprintln(stderr, "psilint:", err)
+			return exitUsage
+		}
+		fprintln(stdout, string(data))
+	default:
+		for _, f := range fresh {
+			fprintf(stdout, "%s: [%s] %s%s\n", f.Pos, f.Rule, warnTag(f), f.Msg)
+		}
+		for _, f := range grandfathered {
+			fprintf(stdout, "%s: [%s] (baselined) %s\n", f.Pos, f.Rule, f.Msg)
+		}
+		for _, e := range stale {
+			fprintf(stderr, "psilint: stale baseline entry (fixed? delete it): %s %s: %s\n", e.File, e.Rule, e.Message)
+		}
+	}
+
+	if lint.HasErrors(fresh) {
+		fprintf(stderr, "psilint: %d finding(s), %d gating\n", len(fresh), countErrors(fresh))
+		return exitFindings
+	}
+	return exitClean
+}
+
+// fprintf / fprintln write CLI output best-effort, like fmt.Printf:
+// a write error on the user's stdout/stderr is not actionable here,
+// and discarding it explicitly keeps the ignorederr rule honest.
+func fprintf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func fprintln(w io.Writer, args ...any) {
+	_, _ = fmt.Fprintln(w, args...)
+}
+
+func warnTag(f lint.Finding) string {
+	if f.Severity == lint.SevWarn {
+		return "(warn) "
+	}
+	return ""
+}
+
+func countErrors(findings []lint.Finding) int {
+	n := 0
 	for _, f := range findings {
-		fmt.Println(f)
+		if f.Severity == lint.SevError {
+			n++
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "psilint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+	return n
+}
+
+// selectRules resolves the -rules filter against the registry.
+func selectRules(filter string) ([]lint.Rule, error) {
+	if filter == "" {
+		return lint.Registry, nil
 	}
+	byName := map[string]lint.Rule{}
+	for _, r := range lint.Registry {
+		byName[r.Name] = r
+	}
+	var out []lint.Rule
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (see -list)", name)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-rules selected no rules")
+	}
+	return out, nil
+}
+
+func printRegistry(w io.Writer) {
+	for _, r := range lint.Registry {
+		fprintf(w, "%-12s %-10s %-6s %s\n", r.Name, r.Tier, r.Severity, r.Doc)
+	}
+}
+
+// jsonFinding is the -format json shape: one object per finding,
+// stable field names, paths relative to the lint root.
+type jsonFinding struct {
+	Rule      string `json:"rule"`
+	Severity  string `json:"severity"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Column    int    `json:"column"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined,omitempty"`
+}
+
+func writeJSON(w io.Writer, root string, fresh, grandfathered []lint.Finding) error {
+	doc := struct {
+		Schema   int           `json:"schema"`
+		Findings []jsonFinding `json:"findings"`
+	}{Schema: 1, Findings: []jsonFinding{}}
+	add := func(fs []lint.Finding, baselined bool) {
+		for _, f := range fs {
+			rel, err := filepath.Rel(root, f.Pos.Filename)
+			if err != nil {
+				rel = f.Pos.Filename
+			}
+			doc.Findings = append(doc.Findings, jsonFinding{
+				Rule:      f.Rule,
+				Severity:  f.Severity.String(),
+				File:      filepath.ToSlash(rel),
+				Line:      f.Pos.Line,
+				Column:    f.Pos.Column,
+				Message:   f.Msg,
+				Baselined: baselined,
+			})
+		}
+	}
+	add(fresh, false)
+	add(grandfathered, true)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // findModuleRoot walks up from the working directory to the nearest

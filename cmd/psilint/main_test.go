@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -13,8 +16,11 @@ import (
 
 // wantRe matches the expectation comments in the fixture sources:
 // a line ending in `// want "substring"` must produce exactly one
-// finding on that line whose message contains the substring.
-var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+// finding on that line whose message contains the substring. The
+// `// want+N "substring"` form expects the finding N lines below the
+// annotation — needed when the flagged line is itself a directive
+// that would swallow a trailing comment into its reason text.
+var wantRe = regexp.MustCompile(`// want(\+\d+)? "([^"]*)"`)
 
 // TestRulesOnFixtures runs the full registry over every fixture
 // package under testdata and checks the findings line-for-line against
@@ -71,7 +77,7 @@ func TestRulesOnFixtures(t *testing.T) {
 }
 
 // collectWants maps "file.go:line" to the expected message substring
-// for every `// want` annotation under dir.
+// for every `// want` annotation under dir, applying any +N offset.
 func collectWants(dir string) (map[string]string, error) {
 	wants := make(map[string]string)
 	ents, err := os.ReadDir(dir)
@@ -87,9 +93,18 @@ func collectWants(dir string) (map[string]string, error) {
 			return nil, err
 		}
 		for i, line := range strings.Split(string(data), "\n") {
-			if m := wantRe.FindStringSubmatch(line); m != nil {
-				wants[fmt.Sprintf("%s:%d", ent.Name(), i+1)] = m[1]
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
 			}
+			offset := 0
+			if m[1] != "" {
+				offset, err = strconv.Atoi(m[1][1:])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want offset %q", ent.Name(), i+1, m[1])
+				}
+			}
+			wants[fmt.Sprintf("%s:%d", ent.Name(), i+1+offset)] = m[2]
 		}
 	}
 	return wants, nil
@@ -100,16 +115,20 @@ func collectWants(dir string) (map[string]string, error) {
 func TestRegistryWellFormed(t *testing.T) {
 	seen := make(map[string]bool)
 	for _, r := range lint.Registry {
-		if r.Name == "" || r.Doc == "" || r.Run == nil {
-			t.Errorf("incomplete rule: %+v", r)
+		if r.Name == "" || r.Doc == "" {
+			t.Errorf("rule missing name or doc: %+v", r)
+		}
+		// Exactly one evaluation hook: per-package or whole-program.
+		if (r.Run == nil) == (r.RunProgram == nil) {
+			t.Errorf("rule %q must set exactly one of Run/RunProgram", r.Name)
 		}
 		if seen[r.Name] {
 			t.Errorf("duplicate rule name %q", r.Name)
 		}
 		seen[r.Name] = true
 	}
-	if len(lint.Registry) < 5 {
-		t.Errorf("registry has %d rules, want at least 5", len(lint.Registry))
+	if len(lint.Registry) < 12 {
+		t.Errorf("registry has %d rules, want at least 12", len(lint.Registry))
 	}
 }
 
@@ -132,5 +151,293 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	for _, f := range lint.Run(loader.Fset, pkgs, lint.Registry) {
 		t.Errorf("%s", f)
+	}
+}
+
+// ---- CLI surface ----
+
+// runCLI drives run() and returns (exit code, stdout, stderr).
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// writeModule lays out a throwaway module for end-to-end CLI tests.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if _, ok := files["go.mod"]; !ok {
+		files["go.mod"] = "module tmpfixture\n\ngo 1.22\n"
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const sleepSrc = `// Package tmpfixture is a throwaway module for CLI tests.
+package tmpfixture
+
+import "time"
+
+func wait() {
+	time.Sleep(time.Second)
+}
+
+var _ = wait
+`
+
+const cleanSrc = `// Package tmpfixture is a throwaway module for CLI tests.
+package tmpfixture
+
+func add(a, b int) int { return a + b }
+
+var _ = add
+`
+
+func TestExitCodeUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown format", []string{"-format", "yaml"}},
+		{"unknown rule", []string{"-rules", "nosuchrule"}},
+		{"update without baseline", []string{"-update-baseline"}},
+		{"missing root", []string{"-root", filepath.Join(t.TempDir(), "nope")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code != exitUsage {
+				t.Errorf("exit = %d, want %d (stderr: %s)", code, exitUsage, stderr)
+			}
+			if stderr == "" {
+				t.Error("usage error produced no diagnostic on stderr")
+			}
+		})
+	}
+}
+
+func TestExitCodeNoPackages(t *testing.T) {
+	dir := writeModule(t, map[string]string{})
+	code, _, stderr := runCLI(t, "-root", dir)
+	if code != exitUsage {
+		t.Errorf("exit = %d, want %d", code, exitUsage)
+	}
+	if !strings.Contains(stderr, "no Go packages") {
+		t.Errorf("stderr = %q, want mention of no Go packages", stderr)
+	}
+}
+
+func TestListPrintsRegistry(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != exitClean {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, r := range lint.Registry {
+		if !strings.Contains(stdout, r.Name) || !strings.Contains(stdout, r.Doc) {
+			t.Errorf("-list output missing rule %q with its doc", r.Name)
+		}
+	}
+	for _, word := range []string{"syntactic", "dataflow", "error", "warn"} {
+		if !strings.Contains(stdout, word) {
+			t.Errorf("-list output missing %q column value", word)
+		}
+	}
+}
+
+func TestFindingsGateAndOrdering(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"b.go": sleepSrc,
+		"a.go": strings.ReplaceAll(sleepSrc, "wait", "waitA"),
+	})
+	code, stdout, _ := runCLI(t, "-root", dir)
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d (stdout: %s)", code, exitFindings, stdout)
+	}
+	// Findings must come out sorted by file, so a.go precedes b.go.
+	ia, ib := strings.Index(stdout, "a.go"), strings.Index(stdout, "b.go")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("findings not sorted by file:\n%s", stdout)
+	}
+}
+
+func TestRulesFilter(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": sleepSrc})
+	// Filtering to an unrelated rule must turn the violation invisible.
+	code, stdout, stderr := runCLI(t, "-root", dir, "-rules", "nopanic")
+	if code != exitClean {
+		t.Errorf("-rules nopanic exit = %d, want 0 (stdout: %s stderr: %s)", code, stdout, stderr)
+	}
+	code, _, _ = runCLI(t, "-root", dir, "-rules", "sleepsync")
+	if code != exitFindings {
+		t.Errorf("-rules sleepsync exit = %d, want %d", code, exitFindings)
+	}
+}
+
+func TestCleanModuleExitsZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": cleanSrc})
+	code, stdout, stderr := runCLI(t, "-root", dir)
+	if code != exitClean {
+		t.Errorf("exit = %d, want 0 (stdout: %s stderr: %s)", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean module produced output: %q", stdout)
+	}
+}
+
+// sarifDoc is the slice of SARIF 2.1.0 the tests assert on.
+type sarifDoc struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID string `json:"id"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID    string `json:"ruleId"`
+			RuleIndex int    `json:"ruleIndex"`
+			Level     string `json:"level"`
+			Message   struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI       string `json:"uri"`
+						URIBaseID string `json:"uriBaseId"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine   int `json:"startLine"`
+						StartColumn int `json:"startColumn"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+func TestSARIFOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": sleepSrc})
+	code, stdout, _ := runCLI(t, "-root", dir, "-format", "sarif")
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d", code, exitFindings)
+	}
+	var doc sarifDoc
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("sarif output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("sarif version = %q, want 2.1.0", doc.Version)
+	}
+	if !strings.Contains(doc.Schema, "sarif-2.1.0") {
+		t.Errorf("sarif $schema = %q, want a sarif-2.1.0 schema URI", doc.Schema)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("sarif runs = %d, want 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "psilint" {
+		t.Errorf("driver name = %q, want psilint", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(lint.Registry) {
+		t.Errorf("driver carries %d rules, registry has %d", len(run.Tool.Driver.Rules), len(lint.Registry))
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("sarif carries no results for a module with a violation")
+	}
+	res := run.Results[0]
+	if res.RuleID != "sleepsync" {
+		t.Errorf("result ruleId = %q, want sleepsync", res.RuleID)
+	}
+	if res.Level != "error" {
+		t.Errorf("result level = %q, want error", res.Level)
+	}
+	if got := run.Tool.Driver.Rules[res.RuleIndex].ID; got != res.RuleID {
+		t.Errorf("ruleIndex %d points at %q, want %q", res.RuleIndex, got, res.RuleID)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "a.go" {
+		t.Errorf("artifact uri = %q, want module-relative a.go", loc.ArtifactLocation.URI)
+	}
+	if loc.ArtifactLocation.URIBaseID != "ROOT" {
+		t.Errorf("uriBaseId = %q, want ROOT", loc.ArtifactLocation.URIBaseID)
+	}
+	if loc.Region.StartLine == 0 {
+		t.Error("result region has no startLine")
+	}
+}
+
+// TestBaselineDiffGate walks the whole baseline lifecycle: record a
+// violation, verify it stops gating, verify a new violation still
+// gates, and verify fixing the recorded one reports a stale entry.
+func TestBaselineDiffGate(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": sleepSrc})
+	baseline := filepath.Join(dir, "lint_baseline.json")
+
+	// Record the pre-existing violation.
+	if code, _, stderr := runCLI(t, "-root", dir, "-baseline", baseline, "-update-baseline"); code != exitClean {
+		t.Fatalf("-update-baseline exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+
+	// Grandfathered finding: visible, but not gating.
+	code, stdout, _ := runCLI(t, "-root", dir, "-baseline", baseline)
+	if code != exitClean {
+		t.Fatalf("baselined run exit = %d, want 0\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "(baselined)") {
+		t.Errorf("grandfathered finding not marked in output:\n%s", stdout)
+	}
+
+	// Seed a second violation: the gate must trip on it alone.
+	second := strings.ReplaceAll(sleepSrc, "wait", "waitMore")
+	if err := os.WriteFile(filepath.Join(dir, "b.go"), []byte(second), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI(t, "-root", dir, "-baseline", baseline)
+	if code != exitFindings {
+		t.Fatalf("fresh violation exit = %d, want %d\n%s%s", code, exitFindings, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "b.go") {
+		t.Errorf("fresh finding in b.go not reported:\n%s", stdout)
+	}
+
+	// SARIF with a baseline carries only the fresh finding.
+	_, sarifOut, _ := runCLI(t, "-root", dir, "-baseline", baseline, "-format", "sarif")
+	var doc sarifDoc
+	if err := json.Unmarshal([]byte(sarifOut), &doc); err != nil {
+		t.Fatalf("sarif: %v", err)
+	}
+	if n := len(doc.Runs[0].Results); n != 1 {
+		t.Errorf("sarif with baseline carries %d results, want only the 1 fresh", n)
+	}
+
+	// Fix both violations: the baseline entry is now stale, reported on
+	// stderr, and the exit stays clean.
+	for _, name := range []string{"a.go", "b.go"} {
+		fixed := strings.ReplaceAll(cleanSrc, "add", "add"+strings.TrimSuffix(name, ".go"))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(fixed), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, _, stderr = runCLI(t, "-root", dir, "-baseline", baseline)
+	if code != exitClean {
+		t.Fatalf("after fix exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "stale baseline entry") {
+		t.Errorf("stale baseline entry not reported: %q", stderr)
 	}
 }

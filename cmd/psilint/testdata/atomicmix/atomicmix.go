@@ -1,0 +1,53 @@
+// Package atomicmix exercises the atomicmix rule: a struct field
+// accessed through sync/atomic anywhere must be accessed atomically
+// everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	plain  int64
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+}
+
+// badRead tears the atomicity contract with a plain load.
+func (c *counters) badRead() int64 {
+	return c.hits // want "plain access to field counters.hits"
+}
+
+// badWrite tears it with a plain store.
+func (c *counters) badWrite() {
+	c.misses = 0 // want "plain access to field counters.misses"
+}
+
+// goodRead keeps every access atomic.
+func (c *counters) goodRead() int64 {
+	return atomic.LoadInt64(&c.misses)
+}
+
+// goodPlain never touches sync/atomic, so plain access is fine.
+func (c *counters) goodPlain() int64 {
+	c.plain++
+	return c.plain
+}
+
+// newCounters: composite-literal initialization is exempt — the value
+// is not shared yet.
+func newCounters() *counters {
+	return &counters{hits: 0, misses: 0}
+}
+
+var (
+	_ = (*counters).inc
+	_ = (*counters).badRead
+	_ = (*counters).badWrite
+	_ = (*counters).goodRead
+	_ = (*counters).goodPlain
+	_ = newCounters
+)

@@ -1,0 +1,22 @@
+// Package ctxflowdrop exercises the ctxflow rule's dropped-deadline
+// check: a function holding a context.Context must not bury it by
+// passing context.Background()/TODO() to a context-accepting callee.
+package ctxflowdrop
+
+import "context"
+
+// Handle is a deadline-carrying entry point.
+func Handle(ctx context.Context) {
+	lookup(context.Background()) // want "drops the deadline carried by parameter"
+	lookup(context.TODO())       // want "drops the deadline carried by parameter"
+	lookup(ctx)                  // negative: the context flows through
+}
+
+// fresh has no ctx in scope, so minting a root context is legitimate.
+func fresh() {
+	lookup(context.Background())
+}
+
+func lookup(ctx context.Context) { _ = ctx }
+
+var _ = fresh

@@ -1,0 +1,47 @@
+// Package ctxflowreach exercises the ctxflow rule's reachability
+// check: every potentially unbounded blocking operation reachable from
+// a deadline-carrying exported entry point must sit in a function that
+// itself accepts a context, budget, or deadline.
+package ctxflowreach
+
+import (
+	"context"
+	"time"
+)
+
+// Serve is a deadline-carrying exported entry point.
+func Serve(ctx context.Context, work chan int, t *time.Timer) {
+	gather(work)             // reaches a blocking helper with no deadline
+	gatherBounded(ctx, work) // negative: the helper accepts the ctx
+	pollTimer(work, t)       // negative: the helper's select is timer-bounded
+}
+
+// gather blocks on a receive but accepts no context/budget/deadline:
+// the entry point's bound cannot stop it.
+func gather(work chan int) {
+	<-work // want "reachable from deadline-carrying entry point Serve"
+}
+
+// gatherBounded blocks, but carries the caller's context.
+func gatherBounded(ctx context.Context, work chan int) {
+	select {
+	case <-work:
+	case <-ctx.Done():
+	}
+}
+
+// pollTimer has no deadline parameter, but its select cannot block
+// forever: the timer case bounds it.
+func pollTimer(work chan int, t *time.Timer) {
+	select {
+	case <-work:
+	case <-t.C:
+	}
+}
+
+// orphan blocks but is not reachable from any entry point.
+func orphan(work chan int) {
+	<-work
+}
+
+var _ = orphan

@@ -1,0 +1,59 @@
+// Package lockhold exercises the lockhold rule: no channel operation
+// or WaitGroup.Wait while a sync.Mutex/RWMutex is held.
+package lockhold
+
+import "sync"
+
+type queue struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	n  int
+}
+
+// badSend sends while the mutex is locked.
+func (q *queue) badSend(v int) {
+	q.mu.Lock()
+	q.ch <- v // want "channel send while q.mu is locked"
+	q.mu.Unlock()
+}
+
+// badDeferred: a deferred Unlock holds the lock to the end of the body.
+func (q *queue) badDeferred() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.n++
+	return <-q.ch // want "channel receive while q.mu is locked"
+}
+
+// badRead: an RLock is still a lock.
+func (q *queue) badRead() {
+	q.rw.RLock()
+	defer q.rw.RUnlock()
+	q.ch <- q.n // want "channel send while q.rw is locked"
+}
+
+// badWait joins under the lock.
+func (q *queue) badWait(wg *sync.WaitGroup) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	wg.Wait() // want "WaitGroup.Wait while q.mu is locked"
+}
+
+// good keeps the channel ops outside the critical section.
+func (q *queue) good(v int) {
+	q.mu.Lock()
+	q.n++
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// goodLit: a function literal is its own scope — the lock held while
+// the literal is *created* is not held when the literal later runs.
+func (q *queue) goodLit() func() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return func() {
+		q.ch <- q.n
+	}
+}

@@ -1,0 +1,37 @@
+// Package lockholdio exercises the lockhold rule's I/O arm: no calls
+// into the blocking os/net/net-http surface while a mutex is held.
+package lockholdio
+
+import (
+	"net/http"
+	"os"
+	"sync"
+)
+
+type sink struct {
+	mu   sync.Mutex
+	last string
+}
+
+// badFileIO does file I/O inside the critical section.
+func (s *sink) badFileIO(f *os.File, line string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.last = line
+	_, _ = f.WriteString(line) // want "call into os"
+}
+
+// badHTTP serves a response while holding the lock.
+func (s *sink) badHTTP(w http.ResponseWriter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	http.Error(w, s.last, http.StatusTeapot) // want "call into net/http"
+}
+
+// good snapshots under the lock and does the I/O outside it.
+func (s *sink) good(f *os.File, line string) {
+	s.mu.Lock()
+	s.last = line
+	s.mu.Unlock()
+	_, _ = f.WriteString(line)
+}

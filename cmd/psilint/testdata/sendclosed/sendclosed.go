@@ -1,0 +1,50 @@
+// Package sendclosed exercises the sendclosed rule: no send on a
+// channel that another function closes without a happens-before join.
+package sendclosed
+
+import "sync"
+
+type pipe struct {
+	out chan int
+	bad chan int
+	wg  sync.WaitGroup
+}
+
+// closeJoined closes out only after joining the producers, so the
+// sends in produce are ordered before the close.
+func (p *pipe) closeJoined() {
+	p.wg.Wait()
+	close(p.out)
+}
+
+// produce is safe: the only close of out is join-guarded.
+func (p *pipe) produce(v int) {
+	p.out <- v
+}
+
+// closeUnjoined closes bad with no join at all.
+func (p *pipe) closeUnjoined() {
+	close(p.bad)
+}
+
+// produceRacy races closeUnjoined.
+func (p *pipe) produceRacy(v int) {
+	p.bad <- v // want "closes without a preceding join"
+}
+
+// sendAfterClose: sequential send after close in one body always
+// panics.
+func sendAfterClose() {
+	ch := make(chan int, 2)
+	ch <- 1 // ordered before the close: fine
+	close(ch)
+	ch <- 2 // want "after close"
+}
+
+var (
+	_ = (*pipe).closeJoined
+	_ = (*pipe).produce
+	_ = (*pipe).closeUnjoined
+	_ = (*pipe).produceRacy
+	_ = sendAfterClose
+)

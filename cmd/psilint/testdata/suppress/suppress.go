@@ -1,0 +1,43 @@
+// Package suppress exercises //lint:ignore directive handling: a
+// valid suppression silences its finding, a reason is mandatory,
+// unknown rule names are caught, and stale directives are flagged.
+package suppress
+
+import "time"
+
+// waitA: properly suppressed — no sleepsync finding, no hygiene
+// finding.
+func waitA() {
+	//lint:ignore sleepsync fixture exercising a valid suppression
+	time.Sleep(time.Millisecond)
+}
+
+// waitB: the directive suppresses, but carries no reason — that is an
+// error on the directive itself.
+func waitB() {
+	// want+1 "has no reason"
+	//lint:ignore sleepsync
+	time.Sleep(time.Millisecond)
+}
+
+// waitC: the directive names a rule that does not exist.
+func waitC() {
+	// want+1 "unknown rule"
+	//lint:ignore nosuchrule typo'd rule names must be caught, not silently ignored
+	time.Sleep(time.Millisecond) // want "time.Sleep used for synchronization"
+}
+
+// waitD: nothing below the directive violates sleepsync, so the
+// directive is stale.
+func waitD() {
+	// want+1 "suppressed nothing"
+	//lint:ignore sleepsync stale directive kept to prove staleness is flagged
+	_ = time.Millisecond
+}
+
+var (
+	_ = waitA
+	_ = waitB
+	_ = waitC
+	_ = waitD
+)

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is the committed inventory of grandfathered findings. The
+// diff gate (psilint -baseline) fails only on findings not in the
+// baseline, so adopting a new rule does not require fixing the world
+// in one commit — but grandfathered findings stay visible on every
+// run, and stale entries are reported so the file shrinks
+// monotonically.
+//
+// Entries are keyed by (rule, file, message), deliberately excluding
+// line numbers: unrelated edits that shift a finding up or down must
+// not un-baseline it. The line is recorded for human readers only.
+type Baseline struct {
+	Schema int    `json:"schema"`
+	Tool   string `json:"tool"`
+	// Findings are sorted by (file, rule, message) for stable diffs.
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one grandfathered finding.
+type BaselineEntry struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Message  string `json:"message"`
+}
+
+// BaselineSchema is the current baseline file schema version.
+const BaselineSchema = 1
+
+// NewBaseline builds a baseline from the given findings, with file
+// paths rewritten relative to root (slash-separated), so the file is
+// portable across checkouts.
+func NewBaseline(root string, findings []Finding) *Baseline {
+	b := &Baseline{Schema: BaselineSchema, Tool: "psilint"}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, BaselineEntry{
+			Rule:     f.Rule,
+			Severity: f.Severity.String(),
+			File:     relPath(root, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Message:  f.Msg,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("lint: baseline %s has schema %d, want %d", path, b.Schema, BaselineSchema)
+	}
+	return &b, nil
+}
+
+// Write serializes the baseline to path, indented for reviewable
+// diffs.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Diff splits current findings against the baseline: fresh findings
+// (not baselined — these gate), grandfathered ones (baselined and
+// still present), and stale entries (baselined but no longer found —
+// candidates for deletion from the file). Duplicate keys are matched
+// by multiplicity: a baseline entry absorbs at most one finding.
+func (b *Baseline) Diff(root string, findings []Finding) (fresh, grandfathered []Finding, stale []BaselineEntry) {
+	budget := map[string]int{}
+	for _, e := range b.Findings {
+		budget[baselineKey(e.Rule, e.File, e.Message)]++
+	}
+	for _, f := range findings {
+		key := baselineKey(f.Rule, relPath(root, f.Pos.Filename), f.Msg)
+		if budget[key] > 0 {
+			budget[key]--
+			grandfathered = append(grandfathered, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	for _, e := range b.Findings {
+		key := baselineKey(e.Rule, e.File, e.Message)
+		if budget[key] > 0 {
+			budget[key]--
+			stale = append(stale, e)
+		}
+	}
+	return fresh, grandfathered, stale
+}
+
+func baselineKey(rule, file, msg string) string {
+	return rule + "\x00" + file + "\x00" + msg
+}
+
+// relPath rewrites an absolute finding path relative to root with
+// forward slashes; paths outside root are kept as-is.
+func relPath(root, path string) string {
+	if root == "" {
+		return filepath.ToSlash(path)
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}

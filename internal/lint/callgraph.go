@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Program is the whole-repo view handed to TierDataflow rules: every
+// loaded package, a type-informed call graph over all of them, and
+// per-function dataflow facts.
+type Program struct {
+	Pkgs  []*Package
+	Graph *CallGraph
+	Facts map[*types.Func]*FuncFacts
+}
+
+// CallGraph is a static call graph over every function declared in the
+// program. Direct calls resolve exactly; calls through an interface
+// method conservatively fan out to every declared method in the
+// program whose receiver implements the interface. Calls through
+// function values are not resolved (the graph is an
+// under-approximation there, which the rules document).
+type CallGraph struct {
+	// Nodes maps each declared function (including methods) with a
+	// body to its node.
+	Nodes map[*types.Func]*CGNode
+}
+
+// CGNode is one declared function in the call graph.
+type CGNode struct {
+	Fn   *types.Func
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	// Out lists the resolved callees. Calls made inside function
+	// literals are attributed to the enclosing declaration (the
+	// literal executes on the declaration's behalf, possibly on
+	// another goroutine).
+	Out []CGEdge
+}
+
+// CGEdge is one resolved call site.
+type CGEdge struct {
+	Site      *ast.CallExpr
+	Callee    *types.Func
+	Interface bool // resolved through an interface method set
+}
+
+// BuildProgram loads no code — it derives the Program (call graph +
+// facts) from already type-checked packages.
+func BuildProgram(pkgs []*Package) *Program {
+	g := &CallGraph{Nodes: map[*types.Func]*CGNode{}}
+
+	// Pass 1: a node per declared function body, plus the method index
+	// used to resolve interface calls.
+	type method struct {
+		fn   *types.Func
+		recv types.Type
+	}
+	methodsByName := map[string][]method{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.Nodes[fn] = &CGNode{Fn: fn, Pkg: pkg, Decl: fd}
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+					methodsByName[fn.Name()] = append(methodsByName[fn.Name()], method{fn: fn, recv: recv.Type()})
+				}
+			}
+		}
+	}
+
+	// Pass 2: edges. calleeObject resolves both plain and method calls;
+	// interface methods fan out over the implementing declared methods.
+	for _, node := range g.Nodes {
+		pkg := node.Pkg
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeObject(pkg.Info, call).(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			if recv := sig.Recv(); recv != nil {
+				if iface, ok := recv.Type().Underlying().(*types.Interface); ok {
+					for _, m := range methodsByName[fn.Name()] {
+						if implementsEither(m.recv, iface) {
+							node.Out = append(node.Out, CGEdge{Site: call, Callee: m.fn, Interface: true})
+						}
+					}
+					return true
+				}
+			}
+			if _, declared := g.Nodes[fn]; declared {
+				node.Out = append(node.Out, CGEdge{Site: call, Callee: fn})
+			}
+			return true
+		})
+	}
+
+	prog := &Program{Pkgs: pkgs, Graph: g, Facts: map[*types.Func]*FuncFacts{}}
+	for fn, node := range g.Nodes {
+		prog.Facts[fn] = computeFacts(node)
+	}
+	return prog
+}
+
+// implementsEither reports whether t or *t implements iface.
+func implementsEither(t types.Type, iface *types.Interface) bool {
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// Reachable returns the set of functions reachable from the roots by
+// following call edges (including interface fan-out), with, for each
+// reached function, one root it is reachable from (for diagnostics).
+func (g *CallGraph) Reachable(roots []*types.Func) map[*types.Func]*types.Func {
+	from := map[*types.Func]*types.Func{}
+	var queue []*types.Func
+	for _, r := range roots {
+		if _, ok := from[r]; ok {
+			continue
+		}
+		from[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		node := g.Nodes[fn]
+		if node == nil {
+			continue
+		}
+		for _, e := range node.Out {
+			if _, seen := from[e.Callee]; seen {
+				continue
+			}
+			from[e.Callee] = from[fn]
+			queue = append(queue, e.Callee)
+		}
+	}
+	return from
+}
+
+// SortedNodes returns the graph's nodes in deterministic order
+// (package path, then source position), so rule output is stable.
+func (g *CallGraph) SortedNodes() []*CGNode {
+	nodes := make([]*CGNode, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Pkg.Path != nodes[j].Pkg.Path {
+			return nodes[i].Pkg.Path < nodes[j].Pkg.Path
+		}
+		return nodes[i].Decl.Pos() < nodes[j].Decl.Pos()
+	})
+	return nodes
+}

@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FuncFacts are the intra-procedural dataflow facts computed once per
+// declared function and shared by the TierDataflow rules.
+type FuncFacts struct {
+	// CarriesDeadline: the function's signature accepts a cancellation
+	// or budget carrier — a context.Context, a *Budget/*Limits-named
+	// type, or a time.Time/time.Duration parameter named like a
+	// deadline/timeout. A caller holding a deadline can bound this
+	// function's work.
+	CarriesDeadline bool
+	// CtxParam is the name of the context.Context parameter ("" when
+	// the function takes none).
+	CtxParam string
+	// Blocking lists the potentially unbounded blocking operations in
+	// the function body (function literals included — they run on this
+	// function's behalf): channel sends/receives/ranges outside
+	// bounded selects, selects with no default and no ctx.Done/timer
+	// case, WaitGroup.Wait, and Cond.Wait.
+	Blocking []BlockSite
+}
+
+// BlockSite is one potentially unbounded blocking operation.
+type BlockSite struct {
+	Node ast.Node
+	What string // "channel send", "select", "WaitGroup.Wait", ...
+}
+
+// computeFacts derives the facts for one call-graph node.
+func computeFacts(node *CGNode) *FuncFacts {
+	facts := &FuncFacts{}
+	sig := node.Fn.Type().(*types.Signature)
+	params := sig.Params()
+	names := paramNames(node.Decl)
+	for i := 0; i < params.Len(); i++ {
+		p := params.At(i)
+		name := p.Name()
+		if name == "" && i < len(names) {
+			name = names[i]
+		}
+		if isContextType(p.Type()) {
+			facts.CarriesDeadline = true
+			if facts.CtxParam == "" {
+				facts.CtxParam = name
+			}
+			continue
+		}
+		if isDeadlineCarrier(p.Type(), name) {
+			facts.CarriesDeadline = true
+		}
+	}
+	collectBlocking(node.Pkg, node.Decl.Body, facts)
+	return facts
+}
+
+func paramNames(decl *ast.FuncDecl) []string {
+	var names []string
+	if decl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			names = append(names, "")
+			continue
+		}
+		for _, n := range field.Names {
+			names = append(names, n.Name)
+		}
+	}
+	return names
+}
+
+// isDeadlineCarrier reports whether a non-context parameter can bound
+// work: a named type whose name mentions Budget or Limits (the repo's
+// match.Budget / psi.Limits carriers), or a time.Time / time.Duration
+// whose parameter name mentions deadline or timeout.
+func isDeadlineCarrier(t types.Type, paramName string) bool {
+	base := t
+	if ptr, ok := base.(*types.Pointer); ok {
+		base = ptr.Elem()
+	}
+	if named, ok := base.(*types.Named); ok {
+		obj := named.Obj()
+		if strings.Contains(obj.Name(), "Budget") || strings.Contains(obj.Name(), "Limits") {
+			return true
+		}
+		if obj.Pkg() != nil && obj.Pkg().Path() == "time" &&
+			(obj.Name() == "Time" || obj.Name() == "Duration") {
+			lower := strings.ToLower(paramName)
+			return strings.Contains(lower, "deadline") || strings.Contains(lower, "timeout")
+		}
+	}
+	return false
+}
+
+// collectBlocking records the potentially unbounded blocking sites in
+// body. Receives that are a select's comm clauses are attributed to
+// the select (which may be bounded), not double-counted.
+func collectBlocking(pkg *Package, body *ast.BlockStmt, facts *FuncFacts) {
+	// comm expressions owned by a select, to skip when seen standalone
+	commOwned := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc := clause.(*ast.CommClause)
+			if cc.Comm != nil {
+				commOwned[cc.Comm] = true
+				// Unwrap receive expressions stashed in assignments.
+				switch s := cc.Comm.(type) {
+				case *ast.AssignStmt:
+					for _, rhs := range s.Rhs {
+						commOwned[rhs] = true
+					}
+				case *ast.ExprStmt:
+					commOwned[s.X] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.SendStmt:
+			if !commOwned[nn] {
+				facts.Blocking = append(facts.Blocking, BlockSite{Node: nn, What: "channel send"})
+			}
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW && !commOwned[nn] {
+				facts.Blocking = append(facts.Blocking, BlockSite{Node: nn, What: "channel receive"})
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[nn.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					facts.Blocking = append(facts.Blocking, BlockSite{Node: nn, What: "range over channel"})
+				}
+			}
+		case *ast.SelectStmt:
+			if !selectIsBounded(pkg, nn) {
+				facts.Blocking = append(facts.Blocking, BlockSite{Node: nn, What: "select"})
+			}
+		case *ast.CallExpr:
+			if s, ok := nn.Fun.(*ast.SelectorExpr); ok && s.Sel.Name == "Wait" {
+				if recvIsSync(pkg.Info, s, "WaitGroup") {
+					facts.Blocking = append(facts.Blocking, BlockSite{Node: nn, What: "WaitGroup.Wait"})
+				}
+				if recvIsSync(pkg.Info, s, "Cond") {
+					facts.Blocking = append(facts.Blocking, BlockSite{Node: nn, What: "Cond.Wait"})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// selectIsBounded reports whether a select cannot block forever: it
+// has a default clause, or a case that receives from a cancellation or
+// timer source (ctx.Done(), time.After, a Timer/Ticker channel).
+func selectIsBounded(pkg *Package, sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		cc := clause.(*ast.CommClause)
+		if cc.Comm == nil {
+			return true // default clause
+		}
+		var recvExpr ast.Expr
+		switch s := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			recvExpr = s.X
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				recvExpr = s.Rhs[0]
+			}
+		}
+		ue, ok := ast.Unparen(recvExpr).(*ast.UnaryExpr)
+		if recvExpr == nil || !ok || ue.Op != token.ARROW {
+			continue
+		}
+		if isCancellationSource(pkg, ast.Unparen(ue.X)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCancellationSource reports whether expr yields a channel that a
+// deadline or timer will eventually fire: ctx.Done(), time.After(d),
+// or the C field of a time.Timer/Ticker.
+func isCancellationSource(pkg *Package, expr ast.Expr) bool {
+	switch e := expr.(type) {
+	case *ast.CallExpr:
+		if s, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if s.Sel.Name == "Done" {
+				if tv, ok := pkg.Info.Types[s.X]; ok && isContextType(tv.Type) {
+					return true
+				}
+			}
+		}
+		if isPkgFunc(calleeObject(pkg.Info, e), "time", "After") {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if e.Sel.Name == "C" {
+			if tv, ok := pkg.Info.Types[e.X]; ok {
+				t := tv.Type
+				if ptr, ok := t.(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil &&
+					named.Obj().Pkg().Path() == "time" &&
+					(named.Obj().Name() == "Timer" || named.Obj().Name() == "Ticker") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

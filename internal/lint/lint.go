@@ -2,9 +2,19 @@
 // static-analysis framework (go/parser + go/types) with a table-driven
 // rule registry enforcing this repository's correctness conventions.
 //
-// Adding a rule is ~20 lines: append a Rule to Registry in rules.go
-// with a Name, a one-line Doc, and a Run function that walks the
-// type-checked package and calls report for each violation.
+// v2 grows the per-package syntactic pass into a whole-program
+// analysis: packages are loaded together, a type-informed call graph
+// and per-function dataflow facts (deadline-carrying parameters,
+// blocking operations) are built over all of them, and rules come in
+// two tiers — TierSyntactic rules that inspect one package at a time,
+// and TierDataflow rules that see the whole Program. Findings can be
+// suppressed with `//lint:ignore <rules> <reason>` directives
+// (suppress.go), diffed against a committed baseline (baseline.go),
+// and emitted as text, JSON, or SARIF 2.1.0 (sarif.go).
+//
+// Adding a rule is still ~20 lines: append a Rule to Registry in
+// rules.go with a Name, a one-line Doc, a Tier and Severity, and
+// either a Run (per-package) or a RunProgram (whole-program) function.
 package lint
 
 import (
@@ -12,51 +22,148 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// Severity classifies a rule's findings. Errors gate CI; warnings are
+// reported but do not affect the exit status.
+type Severity int
+
+const (
+	SevError Severity = iota
+	SevWarn
+)
+
+func (s Severity) String() string {
+	if s == SevWarn {
+		return "warn"
+	}
+	return "error"
+}
+
+// Tier classifies how much context a rule needs.
+type Tier int
+
+const (
+	// TierSyntactic rules inspect one type-checked package at a time.
+	TierSyntactic Tier = iota
+	// TierDataflow rules see the whole Program: call graph, function
+	// facts, and every package at once.
+	TierDataflow
+)
+
+func (t Tier) String() string {
+	if t == TierDataflow {
+		return "dataflow"
+	}
+	return "syntactic"
+}
 
 // Finding is one rule violation at one source position.
 type Finding struct {
-	Pos  token.Position
-	Rule string
-	Msg  string
+	Pos      token.Position
+	Rule     string
+	Severity Severity
+	Msg      string
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Rule, f.Msg)
 }
 
-// Rule is one enforced convention.
+// Rule is one enforced convention. Exactly one of Run and RunProgram
+// is set, matching the Tier.
 type Rule struct {
-	// Name identifies the rule in findings and -rules output.
+	// Name identifies the rule in findings, directives, and -list.
 	Name string
-	// Doc is the one-line description shown by psilint -rules.
+	// Doc is the one-line description shown by psilint -list.
 	Doc string
-	// Run inspects pkg and reports violations. It is called once per
-	// package (test files are never loaded).
+	// Tier says whether the rule is per-package or whole-program.
+	Tier Tier
+	// Severity is the weight of this rule's findings.
+	Severity Severity
+	// Run inspects one package and reports violations (TierSyntactic).
 	Run func(pkg *Package, report ReportFunc)
+	// RunProgram inspects the whole program (TierDataflow).
+	RunProgram func(prog *Program, report ReportFunc)
 }
 
 // ReportFunc records a finding at node's position.
 type ReportFunc func(node ast.Node, format string, args ...any)
 
-// Run evaluates every rule against every package and returns the
-// findings sorted by position.
+// Run evaluates every rule against the program formed by pkgs and
+// returns the findings sorted by position. Per-package rules are
+// evaluated in parallel across packages (the analysis is read-only
+// over the type-checked ASTs); whole-program rules run once over the
+// shared Program. Suppression directives are applied before returning:
+// suppressed findings are dropped, and directive-hygiene findings
+// (missing reason, unknown rule, unused directive) are appended.
 func Run(fset *token.FileSet, pkgs []*Package, rules []Rule) []Finding {
-	var findings []Finding
-	for _, pkg := range pkgs {
-		for _, rule := range rules {
-			report := func(node ast.Node, format string, args ...any) {
-				findings = append(findings, Finding{
-					Pos:  fset.Position(node.Pos()),
-					Rule: rule.Name,
-					Msg:  fmt.Sprintf(format, args...),
-				})
-			}
-			rule.Run(pkg, report)
+	prog := BuildProgram(pkgs)
+
+	var pkgRules, progRules []Rule
+	for _, r := range rules {
+		if r.RunProgram != nil {
+			progRules = append(progRules, r)
+		} else if r.Run != nil {
+			pkgRules = append(pkgRules, r)
 		}
 	}
+
+	// Per-package tier, fanned out over a bounded worker pool. Each
+	// package gets its own findings slot so the merge is deterministic
+	// regardless of scheduling.
+	perPkg := make([][]Finding, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			for _, rule := range pkgRules {
+				perPkg[i] = append(perPkg[i], runRule(fset, rule, func(report ReportFunc) {
+					rule.Run(pkg, report)
+				})...)
+			}
+		}(i, pkg)
+	}
+	wg.Wait()
+
+	var findings []Finding
+	for _, fs := range perPkg {
+		findings = append(findings, fs...)
+	}
+	for _, rule := range progRules {
+		findings = append(findings, runRule(fset, rule, func(report ReportFunc) {
+			rule.RunProgram(prog, report)
+		})...)
+	}
+
+	findings = applySuppressions(fset, pkgs, rules, findings)
+	sortFindings(findings)
+	return findings
+}
+
+// runRule invokes one rule body with a ReportFunc bound to it.
+func runRule(fset *token.FileSet, rule Rule, invoke func(ReportFunc)) []Finding {
+	var out []Finding
+	invoke(func(node ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      fset.Position(node.Pos()),
+			Rule:     rule.Name,
+			Severity: rule.Severity,
+			Msg:      fmt.Sprintf(format, args...),
+		})
+	})
+	return out
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -65,9 +172,24 @@ func Run(fset *token.FileSet, pkgs []*Package, rules []Rule) []Finding {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Rule < b.Rule
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
-	return findings
+}
+
+// HasErrors reports whether any finding carries error severity.
+func HasErrors(findings []Finding) bool {
+	for _, f := range findings {
+		if f.Severity == SevError {
+			return true
+		}
+	}
+	return false
 }
 
 // ---- shared helpers used by the rules ----
@@ -190,4 +312,44 @@ func packageFuncs(pkg *Package) []funcScope {
 		}
 	}
 	return out
+}
+
+// bodyScope is one function body analyzed in isolation: a declared
+// function or a function literal. Rules that reason about control flow
+// (lockhold) must not mix statements from a literal into its enclosing
+// function — the literal runs at some other time.
+type bodyScope struct {
+	name string // enclosing declaration name, "(func literal in X)" for lits
+	body *ast.BlockStmt
+}
+
+// packageBodies enumerates every function body in the package:
+// declared functions and, as separate scopes, each function literal.
+func packageBodies(pkg *Package) []bodyScope {
+	var out []bodyScope
+	for _, fn := range packageFuncs(pkg) {
+		out = append(out, bodyScope{name: fn.name, body: fn.body})
+		ast.Inspect(fn.body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+				out = append(out, bodyScope{
+					name: fmt.Sprintf("func literal in %s", fn.name),
+					body: lit.Body,
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// inspectShallow walks body without descending into nested function
+// literals, so a scope sees only the statements that execute as part
+// of it.
+func inspectShallow(body *ast.BlockStmt, f func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(n)
+	})
 }

@@ -27,6 +27,10 @@ type Package struct {
 	// Types and Info carry the go/types results for the package.
 	Types *types.Package
 	Info  *types.Info
+
+	// fset is the file set the sources were parsed into, kept so rules
+	// can render positions inside finding messages.
+	fset *token.FileSet
 }
 
 // Loader parses and type-checks the packages of one module using only
@@ -213,7 +217,7 @@ func (l *Loader) load(importPath, dir string) (*Package, error) {
 	if err != nil {
 		return nil, l.memo(importPath, nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err))
 	}
-	pkg := &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	pkg := &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info, fset: l.Fset}
 	_ = l.memo(importPath, pkg, nil)
 	return pkg, nil
 }

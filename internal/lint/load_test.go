@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out files under a fresh temp dir and returns it.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const goMod = "module tmpmod\n\ngo 1.22\n"
+
+func TestNewLoaderMissingGoMod(t *testing.T) {
+	_, err := NewLoader(t.TempDir())
+	if err == nil || !strings.Contains(err.Error(), "go.mod") {
+		t.Errorf("NewLoader on bare dir: err = %v, want go.mod read failure", err)
+	}
+}
+
+func TestNewLoaderNoModuleDirective(t *testing.T) {
+	dir := writeTree(t, map[string]string{"go.mod": "// empty\n"})
+	_, err := NewLoader(dir)
+	if err == nil || !strings.Contains(err.Error(), "module directive") {
+		t.Errorf("err = %v, want missing module directive", err)
+	}
+}
+
+func TestLoadAllEmptyModule(t *testing.T) {
+	dir := writeTree(t, map[string]string{"go.mod": goMod})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll on empty module: %v", err)
+	}
+	if len(pkgs) != 0 {
+		t.Errorf("loaded %d packages from a module with no Go files", len(pkgs))
+	}
+}
+
+func TestLoadAllParseError(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": goMod,
+		"a.go":   "package tmpmod\n\nfunc broken( {\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if _, err := l.LoadAll(); err == nil {
+		t.Error("LoadAll succeeded on a file with a syntax error")
+	}
+}
+
+func TestLoadAllTypeError(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": goMod,
+		"a.go":   "package tmpmod\n\nvar x int = \"not an int\"\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	_, err = l.LoadAll()
+	if err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Errorf("err = %v, want type-checking failure", err)
+	}
+}
+
+func TestLoadDirErrorIsMemoized(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":      goMod,
+		"bad/bad.go":  "package bad\n\nfunc broken( {\n",
+		"good/ok.go":  "package good\n\nfunc ok() {}\n\nvar _ = ok\n",
+		"good/ok2.go": "package good\n\nfunc ok2() {}\n\nvar _ = ok2\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	_, err1 := l.LoadDir("tmpmod/bad", filepath.Join(dir, "bad"))
+	_, err2 := l.LoadDir("tmpmod/bad", filepath.Join(dir, "bad"))
+	if err1 == nil || err2 == nil {
+		t.Fatal("LoadDir succeeded on a broken package")
+	}
+	if err1.Error() != err2.Error() {
+		t.Errorf("memoized error differs: %v vs %v", err1, err2)
+	}
+	// A broken sibling must not poison other packages.
+	if _, err := l.LoadDir("tmpmod/good", filepath.Join(dir, "good")); err != nil {
+		t.Errorf("loading the good package after a broken one: %v", err)
+	}
+}
+
+func TestLoadDirNoSources(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":          goMod,
+		"empty/README.md": "no go files here\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	_, err = l.LoadDir("tmpmod/empty", filepath.Join(dir, "empty"))
+	if err == nil || !strings.Contains(err.Error(), "no Go sources") {
+		t.Errorf("err = %v, want no Go sources", err)
+	}
+}
+
+func TestLoadAllSkipsNonProductionDirs(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":            goMod,
+		"pkg/ok.go":         "package pkg\n\nfunc ok() {}\n\nvar _ = ok\n",
+		"pkg/testdata/t.go": "package broken_on_purpose\n\nfunc bad( {\n",
+		"vendor/v.go":       "package broken_on_purpose\n\nfunc bad( {\n",
+		".hidden/h.go":      "package broken_on_purpose\n\nfunc bad( {\n",
+		"scripts/gen.go":    "package broken_on_purpose\n\nfunc bad( {\n",
+		"pkg/skip_test.go":  "package pkg_test\n\nfunc bad( {\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll tripped over a skipped directory: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "tmpmod/pkg" {
+		t.Errorf("loaded %v, want exactly tmpmod/pkg", pkgNames(pkgs))
+	}
+}
+
+func pkgNames(pkgs []*Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.Path)
+	}
+	return out
+}

@@ -7,49 +7,106 @@ import (
 	"strings"
 )
 
-// Registry is the table of enforced rules, evaluated in order. To add a
-// rule, append an entry here — Name, Doc, and a Run function — and add
+// Registry is the table of enforced rules, evaluated in order. To add
+// a rule, append an entry here — Name, Doc, Tier, Severity, and a Run
+// (per-package) or RunProgram (whole-program) function — and add
 // positive/negative fixtures under cmd/psilint/testdata.
 var Registry = []Rule{
+	// ---- TierSyntactic: one package at a time ----
 	{
-		Name: "gojoin",
-		Doc:  "every `go` statement needs a join (WaitGroup.Wait, channel receive/range/select) or context cancellation in its enclosing function",
-		Run:  ruleGoJoin,
+		Name:     "gojoin",
+		Doc:      "every `go` statement needs a join (WaitGroup.Wait, channel receive/range/select) or context cancellation in its enclosing function",
+		Tier:     TierSyntactic,
+		Severity: SevError,
+		Run:      ruleGoJoin,
 	},
 	{
-		Name: "copylocks",
-		Doc:  "sync primitives (Mutex, WaitGroup, atomic.*, ...) must not be copied by value in params, results, assignments, or range clauses",
-		Run:  ruleCopyLocks,
+		Name:     "copylocks",
+		Doc:      "sync primitives (Mutex, WaitGroup, atomic.*, ...) must not be copied by value in params, results, assignments, or range clauses",
+		Tier:     TierSyntactic,
+		Severity: SevError,
+		Run:      ruleCopyLocks,
 	},
 	{
-		Name: "ignorederr",
-		Doc:  "calls returning an error must not be used as bare statements in internal/ and cmd/ (assign the error or handle it)",
-		Run:  ruleIgnoredErr,
+		Name:     "ignorederr",
+		Doc:      "calls returning an error must not be used as bare statements in internal/ and cmd/ (assign the error or handle it)",
+		Tier:     TierSyntactic,
+		Severity: SevError,
+		Run:      ruleIgnoredErr,
 	},
 	{
-		Name: "nopanic",
-		Doc:  "library code (non-main, non-test-support packages) must not panic outside Must* helpers",
-		Run:  ruleNoPanic,
+		Name:     "nopanic",
+		Doc:      "library code (non-main, non-test-support packages) must not panic outside Must* helpers",
+		Tier:     TierSyntactic,
+		Severity: SevError,
+		Run:      ruleNoPanic,
 	},
 	{
-		Name: "sleepsync",
-		Doc:  "no time.Sleep in production code; synchronize with channels, WaitGroups, or deadlines",
-		Run:  ruleSleepSync,
+		Name:     "sleepsync",
+		Doc:      "no time.Sleep in production code; synchronize with channels, WaitGroups, or deadlines",
+		Tier:     TierSyntactic,
+		Severity: SevError,
+		Run:      ruleSleepSync,
 	},
 	{
-		Name: "obscounter",
-		Doc:  "no ad-hoc atomic counters on package-level state outside internal/obs; register a Counter/Gauge in the obs registry",
-		Run:  ruleObsCounter,
+		Name:     "obscounter",
+		Doc:      "no ad-hoc atomic counters on package-level state outside internal/obs; register a Counter/Gauge in the obs registry",
+		Tier:     TierSyntactic,
+		Severity: SevError,
+		Run:      ruleObsCounter,
 	},
 	{
-		Name: "shadowgate",
-		Doc:  "calls into the shadow-scoring subsystem (shadow*-named funcs) must be guarded by a *Sampled sampling condition; shadow-subsystem internals are exempt",
-		Run:  ruleShadowGate,
+		Name:     "shadowgate",
+		Doc:      "calls into the shadow-scoring subsystem (shadow*-named funcs) must be guarded by a *Sampled sampling condition; shadow-subsystem internals are exempt",
+		Tier:     TierSyntactic,
+		Severity: SevError,
+		Run:      ruleShadowGate,
 	},
 	{
-		Name: "pkgdoc",
-		Doc:  "every package needs a package doc comment (`// Package <name> ...`) on at least one of its files",
-		Run:  rulePkgDoc,
+		Name:     "pkgdoc",
+		Doc:      "every package needs a package doc comment (`// Package <name> ...`) on at least one of its files",
+		Tier:     TierSyntactic,
+		Severity: SevError,
+		Run:      rulePkgDoc,
+	},
+
+	// ---- TierDataflow: whole-program, on the call graph + facts ----
+	{
+		Name:       "ctxflow",
+		Doc:        "deadlines must flow: no context.Background/TODO passed where a ctx is in scope, and every blocking call reachable from a deadline-carrying exported entry point must accept a context/budget/deadline",
+		Tier:       TierDataflow,
+		Severity:   SevError,
+		RunProgram: ruleCtxFlow,
+	},
+	{
+		Name:     "lockhold",
+		Doc:      "no channel send/receive/select, WaitGroup.Wait, or os/net/http I/O while a sync.Mutex/RWMutex is held (Lock..Unlock or Lock + deferred Unlock)",
+		Tier:     TierDataflow,
+		Severity: SevError,
+		Run:      ruleLockHold,
+	},
+	{
+		Name:       "atomicmix",
+		Doc:        "a struct field accessed through sync/atomic anywhere must be accessed atomically everywhere (composite-literal initialization exempt)",
+		Tier:       TierDataflow,
+		Severity:   SevError,
+		RunProgram: ruleAtomicMix,
+	},
+	{
+		Name:       "sendclosed",
+		Doc:        "no send on a channel that another function closes without a happens-before join (WaitGroup.Wait or a receive before close)",
+		Tier:       TierDataflow,
+		Severity:   SevWarn,
+		RunProgram: ruleSendClosed,
+	},
+
+	// ---- pseudo-rule: emitted by the suppression engine ----
+	{
+		Name:       SuppressRule,
+		Doc:        "hygiene of //lint:ignore directives: a reason is mandatory (error), rule names must exist (error), stale directives are flagged (warn); emitted by the suppression engine, not a package walker",
+		Tier:       TierSyntactic,
+		Severity:   SevError,
+		RunProgram: func(*Program, ReportFunc) {},
 	},
 }
 

@@ -1,0 +1,484 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file holds the TierDataflow rules: whole-program checks built
+// on the call graph (callgraph.go) and per-function facts (facts.go).
+// They guard the concurrency substrate the scale-out work (sharded
+// scatter-gather serving, ROADMAP item 1) will multiply: deadlines
+// must reach every blocking call, locks must not be held across
+// channel operations, and no field may mix atomic and plain access.
+
+// ---- ctxflow ----
+
+// ruleCtxFlow enforces that cancellation actually flows: (a) a
+// function holding a context.Context must not bury it by passing
+// context.Background()/TODO() to a context-accepting callee (the
+// dropped-deadline path behind 504-correctness bugs), and (b) every
+// function reachable from a deadline-carrying exported entry point
+// that performs a potentially unbounded blocking operation must itself
+// accept a context/budget/deadline so the caller's bound can reach it.
+func ruleCtxFlow(prog *Program, report ReportFunc) {
+	// (a) dropped deadline: intra-procedural over every function that
+	// has a ctx parameter.
+	for _, node := range prog.Graph.SortedNodes() {
+		facts := prog.Facts[node.Fn]
+		if facts.CtxParam == "" {
+			continue
+		}
+		pkg := node.Pkg
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				obj := calleeObject(pkg.Info, inner)
+				if isPkgFunc(obj, "context", "Background") || isPkgFunc(obj, "context", "TODO") {
+					callee := "callee"
+					if name, ok := calleeName(call); ok {
+						callee = name
+					}
+					report(arg, "context.%s passed to %s drops the deadline carried by parameter %q; pass the context through",
+						obj.Name(), callee, facts.CtxParam)
+				}
+			}
+			return true
+		})
+	}
+
+	// (b) unreachable deadline: blocking sites in functions reachable
+	// from deadline-carrying exported entry points.
+	var roots []*types.Func
+	for _, node := range prog.Graph.SortedNodes() {
+		if node.Fn.Exported() && prog.Facts[node.Fn].CarriesDeadline {
+			roots = append(roots, node.Fn)
+		}
+	}
+	reachedFrom := prog.Graph.Reachable(roots)
+	for _, node := range prog.Graph.SortedNodes() {
+		root, reached := reachedFrom[node.Fn]
+		if !reached {
+			continue
+		}
+		facts := prog.Facts[node.Fn]
+		if facts.CarriesDeadline {
+			continue
+		}
+		for _, b := range facts.Blocking {
+			report(b.Node, "%s in %s is reachable from deadline-carrying entry point %s but %s accepts no context, budget, or deadline; the caller's bound cannot stop it",
+				b.What, node.Fn.Name(), root.Name(), node.Fn.Name())
+		}
+	}
+}
+
+// ---- lockhold ----
+
+// blockingPkgs are packages whose calls can block on the outside world
+// (I/O); calling into them while holding a mutex serializes the
+// critical section behind the kernel or the network.
+var blockingPkgs = map[string]bool{
+	"os":       true,
+	"net":      true,
+	"net/http": true,
+}
+
+// ruleLockHold flags mutex critical sections that contain a blocking
+// operation: a channel send/receive/select, WaitGroup.Wait, or a call
+// into an I/O package while a sync.Mutex/RWMutex is provably held
+// (Lock…Unlock lexically, or Lock + deferred Unlock to the end of the
+// function body). Each function body — declarations and literals —
+// is analyzed as its own scope. Cond.Wait is exempt: it releases its
+// mutex while parked.
+func ruleLockHold(pkg *Package, report ReportFunc) {
+	for _, scope := range packageBodies(pkg) {
+		checkLockHold(pkg, scope, report)
+	}
+}
+
+type lockInterval struct {
+	key      string
+	from, to token.Pos
+}
+
+func checkLockHold(pkg *Package, scope bodyScope, report ReportFunc) {
+	bodyEnd := scope.body.End()
+	var intervals []lockInterval
+	open := map[string]token.Pos{} // mutex expr -> Lock position
+
+	closeInterval := func(key string, at token.Pos) {
+		if from, ok := open[key]; ok {
+			intervals = append(intervals, lockInterval{key: key, from: from, to: at})
+			delete(open, key)
+		}
+	}
+	inspectShallow(scope.body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Unlock keeps the lock held to the end of the
+			// body: by not descending we never close the interval, and
+			// the open-interval flush below extends it to bodyEnd.
+			return false
+		case *ast.CallExpr:
+			if key, op, ok := mutexOp(pkg, nn); ok {
+				switch op {
+				case "Lock", "RLock":
+					if _, already := open[key]; !already {
+						open[key] = nn.End()
+					}
+				case "Unlock", "RUnlock":
+					closeInterval(key, nn.Pos())
+				}
+			}
+		}
+		return true
+	})
+	for key, from := range open {
+		intervals = append(intervals, lockInterval{key: key, from: from, to: bodyEnd})
+	}
+	if len(intervals) == 0 {
+		return
+	}
+	sort.Slice(intervals, func(i, j int) bool { return intervals[i].from < intervals[j].from })
+
+	held := func(pos token.Pos) string {
+		for _, iv := range intervals {
+			if pos > iv.from && pos < iv.to {
+				return iv.key
+			}
+		}
+		return ""
+	}
+	inspectShallow(scope.body, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.SendStmt:
+			if key := held(nn.Pos()); key != "" {
+				report(nn, "channel send while %s is locked in %s; move the send outside the critical section", key, scope.name)
+			}
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW {
+				if key := held(nn.Pos()); key != "" {
+					report(nn, "channel receive while %s is locked in %s; move the receive outside the critical section", key, scope.name)
+				}
+			}
+		case *ast.SelectStmt:
+			if key := held(nn.Pos()); key != "" {
+				report(nn, "select while %s is locked in %s; move the channel ops outside the critical section", key, scope.name)
+			}
+			return false // cases already reported via the select itself
+		case *ast.CallExpr:
+			key := held(nn.Pos())
+			if key == "" {
+				return true
+			}
+			if sel, ok := nn.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" &&
+				recvIsSync(pkg.Info, sel, "WaitGroup") {
+				report(nn, "WaitGroup.Wait while %s is locked in %s; join before taking the lock", key, scope.name)
+				return true
+			}
+			if obj := calleeObject(pkg.Info, nn); obj != nil && obj.Pkg() != nil &&
+				blockingPkgs[obj.Pkg().Path()] {
+				report(nn, "call into %s (%s) while %s is locked in %s; do I/O outside the critical section",
+					obj.Pkg().Path(), obj.Name(), key, scope.name)
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp matches a call of the form `m.Lock()` / `m.Unlock()` /
+// `m.RLock()` / `m.RUnlock()` where m is (a pointer to) a sync.Mutex
+// or sync.RWMutex, returning the rendered mutex expression and the
+// method name.
+func mutexOp(pkg *Package, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if !recvIsSync(pkg.Info, sel, "Mutex") && !recvIsSync(pkg.Info, sel, "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// ---- atomicmix ----
+
+// ruleAtomicMix flags struct fields accessed both through sync/atomic
+// (atomic.AddInt64(&s.f, 1), atomic.LoadUint32(&s.f), ...) and via
+// plain loads/stores anywhere in the program: the plain access tears
+// the atomicity contract and is invisible to the race detector until
+// the exact interleaving hits. Composite-literal initialization is
+// exempt (construction happens before the value is shared).
+func ruleAtomicMix(prog *Program, report ReportFunc) {
+	// Pass 1: fields with at least one sync/atomic access, and the
+	// selector expressions making those accesses (to exempt in pass 2).
+	atomicFields := map[*types.Var]token.Position{}
+	atomicSelectors := map[*ast.SelectorExpr]bool{}
+	forEachFieldAtomicArg(prog, func(pkg *Package, sel *ast.SelectorExpr, field *types.Var) {
+		if _, ok := atomicFields[field]; !ok {
+			atomicFields[field] = pkg.posOf(sel)
+		}
+		atomicSelectors[sel] = true
+	})
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: plain selector accesses to those fields.
+	for _, pkg := range prog.Pkgs {
+		litKeys := compositeLitKeys(pkg)
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicSelectors[sel] || litKeys[sel.Sel] {
+					return true
+				}
+				field, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+				if !ok || !field.IsField() {
+					return true
+				}
+				atomicAt, isAtomic := atomicFields[field]
+				if !isAtomic {
+					return true
+				}
+				report(sel, "plain access to field %s.%s, which is accessed atomically at %s; use sync/atomic for every access",
+					fieldOwner(field), field.Name(), atomicAt)
+				return true
+			})
+		}
+	}
+}
+
+// forEachFieldAtomicArg visits every `&x.f` argument of a sync/atomic
+// free-function call in the program, resolving f to its field object.
+func forEachFieldAtomicArg(prog *Program, visit func(pkg *Package, sel *ast.SelectorExpr, field *types.Var)) {
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := calleeObject(pkg.Info, call)
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || !isFreeFunc(obj) {
+					return true
+				}
+				for _, arg := range call.Args {
+					ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || ue.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					field, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+					if !ok || !field.IsField() {
+						continue
+					}
+					visit(pkg, sel, field)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// compositeLitKeys collects the field-key identifiers of composite
+// literals (the `f` in `S{f: 0}`), which are initialization, not
+// shared-state access.
+func compositeLitKeys(pkg *Package) map[*ast.Ident]bool {
+	keys := map[*ast.Ident]bool{}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						keys[id] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return keys
+}
+
+// fieldOwner names the struct a field belongs to, best effort.
+func fieldOwner(field *types.Var) string {
+	if field.Pkg() != nil {
+		scope := field.Pkg().Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == field {
+					return tn.Name()
+				}
+			}
+		}
+	}
+	return "struct"
+}
+
+// ---- sendclosed ----
+
+// ruleSendClosed flags sends on channels that some other function
+// closes without a visible happens-before join: if close(ch) runs in
+// one function and ch <- v in another, nothing orders them, and a
+// late send panics. A close is considered joined when, lexically
+// before it in the same body, the closer waits (WaitGroup.Wait,
+// channel receive, or select) — the ubiquitous
+// `go producer(); wg.Wait(); close(ch)` shape. A send after a close
+// in the same body is always flagged.
+func ruleSendClosed(prog *Program, report ReportFunc) {
+	type closeSite struct {
+		fn     string
+		pos    token.Pos
+		pkg    *Package
+		node   ast.Node
+		joined bool
+	}
+	type sendSite struct {
+		fn   string
+		pos  token.Pos
+		pkg  *Package
+		node ast.Node
+	}
+	closes := map[types.Object][]closeSite{}
+	sends := map[types.Object][]sendSite{}
+
+	for _, pkg := range prog.Pkgs {
+		for _, scope := range packageBodies(pkg) {
+			// join points lexically inside this body, in source order
+			var joinPos []token.Pos
+			inspectShallow(scope.body, func(n ast.Node) bool {
+				switch nn := n.(type) {
+				case *ast.UnaryExpr:
+					if nn.Op == token.ARROW {
+						joinPos = append(joinPos, nn.Pos())
+					}
+				case *ast.RangeStmt:
+					if tv, ok := pkg.Info.Types[nn.X]; ok {
+						if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+							joinPos = append(joinPos, nn.Pos())
+						}
+					}
+				case *ast.SelectStmt:
+					joinPos = append(joinPos, nn.Pos())
+				case *ast.CallExpr:
+					if sel, ok := nn.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" &&
+						(recvIsSync(pkg.Info, sel, "WaitGroup") || recvIsSync(pkg.Info, sel, "Cond")) {
+						joinPos = append(joinPos, nn.Pos())
+					}
+				}
+				return true
+			})
+			joinedBefore := func(pos token.Pos) bool {
+				for _, j := range joinPos {
+					if j < pos {
+						return true
+					}
+				}
+				return false
+			}
+			inspectShallow(scope.body, func(n ast.Node) bool {
+				switch nn := n.(type) {
+				case *ast.CallExpr:
+					if id, ok := nn.Fun.(*ast.Ident); ok && id.Name == "close" && len(nn.Args) == 1 {
+						if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+							if obj := chanRootObject(pkg, nn.Args[0]); obj != nil {
+								closes[obj] = append(closes[obj], closeSite{
+									fn: scope.name, pos: nn.Pos(), pkg: pkg, node: nn,
+									joined: joinedBefore(nn.Pos()),
+								})
+							}
+						}
+					}
+				case *ast.SendStmt:
+					if obj := chanRootObject(pkg, nn.Chan); obj != nil {
+						sends[obj] = append(sends[obj], sendSite{fn: scope.name, pos: nn.Pos(), pkg: pkg, node: nn})
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Deterministic iteration: order channel objects by close position.
+	var objs []types.Object
+	for obj := range closes {
+		if len(sends[obj]) > 0 {
+			objs = append(objs, obj)
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		return closes[objs[i]][0].pos < closes[objs[j]][0].pos
+	})
+	for _, obj := range objs {
+		for _, s := range sends[obj] {
+			for _, c := range closes[obj] {
+				if s.fn == c.fn && s.pkg == c.pkg {
+					if s.pos > c.pos {
+						report(s.node, "send on %s after close(%s) earlier in %s; a closed channel panics on send", obj.Name(), obj.Name(), c.fn)
+						break
+					}
+					continue // sequential send-then-close in one body: ordered
+				}
+				if !c.joined {
+					report(s.node, "send on %s, which %s closes without a preceding join (WaitGroup.Wait or channel receive); a racing send on a closed channel panics", obj.Name(), c.fn)
+					break
+				}
+			}
+		}
+	}
+}
+
+// chanRootObject resolves the channel expression of a send/close to a
+// stable program object worth tracking across functions: a named
+// variable (local or package-level) or a struct field. Anything more
+// dynamic (map/slice elements, call results) returns nil.
+func chanRootObject(pkg *Package, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// posOf renders a node's position with the package's file set — a
+// convenience for rules that embed one position inside another
+// finding's message.
+func (p *Package) posOf(n ast.Node) token.Position {
+	return p.fset.Position(n.Pos())
+}

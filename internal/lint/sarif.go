@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+)
+
+// SARIF 2.1.0 output (https://docs.oasis-open.org/sarif/sarif/v2.1.0/)
+// so findings flow into code-scanning UIs and CI annotation tooling
+// without a bespoke adapter. Only the slice of the format psilint
+// needs is modeled; every emitted field is required-or-recommended by
+// the spec.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool               sarifTool                `json:"tool"`
+	Results            []sarifResult            `json:"results"`
+	OriginalURIBaseIDs map[string]sarifArtifact `json:"originalUriBaseIds,omitempty"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string          `json:"name"`
+	InformationURI string          `json:"informationUri,omitempty"`
+	Rules          []sarifRuleMeta `json:"rules"`
+}
+
+type sarifRuleMeta struct {
+	ID               string           `json:"id"`
+	ShortDescription sarifText        `json:"shortDescription"`
+	DefaultConfig    sarifRuleDefault `json:"defaultConfiguration"`
+	Properties       map[string]any   `json:"properties,omitempty"`
+}
+
+type sarifRuleDefault struct {
+	Level string `json:"level"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+func sarifLevel(s Severity) string {
+	if s == SevWarn {
+		return "warning"
+	}
+	return "error"
+}
+
+// SARIF encodes the findings as a SARIF 2.1.0 log. rules is the full
+// registry (every rule is listed in the driver metadata whether or not
+// it fired); root anchors the relative artifact URIs.
+func SARIF(root string, rules []Rule, findings []Finding) ([]byte, error) {
+	driver := sarifDriver{Name: "psilint"}
+	ruleIndex := map[string]int{}
+	for _, r := range rules {
+		ruleIndex[r.Name] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, sarifRuleMeta{
+			ID:               r.Name,
+			ShortDescription: sarifText{Text: r.Doc},
+			DefaultConfig:    sarifRuleDefault{Level: sarifLevel(r.Severity)},
+			Properties:       map[string]any{"tier": r.Tier.String()},
+		})
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		idx, known := ruleIndex[f.Rule]
+		if !known {
+			idx = -1
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Rule,
+			RuleIndex: idx,
+			Level:     sarifLevel(f.Severity),
+			Message:   sarifText{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       relPath(root, f.Pos.Filename),
+						URIBaseID: "ROOT",
+					},
+					Region: sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: driver},
+			Results: results,
+			OriginalURIBaseIDs: map[string]sarifArtifact{
+				"ROOT": {URI: "file://" + filepath.ToSlash(root) + "/"},
+			},
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

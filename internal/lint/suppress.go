@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives let a human overrule a rule at one site, with
+// a written reason:
+//
+//	//lint:ignore rule1,rule2 reason the next line is safe because ...
+//
+// A directive suppresses matching findings on its own line (trailing
+// comment) or on the line directly below (own-line comment). The
+// reason is mandatory: a directive without one is itself an error
+// finding, so nothing gets silenced silently. A directive that names
+// an unknown rule is an error (it guards against typos that would
+// otherwise silence nothing forever), and a directive whose rules all
+// ran but suppressed nothing is a warning (it is stale and should be
+// deleted).
+//
+// Hygiene findings carry the pseudo-rule name "suppress" (registered
+// in rules.go so -list documents it).
+
+const directivePrefix = "lint:ignore"
+
+// SuppressRule is the pseudo-rule name carried by directive-hygiene
+// findings.
+const SuppressRule = "suppress"
+
+type directive struct {
+	pos    token.Position
+	rules  []string
+	reason string
+	used   bool
+}
+
+// parseDirectives collects every //lint:ignore directive in pkgs.
+func parseDirectives(fset *token.FileSet, pkgs []*Package) []*directive {
+	var out []*directive
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, directivePrefix) {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+					d := &directive{pos: fset.Position(c.Pos())}
+					if rest != "" {
+						parts := strings.SplitN(rest, " ", 2)
+						for _, r := range strings.Split(parts[0], ",") {
+							if r = strings.TrimSpace(r); r != "" {
+								d.rules = append(d.rules, r)
+							}
+						}
+						if len(parts) == 2 {
+							d.reason = strings.TrimSpace(parts[1])
+						}
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions drops findings matched by a directive and appends
+// the directive-hygiene findings. The selected rule set bounds the
+// stale-directive warning: a directive naming rules that were not run
+// cannot be proven stale.
+func applySuppressions(fset *token.FileSet, pkgs []*Package, rules []Rule, findings []Finding) []Finding {
+	directives := parseDirectives(fset, pkgs)
+	if len(directives) == 0 {
+		return findings
+	}
+	selected := map[string]bool{}
+	for _, r := range rules {
+		selected[r.Name] = true
+	}
+
+	kept := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range directives {
+			if d.pos.Filename != f.Pos.Filename {
+				continue
+			}
+			if d.pos.Line != f.Pos.Line && d.pos.Line != f.Pos.Line-1 {
+				continue
+			}
+			if !containsString(d.rules, f.Rule) {
+				continue
+			}
+			d.used = true
+			suppressed = true
+			break
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+
+	for _, d := range directives {
+		if len(d.rules) == 0 {
+			kept = append(kept, hygiene(d, SevError, "lint:ignore directive names no rules; use //lint:ignore <rule,...> <reason>"))
+			continue
+		}
+		if d.reason == "" {
+			kept = append(kept, hygiene(d, SevError, "lint:ignore directive for %s has no reason; every suppression must say why", strings.Join(d.rules, ",")))
+		}
+		for _, r := range d.rules {
+			if !knownRule(r) {
+				kept = append(kept, hygiene(d, SevError, "lint:ignore names unknown rule %q; see psilint -list", r))
+			}
+		}
+		if !d.used && allSelected(d.rules, selected) && d.reason != "" {
+			kept = append(kept, hygiene(d, SevWarn, "lint:ignore directive for %s suppressed nothing; delete it", strings.Join(d.rules, ",")))
+		}
+	}
+	return kept
+}
+
+func hygiene(d *directive, sev Severity, format string, args ...any) Finding {
+	return Finding{
+		Pos:      d.pos,
+		Rule:     SuppressRule,
+		Severity: sev,
+		Msg:      fmt.Sprintf(format, args...),
+	}
+}
+
+func containsString(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func allSelected(rules []string, selected map[string]bool) bool {
+	for _, r := range rules {
+		if !selected[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// knownRule reports whether name is in the canonical registry (the
+// full set, independent of any -rules filtering).
+func knownRule(name string) bool {
+	if name == SuppressRule {
+		return true
+	}
+	for _, r := range Registry {
+		if r.Name == name {
+			return true
+		}
+	}
+	return false
+}

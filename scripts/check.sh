@@ -30,8 +30,8 @@ go vet ./...
 step "go build ./..."
 go build ./...
 
-step "psilint"
-go run ./cmd/psilint -root .
+step "psilint (baseline diff)"
+go run ./cmd/psilint -root . -baseline lint_baseline.json
 
 step "go test -race ./..."
 go test -race ./...
