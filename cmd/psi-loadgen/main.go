@@ -27,9 +27,11 @@
 // Self-asserting flags make the binary usable as a test gate without
 // JSON parsing: the exit status is non-zero when any unexpected 5xx
 // was seen, when -require-shed saw no 429, when fewer than
-// -min-bindings pivot bindings were returned in total, or when -verify
+// -min-bindings pivot bindings were returned in total, when -verify
 // finds a served binding set that disagrees with a direct model-free
-// PSI evaluation of the same query.
+// PSI evaluation of the same query, or when a post-run check of the
+// server's /alertz fails: -require-alert NAME demands the named SLO
+// alert be firing, -forbid-alert NAME demands it not be.
 package main
 
 import (
@@ -42,7 +44,6 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
-	"sort"
 	"sync"
 	"time"
 
@@ -72,6 +73,8 @@ func main() {
 		verify      = flag.Bool("verify", false, "cross-check every distinct query against a direct model-free PSI evaluation")
 		requireShed = flag.Bool("require-shed", false, "fail unless at least one request was load-shed (429)")
 		minBindings = flag.Int64("min-bindings", 0, "fail unless OK responses returned at least this many bindings in total")
+		requireAl   = flag.String("require-alert", "", "fail unless the named SLO alert is firing at /alertz after the run")
+		forbidAl    = flag.String("forbid-alert", "", "fail if the named SLO alert is firing at /alertz after the run")
 	)
 	flag.Parse()
 	cfg := config{
@@ -82,6 +85,7 @@ func main() {
 		timeoutMS: *timeoutMS, batch: *batch, seed: *seed,
 		jsonPath: *jsonPath, verify: *verify,
 		requireShed: *requireShed, minBindings: *minBindings,
+		requireAlert: *requireAl, forbidAlert: *forbidAl,
 	}
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "psi-loadgen:", err)
@@ -106,6 +110,8 @@ type config struct {
 	verify             bool
 	requireShed        bool
 	minBindings        int64
+	requireAlert       string
+	forbidAlert        string
 }
 
 // report is the -json document: the same top-level shape as
@@ -135,11 +141,20 @@ type report struct {
 	P99MS         float64 `json:"p99_ms"`
 }
 
-// stats accumulates request outcomes across driver goroutines.
+// latencyMetric is the client-side latency histogram's name in the
+// loadgen's private registry.
+const latencyMetric = "loadgen_latency_seconds"
+
+// stats accumulates request outcomes across driver goroutines. OK
+// latencies land in a client-side histogram (obs.LatencyBuckets) so the
+// report's percentiles come from the same bucket-interpolation helper
+// the server's /seriesz quantiles use.
 type stats struct {
+	reg     *obs.Registry
+	latency *obs.Histogram // seconds, OK responses only
+
 	mu        sync.Mutex
-	latencies []float64 // seconds, OK responses only
-	requests  int64     // queries sent (batch items count individually)
+	requests  int64 // queries sent (batch items count individually)
 	ok        int64
 	shed      int64 // 429
 	deadline  int64 // 504
@@ -147,6 +162,15 @@ type stats struct {
 	serverErr int64 // 5xx other than 504 — never expected
 	transport int64 // connection-level failures
 	bindings  int64
+}
+
+// newStats builds the accumulator with its private metric registry.
+func newStats() *stats {
+	reg := obs.NewRegistry()
+	return &stats{
+		reg:     reg,
+		latency: reg.Histogram(latencyMetric, "client-side latency of OK responses", obs.LatencyBuckets),
+	}
 }
 
 // record files one query outcome under the status code conventions of
@@ -161,7 +185,7 @@ func (st *stats) record(status int, bindings int, elapsed time.Duration) {
 	case status == http.StatusOK:
 		st.ok++
 		st.bindings += int64(bindings)
-		st.latencies = append(st.latencies, elapsed.Seconds())
+		st.latency.Observe(elapsed.Seconds())
 	case status == http.StatusTooManyRequests:
 		st.shed++
 	case status == http.StatusGatewayTimeout:
@@ -214,7 +238,7 @@ func run(cfg config, out io.Writer) error {
 	base := "http://" + cfg.addr
 	client := &http.Client{Timeout: clientTimeout(cfg.timeoutMS)}
 
-	st := &stats{}
+	st := newStats()
 	start := time.Now()
 	if cfg.mode == "closed" {
 		err = driveClosed(cfg, client, base, wire, st)
@@ -252,7 +276,7 @@ func run(cfg config, out io.Writer) error {
 		}
 	}
 
-	return assertOutcome(cfg, rep)
+	return assertOutcome(cfg, rep, client, base)
 }
 
 // clientTimeout picks an HTTP client timeout comfortably above the
@@ -517,29 +541,23 @@ func buildReport(cfg config, st *stats, elapsed time.Duration, snap obs.Snapshot
 	if elapsed > 0 {
 		rep.AchievedQPS = float64(st.requests) / elapsed.Seconds()
 	}
-	rep.P50MS = percentileMS(st.latencies, 0.50)
-	rep.P95MS = percentileMS(st.latencies, 0.95)
-	rep.P99MS = percentileMS(st.latencies, 0.99)
+	h := st.reg.Snapshot().Histograms[latencyMetric]
+	rep.P50MS = quantileMS(h, 0.50)
+	rep.P95MS = quantileMS(h, 0.95)
+	rep.P99MS = quantileMS(h, 0.99)
 	return rep
 }
 
-// percentileMS returns the p-th percentile of secs in milliseconds
-// (nearest-rank on a sorted copy; 0 for an empty sample).
-func percentileMS(secs []float64, p float64) float64 {
-	if len(secs) == 0 {
+// quantileMS estimates the q-th latency quantile in milliseconds from
+// the client-side histogram via obs.HistogramQuantile (the same
+// bucket-interpolation the server's /seriesz uses); 0 for an empty
+// histogram.
+func quantileMS(h obs.HistogramSnapshot, q float64) float64 {
+	v, ok := obs.HistogramQuantile(h, q)
+	if !ok {
 		return 0
 	}
-	sorted := make([]float64, len(secs))
-	copy(sorted, secs)
-	sort.Float64s(sorted)
-	idx := int(p*float64(len(sorted))+0.5) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx] * 1000
+	return v * 1000
 }
 
 // printSummary writes the human-readable run summary. Write errors on
@@ -570,7 +588,7 @@ func writeReport(path string, rep *report) error {
 
 // assertOutcome enforces the self-asserting flags and the always-on
 // "no unexpected 5xx" rule.
-func assertOutcome(cfg config, rep *report) error {
+func assertOutcome(cfg config, rep *report, client *http.Client, base string) error {
 	if rep.ServerErrors > 0 {
 		return fmt.Errorf("%d unexpected 5xx responses (500/502/503 are never expected from a healthy server)", rep.ServerErrors)
 	}
@@ -580,5 +598,50 @@ func assertOutcome(cfg config, rep *report) error {
 	if rep.Bindings < cfg.minBindings {
 		return fmt.Errorf("-min-bindings: got %d bindings, need at least %d", rep.Bindings, cfg.minBindings)
 	}
+	if cfg.requireAlert != "" || cfg.forbidAlert != "" {
+		alerts, err := fetchAlerts(client, base)
+		if err != nil {
+			return fmt.Errorf("alert assertion: %w", err)
+		}
+		if cfg.requireAlert != "" {
+			state, ok := alerts[cfg.requireAlert]
+			if !ok {
+				return fmt.Errorf("-require-alert: no objective named %q at /alertz", cfg.requireAlert)
+			}
+			if state != "firing" {
+				return fmt.Errorf("-require-alert: alert %q is %q, want firing", cfg.requireAlert, state)
+			}
+		}
+		if cfg.forbidAlert != "" {
+			if state, ok := alerts[cfg.forbidAlert]; ok && state == "firing" {
+				return fmt.Errorf("-forbid-alert: alert %q is firing", cfg.forbidAlert)
+			}
+		}
+	}
 	return nil
+}
+
+// fetchAlerts pulls /alertz and maps objective name -> state.
+func fetchAlerts(client *http.Client, base string) (map[string]string, error) {
+	resp, err := client.Get(base + "/alertz?format=json")
+	if err != nil {
+		return nil, err
+	}
+	var data obs.AlertsData
+	decErr := json.NewDecoder(resp.Body).Decode(&data)
+	closeErr := resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/alertz: HTTP %d (is the server running with -sample-interval > 0 and an SLO objective?)", resp.StatusCode)
+	}
+	if decErr != nil {
+		return nil, decErr
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
+	out := make(map[string]string, len(data.Alerts))
+	for _, a := range data.Alerts {
+		out[a.Name] = a.State
+	}
+	return out, nil
 }

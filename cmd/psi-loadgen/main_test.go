@@ -220,16 +220,33 @@ func TestConfigErrors(t *testing.T) {
 	}
 }
 
-// TestPercentile pins the nearest-rank percentile helper.
-func TestPercentile(t *testing.T) {
-	if got := percentileMS(nil, 0.5); got != 0 {
-		t.Errorf("empty percentile = %v", got)
+// TestQuantileMS pins the histogram-interpolated percentile helper on
+// a known 1..10ms sample against hand-computed bucket interpolation
+// over obs.LatencyBuckets (1ms lands in the 1ms bucket; 2ms in 2.5ms;
+// 3-5ms in 5ms; 6-10ms in 10ms).
+func TestQuantileMS(t *testing.T) {
+	st := newStats()
+	if got := quantileMS(st.reg.Snapshot().Histograms[latencyMetric], 0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
 	}
-	secs := []float64{0.001, 0.002, 0.003, 0.004, 0.005, 0.006, 0.007, 0.008, 0.009, 0.010}
-	if got := percentileMS(secs, 0.5); got != 5 {
+	for ms := 1; ms <= 10; ms++ {
+		st.latency.Observe(float64(ms) / 1000)
+	}
+	h := st.reg.Snapshot().Histograms[latencyMetric]
+	// rank 5 closes the 5ms bucket exactly: 2.5 + 2.5*(5-2)/3 = 5.
+	if got := quantileMS(h, 0.5); !closeTo(got, 5) {
 		t.Errorf("p50 = %v ms, want 5", got)
 	}
-	if got := percentileMS(secs, 0.99); got != 10 {
-		t.Errorf("p99 = %v ms, want 10", got)
+	// rank 9.9 interpolates the 10ms bucket: 5 + 5*(9.9-5)/5 = 9.9.
+	if got := quantileMS(h, 0.99); !closeTo(got, 9.9) {
+		t.Errorf("p99 = %v ms, want 9.9", got)
 	}
+}
+
+func closeTo(got, want float64) bool {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff < 1e-9
 }

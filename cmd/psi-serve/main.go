@@ -11,11 +11,14 @@
 //	psi-serve -dataset cora -addr 127.0.0.1:8080 # serve a built-in dataset
 //	psi-serve -graph g.lg -workers 8 -queue 128 -default-timeout 2s
 //	psi-serve -graph g.lg -addr 127.0.0.1:0 -addr-file /tmp/addr
+//	psi-serve -graph g.lg -sample-interval 1s -slo-availability 0.99
 //
 // Endpoints: POST /v1/psi, POST /v1/psi/batch, GET /healthz, GET
 // /readyz, plus the full obs debug surface (/metrics, /metrics.json,
-// /tracez, /profilez, /modelz, /debug/pprof). Metric collection is
-// always on in a serving process.
+// /tracez, /profilez, /modelz, /seriesz, /alertz, /debug/pprof).
+// Metric collection is always on in a serving process; with
+// -sample-interval > 0 a background sampler additionally keeps windowed
+// time series (/seriesz) and evaluates SLO burn-rate alerts (/alertz).
 //
 // A single query:
 //
@@ -31,7 +34,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -58,11 +61,21 @@ func main() {
 		maxTimeout     = flag.Duration("max-timeout", 30*time.Second, "clamp on client-requested timeouts")
 		maxBatch       = flag.Int("max-batch", 64, "max queries per /v1/psi/batch request")
 		maxQueryNodes  = flag.Int("max-query-nodes", 32, "max nodes in one query graph")
-		retryAfter     = flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+		retryAfter     = flag.Duration("retry-after", time.Second, "static Retry-After fallback on 429/503 when no drain estimate is available")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 		threads        = flag.Int("threads", 1, "candidate-evaluation workers inside one query")
 		seed           = flag.Int64("seed", 42, "engine sampling seed")
 		shadowRate     = flag.Float64("shadow-rate", 0, "model-decision audit sampling rate in [0,1] (see /modelz)")
+
+		sampleInterval = flag.Duration("sample-interval", time.Second, "metrics sampling interval for /seriesz and /alertz (0: disable sampling and SLO alerting)")
+		seriesSamples  = flag.Int("series-samples", 0, "ring-buffer capacity per metric series (0: default 128)")
+		sloAvail       = flag.Float64("slo-availability", 0.99, "availability SLO target in (0,1) (0: disable the availability objective)")
+		sloLatencyMS   = flag.Float64("slo-latency-ms", 0, "latency SLO threshold in milliseconds (0: no latency objective)")
+		sloLatencyTgt  = flag.Float64("slo-latency-target", 0.95, "fraction of requests that must finish under -slo-latency-ms")
+		sloFastWindow  = flag.Duration("slo-fast-window", time.Minute, "fast burn-rate window")
+		sloSlowWindow  = flag.Duration("slo-slow-window", 5*time.Minute, "slow burn-rate window")
+		sloBurnFactor  = flag.Float64("slo-burn-factor", 14.4, "burn-rate threshold both windows must exceed")
+		sloFor         = flag.Duration("slo-for", 0, "time an alert stays pending before it fires")
 	)
 	flag.Parse()
 	if err := run(config{
@@ -73,6 +86,12 @@ func main() {
 		maxBatch: *maxBatch, maxQueryNodes: *maxQueryNodes,
 		retryAfter: *retryAfter, drainTimeout: *drainTimeout,
 		threads: *threads, seed: *seed, shadowRate: *shadowRate,
+		sampleInterval: *sampleInterval, seriesSamples: *seriesSamples,
+		sloAvailability: *sloAvail,
+		sloLatency:      time.Duration(*sloLatencyMS * float64(time.Millisecond)),
+		sloLatencyTgt:   *sloLatencyTgt,
+		sloFastWindow:   *sloFastWindow, sloSlowWindow: *sloSlowWindow,
+		sloBurnFactor: *sloBurnFactor, sloFor: *sloFor,
 	}, context.Background(), nil); err != nil {
 		fmt.Fprintln(os.Stderr, "psi-serve:", err)
 		os.Exit(1)
@@ -93,13 +112,38 @@ type config struct {
 	threads            int
 	seed               int64
 	shadowRate         float64
+
+	sampleInterval  time.Duration // 0: no sampler, no SLO alerting
+	seriesSamples   int
+	sloAvailability float64
+	sloLatency      time.Duration
+	sloLatencyTgt   float64
+	sloFastWindow   time.Duration
+	sloSlowWindow   time.Duration
+	sloBurnFactor   float64
+	sloFor          time.Duration
+}
+
+// objectives assembles the SLO list from flags; empty when every
+// objective is disabled.
+func (c config) objectives() []obs.Objective {
+	var objs []obs.Objective
+	if c.sloAvailability > 0 {
+		objs = append(objs, obs.AvailabilityObjective(
+			c.sloAvailability, c.sloFastWindow, c.sloSlowWindow, c.sloBurnFactor, c.sloFor))
+	}
+	if c.sloLatency > 0 {
+		objs = append(objs, obs.LatencyObjective(
+			c.sloLatency, c.sloLatencyTgt, c.sloFastWindow, c.sloSlowWindow, c.sloBurnFactor, c.sloFor))
+	}
+	return objs
 }
 
 // run loads the graph, builds the engine, and serves until a signal
 // arrives or parent is cancelled, then drains. The ready channel (test
 // seam; main passes nil) receives the bound address once listening.
 func run(cfg config, parent context.Context, ready chan<- string) error {
-	logger := log.New(os.Stderr, "psi-serve: ", log.LstdFlags)
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
 
 	var g *graph.Graph
 	var err error
@@ -127,8 +171,28 @@ func run(cfg config, parent context.Context, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	logger.Printf("graph: %d nodes, %d edges, %d labels; signatures built in %s",
-		g.NumNodes(), g.NumEdges(), g.NumLabels(), engine.SignatureBuildTime)
+	logger.Info("graph loaded",
+		"nodes", g.NumNodes(), "edges", g.NumEdges(), "labels", g.NumLabels(),
+		"signature_build", engine.SignatureBuildTime.String())
+
+	// The windowed-telemetry sampler and SLO alerting ride on the same
+	// background loop; -sample-interval 0 turns both off and the debug
+	// endpoints answer 503.
+	var sampler *obs.Sampler
+	var alerts *obs.SLOSet
+	if cfg.sampleInterval > 0 {
+		sampler = obs.NewSampler(obs.Default, cfg.sampleInterval, cfg.seriesSamples)
+		if objs := cfg.objectives(); len(objs) > 0 {
+			alerts = obs.NewSLOSet(sampler, objs)
+			for _, o := range objs {
+				logger.Info("slo objective armed", "name", o.Name, "target", o.Target,
+					"fast_window", o.FastWindow.String(), "slow_window", o.SlowWindow.String(),
+					"burn_factor", o.BurnFactor, "for", o.For.String())
+			}
+		}
+		sampler.Start()
+		defer sampler.Stop()
+	}
 
 	srv := server.NewServer(engine, server.Config{
 		Workers:         cfg.workers,
@@ -139,6 +203,8 @@ func run(cfg config, parent context.Context, ready chan<- string) error {
 		MaxBatch:        cfg.maxBatch,
 		MaxQueryNodes:   cfg.maxQueryNodes,
 		RetryAfter:      cfg.retryAfter,
+		Sampler:         sampler,
+		Alerts:          alerts,
 		Log:             logger,
 	})
 
@@ -158,8 +224,11 @@ func run(cfg config, parent context.Context, ready chan<- string) error {
 			return err
 		}
 	}
-	logger.Printf("listening on http://%s (workers=%d queue=%d default-timeout=%s)",
-		bound, srv.Config().Workers, srv.Config().QueueDepth, srv.Config().DefaultTimeout)
+	logger.Info("listening",
+		"url", "http://"+bound,
+		"workers", srv.Config().Workers, "queue", srv.Config().QueueDepth,
+		"default_timeout", srv.Config().DefaultTimeout.String(),
+		"sample_interval", cfg.sampleInterval.String())
 	if ready != nil {
 		ready <- bound
 	}
@@ -177,14 +246,14 @@ func run(cfg config, parent context.Context, ready chan<- string) error {
 	}
 	stop() // restore default signal handling: a second signal kills us
 
-	logger.Printf("signal received; draining (timeout %s)", cfg.drainTimeout)
+	logger.Info("signal received; draining", "timeout", cfg.drainTimeout.String())
 	//lint:ignore ctxflow the signal context is already cancelled at this point; the drain deadline must be fresh or Drain would return immediately
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		logger.Printf("drain: %v", err)
+		logger.Warn("drain failed", "err", err.Error())
 	} else {
-		logger.Printf("drain complete")
+		logger.Info("drain complete")
 	}
 	//lint:ignore ctxflow same as the drain context: parent is cancelled, the shutdown bound must be fresh
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)

@@ -1,0 +1,25 @@
+// Package metrichelp exercises the metrichelp rule: metrics
+// registered through the obs Registry must carry a help string.
+package metrichelp
+
+import "repro/internal/obs"
+
+const emptyHelp = ""
+
+func bad(reg *obs.Registry) {
+	reg.Counter("bad_total", "")                         // want "empty help string"
+	reg.Gauge("bad_depth", "   ")                        // want "empty help string"
+	reg.Histogram("bad_seconds", "", obs.LatencyBuckets) // want "empty help string"
+	reg.Counter("bad_const_total", emptyHelp)            // want "empty help string"
+}
+
+func good(reg *obs.Registry) {
+	reg.Counter("good_total", "requests served")
+	reg.Gauge("good_depth", "queue depth right now")
+	reg.Histogram("good_seconds", "request latency", obs.LatencyBuckets)
+	// A non-constant help string cannot be judged at lint time.
+	help := helpText()
+	reg.Counter("good_dynamic_total", help)
+}
+
+func helpText() string { return "runtime-assembled help" }

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 	"strings"
@@ -68,6 +69,13 @@ var Registry = []Rule{
 		Tier:     TierSyntactic,
 		Severity: SevError,
 		Run:      rulePkgDoc,
+	},
+	{
+		Name:     "metrichelp",
+		Doc:      "obs Registry constructors (Counter, Gauge, Histogram) need a non-empty help string; it becomes the # HELP line on /metrics",
+		Tier:     TierSyntactic,
+		Severity: SevError,
+		Run:      ruleMetricHelp,
 	},
 
 	// ---- TierDataflow: whole-program, on the call graph + facts ----
@@ -563,6 +571,64 @@ func calleeName(call *ast.CallExpr) (string, bool) {
 		return f.Sel.Name, true
 	}
 	return "", false
+}
+
+// ---- metrichelp ----
+
+// ruleMetricHelp requires every metric registered through the obs
+// Registry to carry a help string: the second argument of Counter,
+// Gauge and Histogram feeds the Prometheus # HELP line, and an empty
+// one ships an undocumented metric to every dashboard. Flagged when
+// the help argument is a constant empty (or all-whitespace) string.
+func ruleMetricHelp(pkg *Package, report ReportFunc) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pkg.Info, call)
+			if !isRegistryConstructor(obj) || len(call.Args) < 2 {
+				return true
+			}
+			tv, ok := pkg.Info.Types[call.Args[1]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			if strings.TrimSpace(constant.StringVal(tv.Value)) == "" {
+				report(call.Args[1], "metric registered with an empty help string; describe it (%s becomes the # HELP line on /metrics)", obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isRegistryConstructor reports whether obj is the Counter, Gauge or
+// Histogram method of the obs Registry.
+func isRegistryConstructor(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Registry" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs")
 }
 
 // ---- sleepsync ----

@@ -57,6 +57,9 @@ type DecisionRecord struct {
 	Kind string `json:"kind"`
 	// Query names the originating query (the profile name).
 	Query string `json:"query,omitempty"`
+	// RequestID is the serving-layer X-Request-ID that produced this
+	// decision, when the query arrived through psi-serve.
+	RequestID string `json:"request_id,omitempty"`
 	// Node is the audited candidate node (-1 for beta-rank records).
 	Node int64 `json:"node"`
 	// Features is the candidate's signature row (the model input).

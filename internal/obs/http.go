@@ -12,6 +12,26 @@ import (
 	"time"
 )
 
+// HandlerOption customises the debug mux returned by Handler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	sampler *Sampler
+	alerts  *SLOSet
+}
+
+// WithSampler mounts /seriesz over the given sampler's rings. Without
+// it /seriesz answers 503.
+func WithSampler(s *Sampler) HandlerOption {
+	return func(c *handlerConfig) { c.sampler = s }
+}
+
+// WithAlerts mounts /alertz over the given SLO set. Without it /alertz
+// answers 503.
+func WithAlerts(a *SLOSet) HandlerOption {
+	return func(c *handlerConfig) { c.alerts = a }
+}
+
 // Handler returns the debug mux over a registry, tracer and profile
 // flight recorder:
 //
@@ -21,13 +41,22 @@ import (
 //	/tracez?id=N        one trace, Chrome trace-event JSON (about:tracing)
 //	/profilez           flight recorder: K slowest + K most recent profiles
 //	/profilez?id=N      one profile as an EXPLAIN ANALYZE text tree
-//	/profilez?format=json  the same data as JSON (combinable with id=N)
+//	/profilez?request_id=X  the profile recorded for one served request
+//	/profilez?format=json  the same data as JSON (combinable with lookups)
 //	/modelz             model-decision telemetry: model-α confusion matrix,
 //	                    vote-margin calibration, model-β plan rank, cache
 //	                    quality, shadow-scoring regret, drift events
 //	/modelz?format=json the same data as JSON
+//	/seriesz            windowed time series (WithSampler): text sparklines,
+//	                    ?format=json for the ring data
+//	/alertz             SLO burn-rate alerts (WithAlerts): text table,
+//	                    ?format=json for machine consumption
 //	/debug/pprof/       the standard net/http/pprof handlers
-func Handler(reg *Registry, tracer *Tracer, recorder *Recorder) http.Handler {
+func Handler(reg *Registry, tracer *Tracer, recorder *Recorder, opts ...HandlerOption) http.Handler {
+	var hc handlerConfig
+	for _, o := range opts {
+		o(&hc)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -79,13 +108,19 @@ func Handler(reg *Registry, tracer *Tracer, recorder *Recorder) http.Handler {
 	})
 	mux.HandleFunc("/profilez", func(w http.ResponseWriter, req *http.Request) {
 		asJSON := req.URL.Query().Get("format") == "json"
-		if idStr := req.URL.Query().Get("id"); idStr != "" {
-			id, err := strconv.ParseUint(idStr, 10, 64)
-			if err != nil {
-				http.Error(w, "bad id", http.StatusBadRequest)
-				return
+		idStr, reqID := req.URL.Query().Get("id"), req.URL.Query().Get("request_id")
+		if idStr != "" || reqID != "" {
+			var p *Profile
+			if idStr != "" {
+				id, err := strconv.ParseUint(idStr, 10, 64)
+				if err != nil {
+					http.Error(w, "bad id", http.StatusBadRequest)
+					return
+				}
+				p = recorder.Lookup(id)
+			} else {
+				p = recorder.LookupRequest(reqID)
 			}
-			p := recorder.Lookup(id)
 			if p == nil {
 				http.Error(w, "profile not retained", http.StatusNotFound)
 				return
@@ -148,6 +183,42 @@ func Handler(reg *Registry, tracer *Tracer, recorder *Recorder) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if err := d.WriteText(w); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/seriesz", func(w http.ResponseWriter, req *http.Request) {
+		if hc.sampler == nil {
+			http.Error(w, "time-series sampling disabled (start with -sample-interval > 0)",
+				http.StatusServiceUnavailable)
+			return
+		}
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := hc.sampler.WriteJSON(w); err != nil {
+				return
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := hc.sampler.WriteText(w); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/alertz", func(w http.ResponseWriter, req *http.Request) {
+		if hc.alerts == nil {
+			http.Error(w, "SLO alerting disabled (start with -sample-interval > 0 and an SLO objective)",
+				http.StatusServiceUnavailable)
+			return
+		}
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := hc.alerts.WriteJSON(w); err != nil {
+				return
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := hc.alerts.WriteText(w); err != nil {
 			return
 		}
 	})

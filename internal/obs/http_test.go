@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, h http.Handler, path string) (int, string) {
@@ -118,5 +120,75 @@ func TestObsStartDebugServer(t *testing.T) {
 	}
 	if resp.StatusCode != 200 || !strings.Contains(string(body), "psi_recursions_total") {
 		t.Errorf("GET /metrics = %d\n%s", resp.StatusCode, body)
+	}
+}
+
+// TestObsSeriesAndAlertEndpoints covers /seriesz and /alertz format
+// negotiation, the 503 answers when sampling is off, and the empty-ring
+// and single-sample edge cases.
+func TestObsSeriesAndAlertEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("series_demo_total", "demo")
+	tracer := NewTracer(4)
+	rec := NewRecorder(4)
+
+	// Without a sampler both endpoints answer 503, not 404.
+	bare := Handler(reg, tracer, rec)
+	if code, body := get(t, bare, "/seriesz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "sampling disabled") {
+		t.Errorf("/seriesz without sampler = %d\n%s", code, body)
+	}
+	if code, body := get(t, bare, "/alertz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "alerting disabled") {
+		t.Errorf("/alertz without alerts = %d\n%s", code, body)
+	}
+
+	s := NewSampler(reg, time.Second, 8)
+	set := NewSLOSet(s, []Objective{{
+		Name: "demo", Target: 0.9,
+		TotalCounter: "series_demo_total",
+		BadCounters:  []string{"series_demo_bad_total"},
+	}})
+	h := Handler(reg, tracer, rec, WithSampler(s), WithAlerts(set))
+
+	// Empty ring: text says so, JSON is well-formed with samples=0.
+	code, body := get(t, h, "/seriesz")
+	if code != 200 || !strings.Contains(body, "no samples yet") {
+		t.Errorf("/seriesz empty = %d\n%s", code, body)
+	}
+	code, body = get(t, h, "/seriesz?format=json")
+	var sd SeriesData
+	if code != 200 || json.Unmarshal([]byte(body), &sd) != nil || sd.Samples != 0 {
+		t.Errorf("/seriesz?format=json empty = %d\n%s", code, body)
+	}
+
+	// Single sample: rates and quantiles are not yet computable.
+	s.SampleAt(seriesBase)
+	code, body = get(t, h, "/seriesz")
+	if code != 200 || !strings.Contains(body, "one sample held") {
+		t.Errorf("/seriesz single-sample = %d\n%s", code, body)
+	}
+
+	c.Add(4)
+	s.SampleAt(seriesBase.Add(time.Second))
+	code, body = get(t, h, "/seriesz")
+	if code != 200 || !strings.Contains(body, "series_demo_total") || !strings.Contains(body, "rate=4.00/s") {
+		t.Errorf("/seriesz text = %d\n%s", code, body)
+	}
+	code, body = get(t, h, "/seriesz?format=json")
+	if code != 200 || json.Unmarshal([]byte(body), &sd) != nil || sd.Samples != 2 || sd.Schema != 1 {
+		t.Errorf("/seriesz json = %d\n%s", code, body)
+	}
+
+	// /alertz in both formats.
+	code, body = get(t, h, "/alertz")
+	if code != 200 || !strings.Contains(body, "OBJECTIVE") || !strings.Contains(body, "demo") {
+		t.Errorf("/alertz text = %d\n%s", code, body)
+	}
+	code, body = get(t, h, "/alertz?format=json")
+	var ad AlertsData
+	if code != 200 || json.Unmarshal([]byte(body), &ad) != nil {
+		t.Errorf("/alertz json = %d\n%s", code, body)
+	}
+	if len(ad.Alerts) != 1 || ad.Alerts[0].Name != "demo" || ad.Alerts[0].State != StateInactive {
+		t.Errorf("alerts doc = %+v", ad)
 	}
 }

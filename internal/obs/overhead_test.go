@@ -224,6 +224,12 @@ func TestObsOverheadGuard(t *testing.T) {
 	before := gatedEvents(obs.Default.Snapshot())
 	lastID := obs.DefaultRecorder.LastID()
 	obs.Enable(true)
+	// A background sampler at the default interval runs across the
+	// measured workload: /seriesz sampling reads the registry off the
+	// hot path and must not disturb the overhead budget.
+	sampler := obs.NewSampler(obs.Default, obs.DefaultSampleInterval, 0)
+	sampler.Start()
+	defer sampler.Stop()
 	for _, q := range queries {
 		if _, err := eng.Evaluate(q); err != nil {
 			t.Fatal(err)

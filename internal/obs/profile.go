@@ -178,6 +178,7 @@ type Profile struct {
 	mu           sync.Mutex
 	finished     bool
 	duration     time.Duration
+	requestID    string
 	method       string
 	candidates   int
 	bindings     int
@@ -248,6 +249,27 @@ func (p *Profile) Finished() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.finished
+}
+
+// SetRequestID tags the profile with the serving-layer request ID
+// (X-Request-ID), making it retrievable via /profilez?request_id=.
+func (p *Profile) SetRequestID(id string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.requestID = id
+	p.mu.Unlock()
+}
+
+// RequestID returns the serving-layer request ID, if one was set.
+func (p *Profile) RequestID() string {
+	if p == nil {
+		return ""
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.requestID
 }
 
 // SetMethod records how the query was executed ("ml" for the full
@@ -470,6 +492,7 @@ func (p *Profile) FinishIn(d time.Duration) {
 type ProfileData struct {
 	ID            uint64    `json:"id"`
 	Name          string    `json:"name"`
+	RequestID     string    `json:"request_id,omitempty"`
 	Start         time.Time `json:"start"`
 	DurationNanos int64     `json:"duration_nanos"`
 	Finished      bool      `json:"finished"`
@@ -512,6 +535,7 @@ func (p *Profile) Snapshot() ProfileData {
 	d := ProfileData{
 		ID:             p.id,
 		Name:           p.name,
+		RequestID:      p.requestID,
 		Start:          p.start,
 		DurationNanos:  dur.Nanoseconds(),
 		Finished:       p.finished,
@@ -565,6 +589,9 @@ func (d ProfileData) WriteText(w io.Writer) error {
 	}
 	fmt.Fprintf(&buf, "query %s  (id %d)  %s  method=%s  candidates=%d  bindings=%d\n",
 		d.Name, d.ID, state, orDash(d.Method), d.Candidates, d.Bindings)
+	if d.RequestID != "" {
+		fmt.Fprintf(&buf, "├─ request: %s\n", d.RequestID)
+	}
 	if d.Error != "" {
 		fmt.Fprintf(&buf, "├─ error: %s\n", d.Error)
 	}

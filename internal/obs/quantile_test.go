@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol
+}
+
+// cumBuckets builds a cumulative bucket slice from per-bucket counts.
+func cumBuckets(bounds []float64, perBucket []int64) []BucketCount {
+	out := make([]BucketCount, len(bounds))
+	var cum int64
+	for i := range bounds {
+		cum += perBucket[i]
+		out[i] = BucketCount{UpperBound: bounds[i], Count: cum}
+	}
+	return out
+}
+
+func TestQuantileFromBuckets(t *testing.T) {
+	// 10 observations: 2 in (0,1], 3 in (1,2], 5 in (2,4].
+	buckets := cumBuckets([]float64{1, 2, 4}, []int64{2, 3, 5})
+
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.0, 0.0},  // rank 0: interpolates to the bottom of the first bucket
+		{0.1, 0.5},  // rank 1, first bucket interpolates from zero: 0 + 1*(1/2)
+		{0.2, 1.0},  // rank 2 closes the first bucket exactly
+		{0.5, 2.0},  // rank 5 closes the second bucket: 1 + 1*(3/3)
+		{0.75, 3.0}, // rank 7.5 in the third bucket: 2 + 2*(2.5/5)
+		{1.0, 4.0},  // rank 10 closes the last bucket
+	}
+	for _, c := range cases {
+		got, ok := QuantileFromBuckets(buckets, 10, c.q)
+		if !ok || !approx(got, c.want, 1e-12) {
+			t.Errorf("q=%.2f: got %v (ok=%v), want %v", c.q, got, ok, c.want)
+		}
+	}
+
+	if _, ok := QuantileFromBuckets(buckets, 0, 0.5); ok {
+		t.Error("empty distribution reported ok")
+	}
+	if _, ok := QuantileFromBuckets(nil, 10, 0.5); ok {
+		t.Error("no buckets reported ok")
+	}
+	if _, ok := QuantileFromBuckets(buckets, 10, -0.1); ok {
+		t.Error("q < 0 reported ok")
+	}
+	if _, ok := QuantileFromBuckets(buckets, 10, 1.1); ok {
+		t.Error("q > 1 reported ok")
+	}
+
+	// Observations in the implicit +Inf bucket: total exceeds the last
+	// cumulative bound, so high quantiles clamp to the last finite bound.
+	if got, ok := QuantileFromBuckets(buckets, 20, 0.99); !ok || got != 4 {
+		t.Errorf("+Inf-bucket quantile = %v (ok=%v), want 4", got, ok)
+	}
+
+	// An empty middle bucket: ranks skip it cleanly on both sides.
+	sparse := []BucketCount{{UpperBound: 1, Count: 5}, {UpperBound: 2, Count: 5}, {UpperBound: 3, Count: 10}}
+	if got, ok := QuantileFromBuckets(sparse, 10, 0.5); !ok || got != 1 {
+		t.Errorf("sparse p50 = %v (ok=%v), want 1", got, ok)
+	}
+	if got, ok := QuantileFromBuckets(sparse, 10, 0.75); !ok || !approx(got, 2.5, 1e-12) {
+		t.Errorf("sparse p75 = %v (ok=%v), want 2.5", got, ok)
+	}
+}
+
+func TestSubtractHistogram(t *testing.T) {
+	older := HistogramSnapshot{
+		Buckets: cumBuckets([]float64{1, 2}, []int64{1, 1}),
+		Sum:     2.5, Count: 2,
+	}
+	newer := HistogramSnapshot{
+		Buckets: cumBuckets([]float64{1, 2}, []int64{4, 2}),
+		Sum:     7.5, Count: 6,
+	}
+	d := SubtractHistogram(newer, older)
+	if d.Count != 4 || d.Sum != 5.0 {
+		t.Errorf("delta count=%d sum=%v, want 4, 5.0", d.Count, d.Sum)
+	}
+	if d.Buckets[0].Count != 3 || d.Buckets[1].Count != 4 {
+		t.Errorf("delta buckets = %+v", d.Buckets)
+	}
+
+	// Mismatched layouts: newer wins, as if older were empty.
+	other := HistogramSnapshot{Buckets: cumBuckets([]float64{1}, []int64{9}), Count: 9}
+	if d := SubtractHistogram(newer, other); d.Count != newer.Count {
+		t.Errorf("layout mismatch delta = %+v, want newer unchanged", d)
+	}
+
+	// A registry Reset between samples: negative deltas clamp to zero.
+	if d := SubtractHistogram(older, newer); d.Count != 0 || d.Buckets[0].Count != 0 {
+		t.Errorf("reset delta = %+v, want all zero", d)
+	}
+}
+
+func TestFractionAtOrBelow(t *testing.T) {
+	// 2 obs in (0,1], 3 in (1,2], 5 in (2,4].
+	h := HistogramSnapshot{Buckets: cumBuckets([]float64{1, 2, 4}, []int64{2, 3, 5}), Count: 10}
+
+	cases := []struct {
+		threshold float64
+		want      float64
+	}{
+		{1, 0.2},    // exactly the first bound
+		{1.5, 0.35}, // halfway through the second bucket: (2 + 1.5) / 10
+		{4, 1.0},
+		{3, 0.75}, // halfway through the third bucket: (5 + 2.5) / 10
+		{0.5, 0.1},
+		{100, 1.0}, // above every bound: all finite observations
+	}
+	for _, c := range cases {
+		got, ok := FractionAtOrBelow(h, c.threshold)
+		if !ok || !approx(got, c.want, 1e-12) {
+			t.Errorf("threshold=%v: got %v (ok=%v), want %v", c.threshold, got, ok, c.want)
+		}
+	}
+
+	if got, ok := FractionAtOrBelow(h, -1); !ok || got != 0 {
+		t.Errorf("negative threshold = %v (ok=%v), want 0", got, ok)
+	}
+	if _, ok := FractionAtOrBelow(HistogramSnapshot{}, 1); ok {
+		t.Error("empty histogram reported ok")
+	}
+
+	// Two observations in the implicit +Inf bucket count as above any
+	// finite threshold.
+	inf := HistogramSnapshot{Buckets: cumBuckets([]float64{1}, []int64{8}), Count: 10}
+	if got, ok := FractionAtOrBelow(inf, 5); !ok || !approx(got, 0.8, 1e-12) {
+		t.Errorf("+Inf fraction = %v (ok=%v), want 0.8", got, ok)
+	}
+}
+
+func TestHistogramQuantileFromRegistry(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_demo_seconds", "demo", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 0.5, 1.5, 1.5, 1.5, 3, 3, 3, 3, 3} {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot().Histograms["q_demo_seconds"]
+	if got, ok := HistogramQuantile(snap, 0.5); !ok || !approx(got, 2.0, 1e-12) {
+		t.Errorf("p50 = %v (ok=%v), want 2.0", got, ok)
+	}
+}

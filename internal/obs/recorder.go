@@ -122,6 +122,26 @@ func (r *Recorder) Lookup(id uint64) *Profile {
 	return nil
 }
 
+// LookupRequest returns the most recent retained profile tagged with
+// the given serving request ID (see Profile.SetRequestID), or nil.
+// Backs /profilez?request_id=.
+func (r *Recorder) LookupRequest(requestID string) *Profile {
+	if requestID == "" {
+		return nil
+	}
+	for _, p := range r.Recent() { // newest first
+		if p.RequestID() == requestID {
+			return p
+		}
+	}
+	for _, p := range r.Slowest() {
+		if p.RequestID() == requestID {
+			return p
+		}
+	}
+	return nil
+}
+
 // LastID returns the most recently assigned profile ID; the overhead
 // guard uses it to attribute profiles to a measurement window.
 func (r *Recorder) LastID() uint64 {

@@ -1,0 +1,360 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Declarative SLOs evaluated against the Sampler's windowed rates with
+// multi-window burn-rate alerting: an objective's burn rate is its
+// windowed bad-event ratio divided by the error budget (1 − target),
+// and an alert trips only when both a fast and a slow window burn
+// above the threshold — the fast window for responsiveness, the slow
+// one so a brief blip cannot page. Alerts walk a
+// pending → firing → resolved state machine, are served at /alertz,
+// and surface as the obs_alerts_firing gauge.
+
+// Alert states.
+const (
+	StateInactive = "inactive"
+	StatePending  = "pending"
+	StateFiring   = "firing"
+	StateResolved = "resolved"
+)
+
+// Objective declares one SLO. Exactly one of the two shapes is used:
+// availability (TotalCounter + BadCounters: ratio of bad events to
+// total events) or latency (Histograms + ThresholdSeconds: fraction of
+// observations slower than the threshold).
+type Objective struct {
+	Name   string  `json:"name"`
+	Target float64 `json:"target"` // fraction of good events promised, e.g. 0.99
+
+	// Availability shape: windowed bad/total from counters.
+	TotalCounter string   `json:"total_counter,omitempty"`
+	BadCounters  []string `json:"bad_counters,omitempty"`
+
+	// Latency shape: windowed fraction-over-threshold from histograms.
+	Histograms       []string `json:"histograms,omitempty"`
+	ThresholdSeconds float64  `json:"threshold_seconds,omitempty"`
+
+	FastWindow time.Duration `json:"-"`
+	SlowWindow time.Duration `json:"-"`
+	BurnFactor float64       `json:"burn_factor"` // both windows must burn at or above this
+	For        time.Duration `json:"-"`           // time an alert stays pending before it fires
+}
+
+// serverBadCounters are the serving-path counters that represent a
+// request the service failed to serve: load sheds (429), drain
+// rejections (503), evaluator panics (500) and deadline expiries
+// (504).
+var serverBadCounters = []string{
+	"server_shed_total",
+	"server_drain_rejects_total",
+	"server_panics_total",
+	"server_deadline_hits_total",
+}
+
+// AvailabilityObjective is the standard serving availability SLO:
+// failed requests (sheds, drain rejections, panics, deadline hits)
+// over server_requests_total.
+func AvailabilityObjective(target float64, fast, slow time.Duration, burnFactor float64, forDur time.Duration) Objective {
+	return Objective{
+		Name:         "availability",
+		Target:       target,
+		TotalCounter: "server_requests_total",
+		BadCounters:  serverBadCounters,
+		FastWindow:   fast,
+		SlowWindow:   slow,
+		BurnFactor:   burnFactor,
+		For:          forDur,
+	}
+}
+
+// LatencyObjective is the standard serving latency SLO: the fraction
+// of /v1/psi and /v1/psi/batch requests completing within threshold
+// must stay at or above target.
+func LatencyObjective(threshold time.Duration, target float64, fast, slow time.Duration, burnFactor float64, forDur time.Duration) Objective {
+	return Objective{
+		Name:             fmt.Sprintf("latency_under_%s", threshold),
+		Target:           target,
+		Histograms:       []string{"server_psi_seconds", "server_batch_seconds"},
+		ThresholdSeconds: threshold.Seconds(),
+		FastWindow:       fast,
+		SlowWindow:       slow,
+		BurnFactor:       burnFactor,
+		For:              forDur,
+	}
+}
+
+// AlertStatus is one objective's externally visible state, as served
+// at /alertz.
+type AlertStatus struct {
+	Name              string    `json:"name"`
+	State             string    `json:"state"`
+	Target            float64   `json:"target"`
+	BurnFactor        float64   `json:"burn_factor"`
+	FastWindowSeconds float64   `json:"fast_window_seconds"`
+	SlowWindowSeconds float64   `json:"slow_window_seconds"`
+	FastBurn          float64   `json:"fast_burn"`
+	SlowBurn          float64   `json:"slow_burn"`
+	FastWindowSampled bool      `json:"fast_window_sampled"`
+	SlowWindowSampled bool      `json:"slow_window_sampled"`
+	Since             time.Time `json:"since,omitempty"` // pending or firing start
+	LastTransition    time.Time `json:"last_transition,omitempty"`
+	EvaluatedAt       time.Time `json:"evaluated_at,omitempty"`
+}
+
+// AlertsData is the /alertz JSON document.
+type AlertsData struct {
+	Schema int           `json:"schema"`
+	Firing int           `json:"firing"`
+	Alerts []AlertStatus `json:"alerts"`
+}
+
+// alertState is one objective's mutable evaluation state.
+type alertState struct {
+	state          string
+	since          time.Time // entered pending/firing
+	lastTransition time.Time
+	evaluatedAt    time.Time
+	fastBurn       float64
+	slowBurn       float64
+	fastOK         bool
+	slowOK         bool
+}
+
+// SLOSet evaluates a fixed list of objectives against a Sampler. Wire
+// it with NewSLOSet before the sampler starts; each sample triggers an
+// evaluation, and Status/WriteJSON/WriteText serve the result.
+type SLOSet struct {
+	sampler    *Sampler
+	objectives []Objective
+	firing     *Gauge
+
+	mu     sync.Mutex
+	states []alertState
+}
+
+// AlertsFiring is the gauge name exporting the number of firing
+// alerts.
+const AlertsFiring = "obs_alerts_firing"
+
+// NewSLOSet builds an SLOSet over the sampler's registry and hooks it
+// into the sampler so every sample re-evaluates the objectives.
+// Objectives with non-positive windows get defaults (1m fast, 5m
+// slow); a non-positive burn factor defaults to 14.4 (the classic
+// 2%-of-monthly-budget-per-hour page threshold).
+func NewSLOSet(sampler *Sampler, objectives []Objective) *SLOSet {
+	objs := make([]Objective, len(objectives))
+	copy(objs, objectives)
+	for i := range objs {
+		if objs[i].FastWindow <= 0 {
+			objs[i].FastWindow = time.Minute
+		}
+		if objs[i].SlowWindow <= 0 {
+			objs[i].SlowWindow = 5 * time.Minute
+		}
+		if objs[i].BurnFactor <= 0 {
+			objs[i].BurnFactor = 14.4
+		}
+	}
+	s := &SLOSet{
+		sampler:    sampler,
+		objectives: objs,
+		firing:     sampler.reg.Gauge(AlertsFiring, "number of SLO alerts currently in the firing state (see /alertz)"),
+		states:     make([]alertState, len(objs)),
+	}
+	for i := range s.states {
+		s.states[i].state = StateInactive
+	}
+	sampler.OnSample(s.Evaluate)
+	return s
+}
+
+// Objectives returns the configured objectives (with defaults
+// applied).
+func (s *SLOSet) Objectives() []Objective { return s.objectives }
+
+// Evaluate recomputes every objective's burn rates as of now and
+// advances the alert state machines. Called from the sampler's
+// OnSample hook; exported for deterministic tests.
+func (s *SLOSet) Evaluate(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nFiring := 0
+	for i, o := range s.objectives {
+		st := &s.states[i]
+		st.fastBurn, st.fastOK = s.burn(o, o.FastWindow)
+		st.slowBurn, st.slowOK = s.burn(o, o.SlowWindow)
+		st.evaluatedAt = now
+		cond := st.fastOK && st.slowOK &&
+			st.fastBurn >= o.BurnFactor && st.slowBurn >= o.BurnFactor
+		switch st.state {
+		case StateInactive, StateResolved:
+			if cond {
+				if o.For <= 0 {
+					st.state = StateFiring
+				} else {
+					st.state = StatePending
+				}
+				st.since = now
+				st.lastTransition = now
+			}
+		case StatePending:
+			switch {
+			case !cond:
+				st.state = StateInactive
+				st.since = time.Time{}
+				st.lastTransition = now
+			case now.Sub(st.since) >= o.For:
+				st.state = StateFiring
+				st.lastTransition = now
+			}
+		case StateFiring:
+			if !cond {
+				st.state = StateResolved
+				st.since = time.Time{}
+				st.lastTransition = now
+			}
+		}
+		if st.state == StateFiring {
+			nFiring++
+		}
+	}
+	s.firing.Set(int64(nFiring))
+}
+
+// burn computes one objective's burn rate over a window: windowed
+// bad-event ratio divided by the error budget. ok is false when the
+// sampler does not yet hold two samples inside the window. A window
+// with no traffic burns at 0.
+func (s *SLOSet) burn(o Objective, window time.Duration) (float64, bool) {
+	budget := 1 - o.Target
+	if budget <= 0 {
+		budget = 1e-9 // a 100% target burns infinitely fast on any error
+	}
+	if o.TotalCounter != "" {
+		total, _, ok := s.sampler.CounterDelta(o.TotalCounter, window)
+		if !ok {
+			return 0, false
+		}
+		var bad float64
+		for _, c := range o.BadCounters {
+			if d, _, ok := s.sampler.CounterDelta(c, window); ok {
+				bad += d
+			}
+		}
+		if total <= 0 {
+			return 0, true
+		}
+		return (bad / total) / budget, true
+	}
+	var total, good float64
+	sampled := false
+	for _, h := range o.Histograms {
+		d, _, ok := s.sampler.HistogramDelta(h, window)
+		if !ok {
+			continue
+		}
+		sampled = true
+		if frac, ok := FractionAtOrBelow(d, o.ThresholdSeconds); ok {
+			total += float64(d.Count)
+			good += frac * float64(d.Count)
+		}
+	}
+	if !sampled {
+		return 0, false
+	}
+	if total <= 0 {
+		return 0, true
+	}
+	return ((total - good) / total) / budget, true
+}
+
+// Firing reports how many alerts are currently firing.
+func (s *SLOSet) Firing() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, st := range s.states {
+		if st.state == StateFiring {
+			n++
+		}
+	}
+	return n
+}
+
+// Status returns the externally visible state of every objective.
+func (s *SLOSet) Status() []AlertStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]AlertStatus, len(s.objectives))
+	for i, o := range s.objectives {
+		st := s.states[i]
+		out[i] = AlertStatus{
+			Name:              o.Name,
+			State:             st.state,
+			Target:            o.Target,
+			BurnFactor:        o.BurnFactor,
+			FastWindowSeconds: o.FastWindow.Seconds(),
+			SlowWindowSeconds: o.SlowWindow.Seconds(),
+			FastBurn:          st.fastBurn,
+			SlowBurn:          st.slowBurn,
+			FastWindowSampled: st.fastOK,
+			SlowWindowSampled: st.slowOK,
+			Since:             st.since,
+			LastTransition:    st.lastTransition,
+			EvaluatedAt:       st.evaluatedAt,
+		}
+	}
+	return out
+}
+
+// AlertsSnapshot builds the /alertz document.
+func (s *SLOSet) AlertsSnapshot() AlertsData {
+	status := s.Status()
+	firing := 0
+	for _, a := range status {
+		if a.State == StateFiring {
+			firing++
+		}
+	}
+	return AlertsData{Schema: 1, Firing: firing, Alerts: status}
+}
+
+// WriteJSON encodes the /alertz document.
+func (s *SLOSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.AlertsSnapshot())
+}
+
+// WriteText renders the alert table for a terminal.
+func (s *SLOSet) WriteText(w io.Writer) error {
+	d := s.AlertsSnapshot()
+	_, _ = fmt.Fprintf(w, "alerts: %d firing / %d objectives\n\n", d.Firing, len(d.Alerts))
+	_, _ = fmt.Fprintf(w, "%-28s %-9s %8s %10s %10s  %s\n",
+		"OBJECTIVE", "STATE", "TARGET", "FAST-BURN", "SLOW-BURN", "SINCE")
+	for _, a := range d.Alerts {
+		fast, slow := "n/a", "n/a"
+		if a.FastWindowSampled {
+			fast = fmt.Sprintf("%.2f", a.FastBurn)
+		}
+		if a.SlowWindowSampled {
+			slow = fmt.Sprintf("%.2f", a.SlowBurn)
+		}
+		since := ""
+		if !a.Since.IsZero() {
+			since = a.Since.Format(time.RFC3339)
+		}
+		if _, err := fmt.Fprintf(w, "%-28s %-9s %8.4f %10s %10s  %s\n",
+			a.Name, a.State, a.Target, fast, slow, since); err != nil {
+			return err
+		}
+	}
+	return nil
+}

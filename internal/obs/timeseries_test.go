@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+var seriesBase = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// TestSamplerWindowedRates drives SampleAt manually and checks windowed
+// counter deltas, rates and histogram quantiles against hand-computed
+// values.
+func TestSamplerWindowedRates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ts_req_total", "requests")
+	h := reg.Histogram("ts_lat_seconds", "latency", []float64{1, 2, 4})
+	s := NewSampler(reg, time.Second, 16)
+
+	if _, _, ok := s.CounterDelta("ts_req_total", time.Minute); ok {
+		t.Error("delta reported ok before any sample")
+	}
+	s.SampleAt(seriesBase)
+	if _, _, ok := s.CounterDelta("ts_req_total", time.Minute); ok {
+		t.Error("delta reported ok with a single sample")
+	}
+
+	c.Add(10)
+	for i := 0; i < 4; i++ {
+		h.Observe(1.5)
+	}
+	s.SampleAt(seriesBase.Add(2 * time.Second))
+
+	d, dt, ok := s.CounterDelta("ts_req_total", time.Minute)
+	if !ok || d != 10 || dt != 2*time.Second {
+		t.Errorf("delta = %v over %v (ok=%v), want 10 over 2s", d, dt, ok)
+	}
+	if rate, ok := s.CounterRate("ts_req_total", time.Minute); !ok || rate != 5 {
+		t.Errorf("rate = %v (ok=%v), want 5/s", rate, ok)
+	}
+	if _, ok := s.CounterRate("no_such_metric", time.Minute); ok {
+		t.Error("unknown metric reported ok")
+	}
+
+	// All 4 observations landed in (1,2]: p50 interpolates inside it.
+	if q, ok := s.WindowQuantile("ts_lat_seconds", 0.5, time.Minute); !ok || !approx(q, 1.5, 1e-12) {
+		t.Errorf("window p50 = %v (ok=%v), want 1.5", q, ok)
+	}
+	if n, ok := s.HistogramRate("ts_lat_seconds", time.Minute); !ok || n != 2 {
+		t.Errorf("histogram rate = %v (ok=%v), want 2/s", n, ok)
+	}
+
+	// A window too narrow to hold two samples is not sampled.
+	if _, _, ok := s.CounterDelta("ts_req_total", time.Second); ok {
+		t.Error("1s window over 2s-apart samples reported ok")
+	}
+
+	// Counter goes backwards (registry Reset): the delta clamps to zero
+	// rather than reporting a negative rate.
+	reg.Reset()
+	s.SampleAt(seriesBase.Add(4 * time.Second))
+	if d, _, ok := s.CounterDelta("ts_req_total", 10*time.Second); !ok || d != 0 {
+		t.Errorf("post-reset delta = %v (ok=%v), want 0", d, ok)
+	}
+}
+
+// TestSamplerRingWrap fills a small ring past capacity and checks that
+// only the newest samples are retained.
+func TestSamplerRingWrap(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("wrap_total", "wrap")
+	s := NewSampler(reg, time.Second, 4)
+	for i := 0; i < 10; i++ {
+		c.Add(1)
+		s.SampleAt(seriesBase.Add(time.Duration(i) * time.Second))
+	}
+	d := s.SeriesSnapshot()
+	if d.Samples != 4 {
+		t.Fatalf("samples = %d, want capacity 4", d.Samples)
+	}
+	cs := d.Counters[0]
+	if cs.Name != "wrap_total" || cs.Last != 10 {
+		t.Errorf("series = %+v, want wrap_total last=10", cs)
+	}
+	// 4 retained samples -> 3 adjacent steps, 1 count/second each.
+	if len(cs.Rates) != 3 {
+		t.Fatalf("rates = %v, want 3 steps", cs.Rates)
+	}
+	for _, r := range cs.Rates {
+		if r != 1 {
+			t.Errorf("step rate = %v, want 1/s", r)
+		}
+	}
+	if d.Start != seriesBase.Add(6*time.Second) || d.End != seriesBase.Add(9*time.Second) {
+		t.Errorf("span = %v .. %v, want 6s .. 9s after base", d.Start, d.End)
+	}
+	// The wide window only sees retained samples: delta 3 over 3s.
+	if delta, _, ok := s.CounterDelta("wrap_total", time.Hour); !ok || delta != 3 {
+		t.Errorf("windowed delta after wrap = %v (ok=%v), want 3", delta, ok)
+	}
+}
+
+// TestSeriesSnapshotJSON checks the /seriesz document shape, including
+// the -1 markers for histogram steps with no observations.
+func TestSeriesSnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("g_depth", "depth").Set(7)
+	h := reg.Histogram("h_seconds", "h", []float64{1, 2})
+	s := NewSampler(reg, time.Second, 8)
+	s.SampleAt(seriesBase)
+	h.Observe(1.5)
+	s.SampleAt(seriesBase.Add(time.Second))
+	s.SampleAt(seriesBase.Add(2 * time.Second)) // empty step
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var d SeriesData
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("invalid /seriesz JSON: %v\n%s", err, buf.String())
+	}
+	if d.Schema != 1 || d.IntervalSeconds != 1 || d.Samples != 3 {
+		t.Errorf("header = %+v", d)
+	}
+	if len(d.Gauges) != 1 || d.Gauges[0].Last != 7 || len(d.Gauges[0].Values) != 3 {
+		t.Errorf("gauges = %+v", d.Gauges)
+	}
+	if len(d.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", d.Histograms)
+	}
+	hs := d.Histograms[0]
+	if hs.Count != 1 || len(hs.P99) != 2 {
+		t.Fatalf("histogram series = %+v", hs)
+	}
+	if hs.P50[0] < 0 || hs.P50[1] != -1 {
+		t.Errorf("p50 steps = %v, want [interpolated, -1]", hs.P50)
+	}
+}
+
+// TestSamplerWriteText covers the text renderer's three shapes: no
+// samples, one sample, and a full sparkline listing.
+func TestSamplerWriteText(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("txt_total", "txt")
+	s := NewSampler(reg, time.Second, 8)
+
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil || !strings.Contains(buf.String(), "no samples yet") {
+		t.Errorf("empty text = %q (err=%v)", buf.String(), err)
+	}
+
+	s.SampleAt(seriesBase)
+	buf.Reset()
+	if err := s.WriteText(&buf); err != nil || !strings.Contains(buf.String(), "one sample held") {
+		t.Errorf("single-sample text = %q (err=%v)", buf.String(), err)
+	}
+
+	c.Add(3)
+	s.SampleAt(seriesBase.Add(time.Second))
+	buf.Reset()
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "txt_total") || !strings.Contains(out, "last=3 rate=3.00/s") {
+		t.Errorf("text output:\n%s", out)
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if got := Spark(nil); got != "" {
+		t.Errorf("empty spark = %q", got)
+	}
+	if got := Spark([]float64{-1, -1}); got != "" {
+		t.Errorf("all-missing spark = %q", got)
+	}
+	got := Spark([]float64{0, 1, -1, 2})
+	want := "▁▄ █"
+	if got != want {
+		t.Errorf("spark = %q, want %q", got, want)
+	}
+	// A flat series renders at the low bar rather than dividing by zero.
+	if got := Spark([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Errorf("flat spark = %q", got)
+	}
+}
+
+// TestSamplerStartStop exercises the real background loop: ticker
+// samples accumulate, Stop joins, and both are idempotent.
+func TestSamplerStartStop(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("bg_total", "bg").Add(1)
+	s := NewSampler(reg, time.Millisecond, 64)
+	s.Start()
+	s.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for s.SeriesSnapshot().Samples < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("background sampler produced no samples")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	n := s.SeriesSnapshot().Samples
+	time.Sleep(5 * time.Millisecond)
+	if got := s.SeriesSnapshot().Samples; got != n {
+		t.Errorf("sampler still running after Stop: %d -> %d samples", n, got)
+	}
+}
+
+// TestSamplerStopWithoutStart pins that Stop is safe on a sampler whose
+// goroutine never launched (psi-serve's disabled-sampling path).
+func TestSamplerStopWithoutStart(t *testing.T) {
+	s := NewSampler(NewRegistry(), time.Second, 4)
+	s.Stop()
+}
+
+// TestSamplerOnSample checks hook delivery with the sample timestamp.
+func TestSamplerOnSample(t *testing.T) {
+	s := NewSampler(NewRegistry(), time.Second, 4)
+	var got []time.Time
+	s.OnSample(func(now time.Time) { got = append(got, now) })
+	s.SampleAt(seriesBase)
+	s.SampleAt(seriesBase.Add(time.Second))
+	if len(got) != 2 || !got[0].Equal(seriesBase) || !got[1].Equal(seriesBase.Add(time.Second)) {
+		t.Errorf("hook times = %v", got)
+	}
+}

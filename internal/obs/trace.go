@@ -101,10 +101,11 @@ type QueryTrace struct {
 	name  string
 	start time.Time
 
-	mu      sync.Mutex
-	end     time.Time
-	events  []Event
-	dropped int
+	mu        sync.Mutex
+	end       time.Time
+	requestID string
+	events    []Event
+	dropped   int
 }
 
 // ID returns the tracer-assigned sequence number.
@@ -135,6 +136,27 @@ func (t *QueryTrace) Finished() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return !t.end.IsZero()
+}
+
+// SetRequestID tags the trace with the serving-layer request ID
+// (X-Request-ID). A no-op on a nil trace.
+func (t *QueryTrace) SetRequestID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.requestID = id
+	t.mu.Unlock()
+}
+
+// RequestID returns the serving-layer request ID, if one was set.
+func (t *QueryTrace) RequestID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.requestID
 }
 
 // Event appends one typed event. Safe for concurrent use; a no-op on a

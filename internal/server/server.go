@@ -12,7 +12,8 @@
 //	GET  /readyz        readiness: 200 when accepting work, 503 draining
 //	(everything else)   the internal/obs debug mux: /metrics,
 //	                    /metrics.json, /tracez, /profilez, /modelz,
-//	                    /debug/pprof — see OPERATIONS.md
+//	                    /seriesz, /alertz, /debug/pprof — see
+//	                    OPERATIONS.md
 //
 // Every request passes the same guardrail pipeline:
 //
@@ -31,6 +32,13 @@
 // with 503, and waits for in-flight queries to finish, so a SIGTERM
 // under an orchestrator loses no accepted work.
 //
+// Requests are correlated end to end: the server accepts or mints an
+// X-Request-ID, echoes it on the response, logs it in the structured
+// access log, and threads it into the evaluator's query trace,
+// execution profile and decision-log records, so one served query can
+// be followed from the log line to /profilez?request_id= to the
+// decision log.
+//
 // The server publishes its own metric family (server_* in internal/obs:
 // queue depth, in-flight, shed/drain/panic/deadline counters, per-route
 // latency histograms) and, because collection is enabled in a serving
@@ -41,12 +49,16 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -64,7 +76,18 @@ type Evaluator interface {
 	EvaluateBudget(q graph.Query, deadline time.Time) (*smartpsi.Result, error)
 }
 
-var _ Evaluator = (*smartpsi.Engine)(nil)
+// requestEvaluator is the optional extension implemented by evaluators
+// (smartpsi.Engine) that can thread the serving request ID into their
+// trace, profile and decision-log telemetry. Plain Evaluators still
+// work; they just produce uncorrelated records.
+type requestEvaluator interface {
+	EvaluateRequest(q graph.Query, deadline time.Time, requestID string) (*smartpsi.Result, error)
+}
+
+var (
+	_ Evaluator        = (*smartpsi.Engine)(nil)
+	_ requestEvaluator = (*smartpsi.Engine)(nil)
+)
 
 // Config tunes the server's guardrails. The zero value gives sensible
 // defaults for a small deployment.
@@ -90,12 +113,23 @@ type Config struct {
 	MaxQueryNodes int
 	// MaxBodyBytes bounds a request body. Default 1 MiB.
 	MaxBodyBytes int64
-	// RetryAfter is the hint sent with 429/503 responses. Default 1s,
-	// rounded up to whole seconds on the wire.
+	// RetryAfter is the static hint sent with 429/503 responses when no
+	// Sampler is wired (or before it holds samples). Default 1s, rounded
+	// up to whole seconds on the wire.
 	RetryAfter time.Duration
-	// Log, when non-nil, receives one line per rejected or failed
-	// request (accepted traffic is visible through /metrics instead).
-	Log *log.Logger
+	// Sampler, when non-nil, is the obs time-series sampler: it mounts
+	// /seriesz on the debug mux and replaces the static RetryAfter hint
+	// with an estimate from the observed queue-drain rate.
+	Sampler *obs.Sampler
+	// Alerts, when non-nil, mounts /alertz on the debug mux.
+	Alerts *obs.SLOSet
+	// RateWindow is the trailing window for the Sampler-derived drain
+	// rate. Default 30s.
+	RateWindow time.Duration
+	// Log, when non-nil, receives one structured access-log line per
+	// /v1 request (with its request ID) plus one line per rejected or
+	// failed request.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +159,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.RateWindow <= 0 {
+		c.RateWindow = 30 * time.Second
 	}
 	return c
 }
@@ -161,30 +198,125 @@ func NewServer(eval Evaluator, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/psi/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	s.mux.Handle("/", obs.Handler(obs.Default, obs.DefaultTracer, obs.DefaultRecorder))
+	s.mux.Handle("/", obs.Handler(obs.Default, obs.DefaultTracer, obs.DefaultRecorder,
+		obs.WithSampler(s.cfg.Sampler), obs.WithAlerts(s.cfg.Alerts)))
 	return s
 }
 
 // Config returns the server's effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
 
-// Handler returns the server's routes wrapped in request-scoped panic
+// requestIDHeader is the correlation header: an incoming value is
+// accepted (trimmed, length-capped), otherwise a fresh ID is generated.
+// The resolved ID is echoed on the response and threaded through the
+// access log, the query trace, the execution profile and the
+// decision-log records.
+const requestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen caps accepted client-supplied request IDs.
+const maxRequestIDLen = 128
+
+type requestIDKey struct{}
+
+// RequestIDFrom returns the request ID resolved by Handler for this
+// request's context, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID generates a 16-hex-char random request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the process is in serious trouble;
+		// a constant keeps the serving path alive.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// resolveRequestID accepts the client's X-Request-ID or mints one.
+func resolveRequestID(r *http.Request) string {
+	id := strings.TrimSpace(r.Header.Get(requestIDHeader))
+	if id == "" {
+		return newRequestID()
+	}
+	if len(id) > maxRequestIDLen {
+		id = id[:maxRequestIDLen]
+	}
+	return id
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Handler returns the server's routes wrapped in request correlation
+// (accept or generate an X-Request-ID, echo it, stash it in the
+// context), a structured access log, and request-scoped panic
 // recovery: a panic anywhere below turns into a 500 for that request
 // and a server_panics_total increment, never a crashed process.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := resolveRequestID(r)
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set(requestIDHeader, reqID)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, reqID))
+		t0 := time.Now()
+		defer s.accessLog(r, reqID, sw, t0)
 		defer func() {
 			if p := recover(); p != nil {
 				obs.ServerPanics.Inc()
 				s.logf("panic serving %s %s: %v", r.Method, r.URL.Path, p)
 				// Headers may already be out; WriteHeader then is a
 				// no-op and the client sees a truncated body.
-				writeError(w, http.StatusInternalServerError, "internal error")
+				writeError(sw, http.StatusInternalServerError, "internal error")
 			}
 		}()
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		s.mux.ServeHTTP(w, r)
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		s.mux.ServeHTTP(sw, r)
 	})
+}
+
+// accessLog emits one structured line per request: /v1 traffic at
+// info, the debug surface at debug (a scraped /metrics should not
+// drown the log).
+func (s *Server) accessLog(r *http.Request, reqID string, sw *statusWriter, t0 time.Time) {
+	if s.cfg.Log == nil {
+		return
+	}
+	level := slog.LevelDebug
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		level = slog.LevelInfo
+	}
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	s.cfg.Log.Log(r.Context(), level, "request",
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", status,
+		"duration_ms", float64(time.Since(t0).Nanoseconds())/1e6,
+		"request_id", reqID,
+	)
 }
 
 // dataGraph returns the evaluator's data graph when it exposes one
@@ -198,7 +330,7 @@ func (s *Server) dataGraph() *graph.Graph {
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Log != nil {
-		s.cfg.Log.Printf(format, args...)
+		s.cfg.Log.Warn(fmt.Sprintf(format, args...))
 	}
 }
 
@@ -288,8 +420,9 @@ func (s *Server) deadlineFor(timeoutMS int64) (time.Time, error) {
 var errPanic = errors.New("server: evaluator panic")
 
 // safeEvaluate runs one evaluation with request-scoped panic recovery:
-// a panicking evaluation poisons only its own request.
-func (s *Server) safeEvaluate(q graph.Query, deadline time.Time) (res *smartpsi.Result, err error) {
+// a panicking evaluation poisons only its own request. Evaluators that
+// support request correlation get the request ID threaded through.
+func (s *Server) safeEvaluate(q graph.Query, deadline time.Time, requestID string) (res *smartpsi.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			obs.ServerPanics.Inc()
@@ -297,16 +430,52 @@ func (s *Server) safeEvaluate(q graph.Query, deadline time.Time) (res *smartpsi.
 			res, err = nil, fmt.Errorf("%w: %v", errPanic, p)
 		}
 	}()
+	if re, ok := s.eval.(requestEvaluator); ok && requestID != "" {
+		return re.EvaluateRequest(q, deadline, requestID)
+	}
 	return s.eval.EvaluateBudget(q, deadline)
 }
 
-// retryAfterSeconds renders the Retry-After hint, at least 1 second.
+// retryAfterSeconds renders the Retry-After hint, at least 1 second:
+// the sampler-derived drain estimate when available, else the static
+// configured hint.
 func (s *Server) retryAfterSeconds() string {
+	if secs, ok := s.drainRetrySeconds(); ok {
+		return strconv.Itoa(secs)
+	}
 	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
 	return strconv.Itoa(secs)
+}
+
+// drainRetrySeconds estimates how long the current admission queue
+// takes to drain at the sampler's windowed served-request rate
+// (requests minus sheds), clamped to [1s, 60s]. ok is false without a
+// sampler or before it holds two samples in the window — callers fall
+// back to the static hint.
+func (s *Server) drainRetrySeconds() (int, bool) {
+	if s.cfg.Sampler == nil {
+		return 0, false
+	}
+	total, ok := s.cfg.Sampler.CounterRate("server_requests_total", s.cfg.RateWindow)
+	if !ok {
+		return 0, false
+	}
+	shed, _ := s.cfg.Sampler.CounterRate("server_shed_total", s.cfg.RateWindow)
+	drain := total - shed
+	if drain <= 0 {
+		return 0, false
+	}
+	secs := int(math.Ceil((float64(s.adm.queueDepth()) + 1) / drain))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs, true
 }
 
 // rejectDraining writes the 503 a draining server sends to new work.
@@ -357,7 +526,7 @@ func (s *Server) handlePSI(w http.ResponseWriter, r *http.Request) {
 	defer s.adm.release()
 
 	evalStart := time.Now()
-	res, err := s.safeEvaluate(q, deadline)
+	res, err := s.safeEvaluate(q, deadline, RequestIDFrom(r.Context()))
 	if err != nil {
 		s.writeEvalError(w, err)
 		return
@@ -407,6 +576,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithDeadline(r.Context(), deadline)
 	defer cancel()
+	reqID := RequestIDFrom(r.Context())
 	items := make([]BatchItem, len(req.Queries))
 	var wg sync.WaitGroup
 	for i := range req.Queries {
@@ -424,7 +594,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			defer s.adm.release()
 			evalStart := time.Now()
-			res, err := s.safeEvaluate(q, deadline)
+			res, err := s.safeEvaluate(q, deadline, reqID)
 			if err != nil {
 				items[i] = evalItem(err)
 				return

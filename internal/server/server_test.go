@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/psi"
 	"repro/internal/smartpsi"
 )
@@ -625,4 +628,185 @@ func directBindings(t *testing.T, g *graph.Graph, q graph.Query) []int64 {
 		t.Fatalf("reference evaluation: %v", err)
 	}
 	return ref
+}
+
+// TestServerRequestCorrelation walks one request ID through the whole
+// pipeline: the client sends X-Request-ID, the server echoes it,
+// stamps the structured access log, files the execution profile under
+// it (served by /profilez?request_id=), and threads it into the
+// decision-log records the audited evaluation appends.
+func TestServerRequestCorrelation(t *testing.T) {
+	prevEnabled := obs.Enabled()
+	obs.Enable(true)
+	t.Cleanup(func() { obs.Enable(prevEnabled) })
+
+	// Sparse random graph with enough label-0 candidates for the ML
+	// path, so the audited evaluation writes decision records.
+	const n, m = 300, 900
+	rng := rand.New(rand.NewSource(9))
+	b := graph.NewBuilder(n, m)
+	for i := 0; i < n; i++ {
+		b.AddNode(graph.Label(i % 3))
+	}
+	for b.NumEdges() < m {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u != v && !b.HasEdge(u, v) {
+			if err := b.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g := b.MustBuild()
+	qb := graph.NewBuilder(3, 2)
+	qb.AddNode(0)
+	qb.AddNode(1)
+	qb.AddNode(2)
+	if err := qb.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := qb.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	q, err := graph.NewQuery(qb.MustBuild(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var dlogBuf bytes.Buffer
+	dlog := obs.NewDecisionLog(&dlogBuf, 0)
+	engine, err := smartpsi.NewEngine(g, smartpsi.Options{
+		Seed: 3, MinTrainNodes: 10, MaxTrainNodes: 20, PlanSamples: 2,
+		DisablePreemption: true, ShadowRate: 1, PlanShadowRate: 1,
+		DecisionLog: dlog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	_, ts := newTestServer(t, engine, Config{Log: logger})
+
+	const reqID = "corr-e2e-0042"
+	buf, err := json.Marshal(PSIRequest{Query: wireQuery(t, q), TimeoutMS: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq, err := http.NewRequest("POST", ts.URL+"/v1/psi", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpReq.Header.Set("X-Request-ID", reqID)
+	resp, err := ts.Client().Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.ReadAll(resp.Body)
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != reqID {
+		t.Errorf("response X-Request-ID = %q, want %q", got, reqID)
+	}
+
+	// 1. Structured access log carries the ID.
+	if !strings.Contains(logBuf.String(), `"request_id":"`+reqID+`"`) {
+		t.Errorf("access log has no request_id field:\n%s", logBuf.String())
+	}
+
+	// 2. The flight recorder serves the profile by request ID.
+	presp, err := ts.Client().Get(ts.URL + "/profilez?request_id=" + reqID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbody, err := io.ReadAll(presp.Body)
+	if cerr := presp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presp.StatusCode != http.StatusOK || !strings.Contains(string(pbody), reqID) {
+		t.Errorf("/profilez?request_id= = %d\n%s", presp.StatusCode, pbody)
+	}
+	if code := func() int {
+		r, err := ts.Client().Get(ts.URL + "/profilez?request_id=no-such-request")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = r.Body.Close() }()
+		return r.StatusCode
+	}(); code != http.StatusNotFound {
+		t.Errorf("/profilez with unknown request_id = %d, want 404", code)
+	}
+
+	// 3. Decision-log records carry the ID.
+	if err := dlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if dlog.Written() == 0 {
+		t.Fatal("audited evaluation wrote no decision records; fixture broken")
+	}
+	if !strings.Contains(dlogBuf.String(), `"request_id":"`+reqID+`"`) {
+		t.Errorf("decision log has no request_id field; first line:\n%.300s", dlogBuf.String())
+	}
+
+	// 4. A request without the header gets a server-minted ID.
+	resp2, _ := postJSON(t, ts.Client(), ts.URL+"/v1/psi", PSIRequest{Query: wireQuery(t, q), TimeoutMS: 30_000})
+	if got := resp2.Header.Get("X-Request-ID"); len(got) != 16 {
+		t.Errorf("generated request ID = %q, want 16 hex chars", got)
+	}
+}
+
+// TestServerDynamicRetryAfter pins the sampler-derived Retry-After:
+// with a windowed served-request rate the hint reflects queue-drain
+// time; without one it falls back to the static config.
+func TestServerDynamicRetryAfter(t *testing.T) {
+	reg := obs.NewRegistry()
+	req := reg.Counter("server_requests_total", "requests")
+	sampler := obs.NewSampler(reg, time.Second, 16)
+
+	s := NewServer(&fakeEval{}, Config{RetryAfter: 7 * time.Second, Sampler: sampler})
+
+	// No samples yet: static fallback.
+	if got := s.retryAfterSeconds(); got != "7" {
+		t.Errorf("fallback Retry-After = %s, want 7", got)
+	}
+
+	// 10 requests/s served, 0 queued: ceil(1/10) -> 1s.
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	sampler.SampleAt(base)
+	req.Add(100)
+	sampler.SampleAt(base.Add(10 * time.Second))
+	if got := s.retryAfterSeconds(); got != "1" {
+		t.Errorf("drain-rate Retry-After = %s, want 1", got)
+	}
+
+	// All traffic shed inside the window: no drain capacity, so the
+	// dynamic estimate declines and the static fallback applies.
+	reg2 := obs.NewRegistry()
+	req2 := reg2.Counter("server_requests_total", "requests")
+	shed2 := reg2.Counter("server_shed_total", "sheds")
+	sampler2 := obs.NewSampler(reg2, time.Second, 16)
+	sShed := NewServer(&fakeEval{}, Config{RetryAfter: 5 * time.Second, Sampler: sampler2})
+	sampler2.SampleAt(base)
+	req2.Add(50)
+	shed2.Add(50)
+	sampler2.SampleAt(base.Add(10 * time.Second))
+	if secs, ok := sShed.drainRetrySeconds(); ok {
+		t.Errorf("drainRetrySeconds with zero served rate = %d, want fallback", secs)
+	}
+	if got := sShed.retryAfterSeconds(); got != "5" {
+		t.Errorf("all-shed Retry-After = %s, want static 5", got)
+	}
+
+	// No sampler at all: static fallback.
+	s2 := NewServer(&fakeEval{}, Config{RetryAfter: 3 * time.Second})
+	if got := s2.retryAfterSeconds(); got != "3" {
+		t.Errorf("no-sampler Retry-After = %s, want 3", got)
+	}
 }

@@ -102,7 +102,19 @@ func (e *Engine) Evaluate(q graph.Query) (*Result, error) {
 // When the deadline passes mid-query the evaluation aborts with
 // psi.ErrDeadline; partial results are discarded, matching how the
 // paper's 24-hour task limit censors runs.
-func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (_ *Result, retErr error) {
+func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, error) {
+	return e.evaluateBudget(q, deadline, "")
+}
+
+// EvaluateRequest is EvaluateBudget with a serving-layer request ID
+// (X-Request-ID) threaded through the query's trace, execution profile
+// and decision-log records, so one served request is correlatable
+// across the access log, /profilez?request_id= and the decision log.
+func (e *Engine) EvaluateRequest(q graph.Query, deadline time.Time, requestID string) (*Result, error) {
+	return e.evaluateBudget(q, deadline, requestID)
+}
+
+func (e *Engine) evaluateBudget(q graph.Query, deadline time.Time, reqID string) (_ *Result, retErr error) {
 	start := time.Now()
 	enabled := obs.Enabled()
 	var tr *obs.QueryTrace
@@ -115,6 +127,10 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (_ *Result, r
 		obs.SmartQueries.Inc()
 		tr = obs.StartQuery(qname)
 		prof = obs.StartProfile(qname)
+		if reqID != "" {
+			tr.SetRequestID(reqID)
+			prof.SetRequestID(reqID)
+		}
 	}
 	defer tr.Finish()
 	// Seal the profile on every exit: error paths record the error so
@@ -319,7 +335,7 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (_ *Result, r
 		tr.Event(obs.EvTrainDone, -1, int64(trainCount))
 	}
 	if betaModel != nil && len(sweeps) > 0 {
-		e.scoreBetaRanks(qname, betaModel, sweeps)
+		e.scoreBetaRanks(qname, reqID, betaModel, sweeps)
 	}
 
 	// ----- Prediction + preemptive evaluation (Sections 4.2.3, 4.3) -----
@@ -380,7 +396,7 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (_ *Result, r
 					errs[w] = psi.ErrDeadline
 					return
 				}
-				ok, err := e.evaluateOne(ev, wst, compiled, qname, u, alphaModel, betaModel, timing, &cache, &local, tr, prof, deadline)
+				ok, err := e.evaluateOne(ev, wst, compiled, qname, reqID, u, alphaModel, betaModel, timing, &cache, &local, tr, prof, deadline)
 				if err != nil {
 					errs[w] = err
 					return
@@ -585,7 +601,7 @@ type decision struct {
 // documented on obs.EventKind and the profiler's per-rung timeline.
 // Rung-1 resolutions additionally run the sampled shadow audits
 // (shadow.go); rungs 2–3 never do — they are already counterfactuals.
-func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.Compiled, qname string,
+func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.Compiled, qname, reqID string,
 	u graph.NodeID, alphaModel, betaModel *ml.Forest, timing *planTiming,
 	cache *sync.Map, local *workerCounters, tr *obs.QueryTrace, prof *obs.Profile, global time.Time) (bool, error) {
 
@@ -681,7 +697,7 @@ func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.
 		}
 		e.scoreAlpha(local, tr, u, predicted, dec.mode, dec.margin, ok)
 		if e.opts.auditing() {
-			if aerr := e.auditDecision(ev, compiled, qname, u, row, dec, cached, ok, took,
+			if aerr := e.auditDecision(ev, compiled, qname, reqID, u, row, dec, cached, ok, took,
 				alphaModel, betaModel, local, tr, prof, global); aerr != nil {
 				return false, aerr
 			}

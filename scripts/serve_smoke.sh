@@ -8,6 +8,11 @@
 #   2. load shedding under overload — a workers=1/queue=0 server must
 #      answer some of a 16-way burst with 429 (-require-shed) while
 #      everything it does accept stays correct;
+#   3. SLO alerting — the healthy pass must finish with no firing
+#      alert (-forbid-alert availability) while the overload pass must
+#      drive the availability burn rate to "firing"
+#      (-require-alert availability), and /seriesz?format=json must be
+#      well-formed JSON under load;
 #
 # then sends SIGTERM and requires a clean drain (exit 0). psi-loadgen
 # exits non-zero on any unexpected 5xx, so "the script passed" also
@@ -34,6 +39,7 @@ step "build"
 go build -o "$work/psi-serve" ./cmd/psi-serve
 go build -o "$work/psi-loadgen" ./cmd/psi-loadgen
 go build -o "$work/datagen" ./cmd/datagen
+go build -o "$work/jsoncheck" ./scripts/jsoncheck
 
 step "dataset"
 "$work/datagen" -dataset yeast -out "$work/g.lg" >/dev/null
@@ -76,22 +82,29 @@ stop_server() { # clean SIGTERM drain must exit 0
     fi
 }
 
-step "correctness pass (closed loop, -verify, bindings required)"
-start_server -workers 2 -queue 32
+step "correctness pass (closed loop, -verify, bindings required, no firing alert)"
+start_server -workers 2 -queue 32 \
+    -sample-interval 250ms -slo-availability 0.99
 "$work/psi-loadgen" -addr "$addr" -graph "$work/g.lg" \
     -concurrency 4 -requests 60 -timeout-ms 5000 \
-    -verify -min-bindings 1 -json "$work/load.json"
+    -verify -min-bindings 1 -json "$work/load.json" \
+    -forbid-alert availability
 "$work/psi-loadgen" -addr "$addr" -graph "$work/g.lg" \
     -batch 4 -requests 10 -timeout-ms 5000 -min-bindings 1
 grep -q '"schema": 1' "$work/load.json"
+step "series endpoint serves well-formed JSON"
+"$work/jsoncheck" -url "http://$addr/seriesz?format=json"
 step "drain"
 stop_server
 
-step "overload pass (workers=1, shed-immediately: 429s required)"
-start_server -workers 1 -queue 0
+step "overload pass (workers=1, shed-immediately: 429s and a firing availability alert required)"
+start_server -workers 1 -queue 0 \
+    -sample-interval 100ms -slo-availability 0.99 \
+    -slo-fast-window 1s -slo-slow-window 3s -slo-burn-factor 2 -slo-for 0s
 "$work/psi-loadgen" -addr "$addr" -graph "$work/g.lg" \
     -concurrency 16 -requests 200 -timeout-ms 5000 \
-    -require-shed -min-bindings 1
+    -require-shed -min-bindings 1 \
+    -require-alert availability
 step "drain"
 stop_server
 
