@@ -1,0 +1,570 @@
+// Command psi-bundle inspects diagnostic bundles captured by psi-serve
+// (auto-captured to -bundle-dir when an SLO alert fires, pulled
+// manually from /debugz/bundle, or saved by psi-loadgen
+// -bundle-on-fail). It turns the zip of JSON snapshots into a readable
+// incident report: what was firing, how fast the error budget was
+// burning, what the serving and process-health series looked like
+// leading up to capture, which requests were slow, and which request
+// IDs can be followed across the profile, decision-log, and access-log
+// views of the same incident.
+//
+// Usage:
+//
+//	psi-bundle report bundle.zip                 # text incident report
+//	psi-bundle report -json bundle.zip           # machine-readable report
+//	psi-bundle report -require-correlation b.zip # fail unless >= 1 request
+//	                                             # ID appears in both a
+//	                                             # profile and the decision
+//	                                             # tail (CI gate)
+//	psi-bundle list bundle.zip                   # entries with sizes
+//	psi-bundle cat bundle.zip manifest.json      # raw entry to stdout
+//
+// Exit status: 0 on success, 1 on usage errors or failed assertions
+// (-require-correlation), 2 when the bundle is corrupt, truncated, or
+// has an unsupported schema — distinct so CI can tell "the incident
+// data is bad" from "the incident data disproves the assertion".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Exit codes, per the package doc.
+const (
+	exitOK      = 0
+	exitFail    = 1 // usage error or failed assertion
+	exitCorrupt = 2 // unreadable / truncated / wrong-schema bundle
+)
+
+// run is the testable entry point: parses the subcommand and
+// dispatches. Returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return exitFail
+	}
+	switch args[0] {
+	case "report":
+		return cmdReport(args[1:], stdout, stderr)
+	case "list":
+		return cmdList(args[1:], stdout, stderr)
+	case "cat":
+		return cmdCat(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return exitOK
+	default:
+		_, _ = fmt.Fprintf(stderr, "psi-bundle: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return exitFail
+	}
+}
+
+func usage(w io.Writer) {
+	_, _ = fmt.Fprint(w, `usage:
+  psi-bundle report [-json] [-require-correlation] BUNDLE.zip
+  psi-bundle list BUNDLE.zip
+  psi-bundle cat BUNDLE.zip ENTRY
+
+exit: 0 ok, 1 usage/assertion failure, 2 corrupt or unreadable bundle
+`)
+}
+
+// open reads and validates the bundle, mapping read failures to the
+// corrupt exit code.
+func open(path string, stderr io.Writer) (*obs.BundleArchive, int) {
+	a, err := obs.ReadBundleFile(path)
+	if err != nil {
+		_, _ = fmt.Fprintf(stderr, "psi-bundle: %s: %v\n", path, err)
+		return nil, exitCorrupt
+	}
+	return a, exitOK
+}
+
+// cmdList prints the manifest's entry table.
+func cmdList(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		_, _ = fmt.Fprintln(stderr, "psi-bundle: list takes exactly one bundle path")
+		return exitFail
+	}
+	a, code := open(args[0], stderr)
+	if code != exitOK {
+		return code
+	}
+	names := make([]string, 0, len(a.Entries))
+	for name := range a.Entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	_, _ = fmt.Fprintf(stdout, "%s  schema %d  reason %s  captured %s\n",
+		args[0], a.Manifest.Schema, a.Manifest.Reason, a.Manifest.CapturedAt.Format(time.RFC3339))
+	for _, name := range names {
+		_, _ = fmt.Fprintf(stdout, "  %9d  %s\n", len(a.Entries[name]), name)
+	}
+	return exitOK
+}
+
+// cmdCat writes one raw entry to stdout (for piping into jq or
+// jsoncheck).
+func cmdCat(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 2 {
+		_, _ = fmt.Fprintln(stderr, "psi-bundle: cat takes a bundle path and an entry name")
+		return exitFail
+	}
+	a, code := open(args[0], stderr)
+	if code != exitOK {
+		return code
+	}
+	data, err := a.Entry(args[1])
+	if err != nil {
+		_, _ = fmt.Fprintf(stderr, "psi-bundle: %v\n", err)
+		return exitFail
+	}
+	_, _ = stdout.(io.Writer).Write(data)
+	return exitOK
+}
+
+// cmdReport renders the incident report.
+func cmdReport(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit the report as a JSON document")
+	requireCorr := fs.Bool("require-correlation", false,
+		"exit 1 unless at least one request ID appears in both a captured profile and the decision-log tail")
+	if err := fs.Parse(args); err != nil {
+		return exitFail
+	}
+	if fs.NArg() != 1 {
+		_, _ = fmt.Fprintln(stderr, "psi-bundle: report takes exactly one bundle path")
+		return exitFail
+	}
+	a, code := open(fs.Arg(0), stderr)
+	if code != exitOK {
+		return code
+	}
+	rep, err := buildReport(a)
+	if err != nil {
+		_, _ = fmt.Fprintf(stderr, "psi-bundle: %s: %v\n", fs.Arg(0), err)
+		return exitCorrupt
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			_, _ = fmt.Fprintf(stderr, "psi-bundle: %v\n", err)
+			return exitFail
+		}
+	} else {
+		writeText(stdout, rep)
+	}
+	if *requireCorr && !hasProfileDecisionCorrelation(rep) {
+		_, _ = fmt.Fprintln(stderr, "psi-bundle: -require-correlation: no request ID appears in both a captured profile and the decision-log tail")
+		return exitFail
+	}
+	return exitOK
+}
+
+// hasProfileDecisionCorrelation reports whether any request ID spans
+// the serving view (a captured profile) and the model-audit view (the
+// decision-log tail) — the pairing -require-correlation gates on.
+// Access-log pairings alone do not satisfy it.
+func hasProfileDecisionCorrelation(rep *reportDoc) bool {
+	for _, c := range rep.Correlated {
+		var prof, dec bool
+		for _, s := range c.Sources {
+			prof = prof || s == "profile"
+			dec = dec || s == "decision"
+		}
+		if prof && dec {
+			return true
+		}
+	}
+	return false
+}
+
+// reportDoc is the -json report document and the input of the text
+// renderer.
+type reportDoc struct {
+	Schema     int                `json:"schema"`
+	Bundle     obs.BundleManifest `json:"manifest"`
+	Firing     []obs.AlertStatus  `json:"firing"`
+	Alerts     []obs.AlertStatus  `json:"alerts"`
+	Series     []seriesLine       `json:"series,omitempty"`
+	Slowest    []profileLine      `json:"slowest,omitempty"`
+	Decisions  decisionSummary    `json:"decisions"`
+	AccessIDs  int                `json:"access_request_ids"`
+	Correlated []correlation      `json:"correlated_request_ids"`
+}
+
+// seriesLine is one rendered sparkline: a metric's recent trajectory.
+type seriesLine struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"` // "rate", "value", "p99"
+	Last  float64 `json:"last"`
+	Spark string  `json:"spark"`
+}
+
+// profileLine summarizes one slow profile with its candidate funnel
+// totals.
+type profileLine struct {
+	Name       string  `json:"name"`
+	RequestID  string  `json:"request_id,omitempty"`
+	Method     string  `json:"method"`
+	DurationMS float64 `json:"duration_ms"`
+	Bindings   int     `json:"bindings"`
+	Generated  int64   `json:"generated"`
+	DegOK      int64   `json:"deg_ok"`
+	SigOK      int64   `json:"sig_ok"`
+	Recursed   int64   `json:"recursed"`
+	Matched    int64   `json:"matched"`
+}
+
+// decisionSummary aggregates the decision-log tail.
+type decisionSummary struct {
+	Records    int              `json:"records"`
+	Kinds      map[string]int64 `json:"kinds,omitempty"`
+	RequestIDs int              `json:"request_ids"`
+}
+
+// correlation is one request ID visible from more than one telemetry
+// surface, with the surfaces that saw it.
+type correlation struct {
+	RequestID string   `json:"request_id"`
+	Sources   []string `json:"sources"` // subset of profile, decision, access
+}
+
+// buildReport decodes the bundle's JSON entries into the report
+// document. A bundle whose mandatory JSON entries do not parse is
+// treated as corrupt by the caller.
+func buildReport(a *obs.BundleArchive) (*reportDoc, error) {
+	rep := &reportDoc{Schema: 1, Bundle: a.Manifest}
+
+	var alerts obs.AlertsData
+	if data, err := a.Entry(obs.AlertsEntry); err == nil {
+		if err := json.Unmarshal(data, &alerts); err != nil {
+			return nil, fmt.Errorf("%s: %w", obs.AlertsEntry, err)
+		}
+		rep.Alerts = alerts.Alerts
+		for _, al := range alerts.Alerts {
+			if al.State == obs.StateFiring {
+				rep.Firing = append(rep.Firing, al)
+			}
+		}
+	}
+
+	if data, err := a.Entry(obs.SeriesEntry); err == nil {
+		var series obs.SeriesData
+		if err := json.Unmarshal(data, &series); err != nil {
+			return nil, fmt.Errorf("%s: %w", obs.SeriesEntry, err)
+		}
+		rep.Series = renderSeries(series)
+	}
+
+	var profiles obs.BundleProfiles
+	if data, err := a.Entry(obs.ProfilesEntry); err == nil {
+		if err := json.Unmarshal(data, &profiles); err != nil {
+			return nil, fmt.Errorf("%s: %w", obs.ProfilesEntry, err)
+		}
+		for _, p := range profiles.Slowest {
+			rep.Slowest = append(rep.Slowest, profileToLine(p))
+		}
+	}
+
+	decisions, err := decodeJSONL[obs.DecisionRecord](a, obs.DecisionsEntry)
+	if err != nil {
+		return nil, err
+	}
+	rep.Decisions = summarizeDecisions(decisions)
+
+	access, err := decodeJSONL[obs.AccessEntry](a, obs.AccessLogEntryName)
+	if err != nil {
+		return nil, err
+	}
+
+	rep.Correlated, rep.AccessIDs = correlate(profiles, decisions, access)
+	return rep, nil
+}
+
+// decodeJSONL parses an optional JSONL entry; a missing entry is an
+// empty slice, a malformed line is an error.
+func decodeJSONL[T any](a *obs.BundleArchive, name string) ([]T, error) {
+	data, err := a.Entry(name)
+	if err != nil {
+		return nil, nil
+	}
+	var out []T
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var v T
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", name, i+1, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// seriesOfInterest picks which metrics get sparklines, in render
+// order: serving traffic and its failure modes, then process health.
+var seriesOfInterest = []string{
+	"server_requests_total",
+	"server_shed_total",
+	"server_deadline_hits_total",
+	"server_drain_rejects_total",
+	"server_panics_total",
+	"process_goroutines",
+	"process_heap_inuse_bytes",
+}
+
+// renderSeries turns the bundle's ring snapshots into sparklines for
+// the metrics worth eyeballing during an incident. Metrics absent from
+// the rings are skipped.
+func renderSeries(s obs.SeriesData) []seriesLine {
+	counters := make(map[string]obs.CounterSeries, len(s.Counters))
+	for _, c := range s.Counters {
+		counters[c.Name] = c
+	}
+	gauges := make(map[string]obs.GaugeSeries, len(s.Gauges))
+	for _, g := range s.Gauges {
+		gauges[g.Name] = g
+	}
+	var out []seriesLine
+	for _, name := range seriesOfInterest {
+		if c, ok := counters[name]; ok && len(c.Rates) > 0 {
+			out = append(out, seriesLine{
+				Name: name, Kind: "rate",
+				Last:  c.Rates[len(c.Rates)-1],
+				Spark: obs.Spark(c.Rates),
+			})
+			continue
+		}
+		if g, ok := gauges[name]; ok && len(g.Values) > 0 {
+			vals := make([]float64, len(g.Values))
+			for i, v := range g.Values {
+				vals[i] = float64(v)
+			}
+			out = append(out, seriesLine{
+				Name: name, Kind: "value",
+				Last:  vals[len(vals)-1],
+				Spark: obs.Spark(vals),
+			})
+		}
+	}
+	for _, h := range s.Histograms {
+		if h.Name == "server_psi_seconds" && len(h.P99) > 0 {
+			out = append(out, seriesLine{
+				Name: h.Name + "_p99", Kind: "p99",
+				Last:  h.P99[len(h.P99)-1],
+				Spark: obs.Spark(h.P99),
+			})
+		}
+	}
+	return out
+}
+
+// profileToLine flattens one profile and its funnel totals.
+func profileToLine(p obs.ProfileData) profileLine {
+	l := profileLine{
+		Name:       p.Name,
+		RequestID:  p.RequestID,
+		Method:     p.Method,
+		DurationMS: float64(p.DurationNanos) / 1e6,
+		Bindings:   p.Bindings,
+	}
+	for _, d := range p.Funnel {
+		l.Generated += d.Generated
+		l.DegOK += d.DegOK
+		l.SigOK += d.SigOK
+		l.Recursed += d.Recursed
+		l.Matched += d.Matched
+	}
+	return l
+}
+
+// summarizeDecisions aggregates the tail by kind and distinct request
+// ID.
+func summarizeDecisions(recs []obs.DecisionRecord) decisionSummary {
+	sum := decisionSummary{Records: len(recs)}
+	ids := map[string]bool{}
+	for _, r := range recs {
+		if sum.Kinds == nil {
+			sum.Kinds = map[string]int64{}
+		}
+		sum.Kinds[r.Kind]++
+		if r.RequestID != "" {
+			ids[r.RequestID] = true
+		}
+	}
+	sum.RequestIDs = len(ids)
+	return sum
+}
+
+// correlate intersects request IDs across the three telemetry
+// surfaces. Only IDs seen by at least two surfaces are reported —
+// those are the requests an operator can follow end to end. Also
+// returns the count of distinct IDs in the access log.
+func correlate(profiles obs.BundleProfiles, decisions []obs.DecisionRecord, access []obs.AccessEntry) ([]correlation, int) {
+	const (
+		srcProfile = 1 << iota
+		srcDecision
+		srcAccess
+	)
+	seen := map[string]int{}
+	for _, p := range profiles.Slowest {
+		if p.RequestID != "" {
+			seen[p.RequestID] |= srcProfile
+		}
+	}
+	for _, p := range profiles.Recent {
+		if p.RequestID != "" {
+			seen[p.RequestID] |= srcProfile
+		}
+	}
+	for _, d := range decisions {
+		if d.RequestID != "" {
+			seen[d.RequestID] |= srcDecision
+		}
+	}
+	accessIDs := map[string]bool{}
+	for _, e := range access {
+		if e.RequestID != "" {
+			seen[e.RequestID] |= srcAccess
+			accessIDs[e.RequestID] = true
+		}
+	}
+	var out []correlation
+	for id, mask := range seen {
+		var sources []string
+		if mask&srcProfile != 0 {
+			sources = append(sources, "profile")
+		}
+		if mask&srcDecision != 0 {
+			sources = append(sources, "decision")
+		}
+		if mask&srcAccess != 0 {
+			sources = append(sources, "access")
+		}
+		// The correlation that matters is profile+decision: the serving
+		// view and the model-audit view of the same request. Access-only
+		// pairings are still reported, ranked after.
+		if mask&srcProfile != 0 && mask&srcDecision != 0 {
+			out = append(out, correlation{RequestID: id, Sources: sources})
+		} else if len(sources) >= 2 {
+			out = append(out, correlation{RequestID: id, Sources: sources})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := len(out[i].Sources), len(out[j].Sources)
+		if li != lj {
+			return li > lj
+		}
+		return out[i].RequestID < out[j].RequestID
+	})
+	return out, len(accessIDs)
+}
+
+// writeText renders the human-readable incident report. Write errors
+// on the report stream are not actionable and are discarded.
+func writeText(w io.Writer, rep *reportDoc) {
+	m := rep.Bundle
+	_, _ = fmt.Fprintf(w, "incident bundle  schema %d  reason %s", m.Schema, m.Reason)
+	if m.Objective != "" {
+		_, _ = fmt.Fprintf(w, "  objective %s", m.Objective)
+	}
+	_, _ = fmt.Fprintln(w)
+	_, _ = fmt.Fprintf(w, "captured %s  uptime %.1fs  pid %d  host %s\n",
+		m.CapturedAt.Format(time.RFC3339), m.UptimeSeconds, m.PID, m.Hostname)
+	_, _ = fmt.Fprintf(w, "%s %s/%s  gomaxprocs %d", m.GoVersion, m.GOOS, m.GOARCH, m.GOMAXPROCS)
+	if m.VCSRevision != "" {
+		rev := m.VCSRevision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		_, _ = fmt.Fprintf(w, "  rev %s", rev)
+		if m.VCSModified {
+			_, _ = fmt.Fprint(w, "+dirty")
+		}
+	}
+	_, _ = fmt.Fprintln(w)
+
+	if len(rep.Firing) > 0 {
+		_, _ = fmt.Fprintln(w, "\nFIRING")
+		for _, al := range rep.Firing {
+			_, _ = fmt.Fprintf(w, "  %-16s burn fast %.2fx slow %.2fx (threshold %.1fx, target %.4g)\n",
+				al.Name, al.FastBurn, al.SlowBurn, al.BurnFactor, al.Target)
+		}
+	}
+	if len(rep.Alerts) > 0 {
+		_, _ = fmt.Fprintln(w, "\nalerts")
+		for _, al := range rep.Alerts {
+			_, _ = fmt.Fprintf(w, "  %-16s %-8s fast %.2fx slow %.2fx\n", al.Name, al.State, al.FastBurn, al.SlowBurn)
+		}
+	}
+
+	if len(rep.Series) > 0 {
+		_, _ = fmt.Fprintln(w, "\nseries (oldest -> newest)")
+		for _, s := range rep.Series {
+			_, _ = fmt.Fprintf(w, "  %-28s %-5s %s  last %.4g\n", s.Name, s.Kind, s.Spark, s.Last)
+		}
+	}
+
+	if len(rep.Slowest) > 0 {
+		_, _ = fmt.Fprintln(w, "\nslowest profiles")
+		for _, p := range rep.Slowest {
+			_, _ = fmt.Fprintf(w, "  %8.2fms  %-10s %s", p.DurationMS, p.Method, p.Name)
+			if p.RequestID != "" {
+				_, _ = fmt.Fprintf(w, "  req %s", p.RequestID)
+			}
+			_, _ = fmt.Fprintln(w)
+			_, _ = fmt.Fprintf(w, "             funnel generated %d > deg-ok %d > sig-ok %d > recursed %d > matched %d; bindings %d\n",
+				p.Generated, p.DegOK, p.SigOK, p.Recursed, p.Matched, p.Bindings)
+		}
+	}
+
+	_, _ = fmt.Fprintf(w, "\ndecision tail: %d records, %d distinct request IDs", rep.Decisions.Records, rep.Decisions.RequestIDs)
+	if len(rep.Decisions.Kinds) > 0 {
+		kinds := make([]string, 0, len(rep.Decisions.Kinds))
+		for k := range rep.Decisions.Kinds {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, len(kinds))
+		for i, k := range kinds {
+			parts[i] = fmt.Sprintf("%s %d", k, rep.Decisions.Kinds[k])
+		}
+		_, _ = fmt.Fprintf(w, " (%s)", strings.Join(parts, ", "))
+	}
+	_, _ = fmt.Fprintln(w)
+	_, _ = fmt.Fprintf(w, "access log: %d distinct request IDs\n", rep.AccessIDs)
+
+	if len(rep.Correlated) > 0 {
+		_, _ = fmt.Fprintln(w, "\ncorrelated request IDs (followable across surfaces)")
+		max := len(rep.Correlated)
+		if max > 10 {
+			max = 10
+		}
+		for _, c := range rep.Correlated[:max] {
+			_, _ = fmt.Fprintf(w, "  %s  [%s]\n", c.RequestID, strings.Join(c.Sources, "+"))
+		}
+		if len(rep.Correlated) > max {
+			_, _ = fmt.Fprintf(w, "  ... and %d more\n", len(rep.Correlated)-max)
+		}
+	} else {
+		_, _ = fmt.Fprintln(w, "\nno correlated request IDs (run the server with -shadow-rate > 0 to audit decisions per request)")
+	}
+}

@@ -31,7 +31,10 @@
 // finds a served binding set that disagrees with a direct model-free
 // PSI evaluation of the same query, or when a post-run check of the
 // server's /alertz fails: -require-alert NAME demands the named SLO
-// alert be firing, -forbid-alert NAME demands it not be.
+// alert be firing, -forbid-alert NAME demands it not be. With
+// -bundle-on-fail PATH, any such failure first saves a diagnostic
+// bundle from the server's /debugz/bundle to PATH for post-mortem
+// inspection with psi-bundle.
 package main
 
 import (
@@ -75,6 +78,7 @@ func main() {
 		minBindings = flag.Int64("min-bindings", 0, "fail unless OK responses returned at least this many bindings in total")
 		requireAl   = flag.String("require-alert", "", "fail unless the named SLO alert is firing at /alertz after the run")
 		forbidAl    = flag.String("forbid-alert", "", "fail if the named SLO alert is firing at /alertz after the run")
+		bundleOn    = flag.String("bundle-on-fail", "", "when an assertion or verify fails, save a /debugz/bundle diagnostic bundle from the server to this path")
 	)
 	flag.Parse()
 	cfg := config{
@@ -86,6 +90,7 @@ func main() {
 		jsonPath: *jsonPath, verify: *verify,
 		requireShed: *requireShed, minBindings: *minBindings,
 		requireAlert: *requireAl, forbidAlert: *forbidAl,
+		bundleOnFail: *bundleOn,
 	}
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "psi-loadgen:", err)
@@ -112,6 +117,7 @@ type config struct {
 	minBindings        int64
 	requireAlert       string
 	forbidAlert        string
+	bundleOnFail       string
 }
 
 // report is the -json document: the same top-level shape as
@@ -272,11 +278,51 @@ func run(cfg config, out io.Writer) error {
 		_, _ = fmt.Fprintf(out, "verify: %d/%d queries match the model-free reference\n",
 			len(qs)-mismatches, len(qs))
 		if mismatches > 0 {
-			return fmt.Errorf("verify: %d of %d queries disagree with the reference evaluation", mismatches, len(qs))
+			err := fmt.Errorf("verify: %d of %d queries disagree with the reference evaluation", mismatches, len(qs))
+			return bundleOnFail(cfg, client, base, err)
 		}
 	}
 
-	return assertOutcome(cfg, rep, client, base)
+	return bundleOnFail(cfg, client, base, assertOutcome(cfg, rep, client, base))
+}
+
+// bundleOnFail implements -bundle-on-fail: when err is non-nil it pulls
+// a diagnostic bundle from the server's /debugz/bundle and saves it to
+// the configured path, so the failing run's server state (metrics,
+// series, alerts, profiles, goroutine and heap dumps) survives for
+// psi-bundle to inspect. Always returns the original err; a bundle
+// fetch failure is only a warning — it must not mask the real failure.
+func bundleOnFail(cfg config, client *http.Client, base string, err error) error {
+	if err == nil || cfg.bundleOnFail == "" {
+		return err
+	}
+	resp, ferr := client.Get(base + "/debugz/bundle")
+	if ferr != nil {
+		fmt.Fprintf(os.Stderr, "psi-loadgen: warning: -bundle-on-fail: %v\n", ferr)
+		return err
+	}
+	data, rerr := io.ReadAll(resp.Body)
+	closeErr := resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "psi-loadgen: warning: -bundle-on-fail: /debugz/bundle: HTTP %d\n", resp.StatusCode)
+		return err
+	}
+	if rerr != nil || closeErr != nil {
+		fmt.Fprintf(os.Stderr, "psi-loadgen: warning: -bundle-on-fail: reading bundle: %v %v\n", rerr, closeErr)
+		return err
+	}
+	tmp := cfg.bundleOnFail + ".tmp"
+	if werr := os.WriteFile(tmp, data, 0o644); werr != nil {
+		fmt.Fprintf(os.Stderr, "psi-loadgen: warning: -bundle-on-fail: %v\n", werr)
+		return err
+	}
+	if werr := os.Rename(tmp, cfg.bundleOnFail); werr != nil {
+		fmt.Fprintf(os.Stderr, "psi-loadgen: warning: -bundle-on-fail: %v\n", werr)
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "psi-loadgen: diagnostic bundle saved to %s (%d bytes); inspect with psi-bundle report\n",
+		cfg.bundleOnFail, len(data))
+	return err
 }
 
 // clientTimeout picks an HTTP client timeout comfortably above the

@@ -15,10 +15,14 @@
 //
 // Endpoints: POST /v1/psi, POST /v1/psi/batch, GET /healthz, GET
 // /readyz, plus the full obs debug surface (/metrics, /metrics.json,
-// /tracez, /profilez, /modelz, /seriesz, /alertz, /debug/pprof).
-// Metric collection is always on in a serving process; with
-// -sample-interval > 0 a background sampler additionally keeps windowed
-// time series (/seriesz) and evaluates SLO burn-rate alerts (/alertz).
+// /tracez, /profilez, /modelz, /seriesz, /alertz, /debugz/bundle;
+// /debug/pprof answers 403 unless -expose-pprof is set). Metric
+// collection is always on in a serving process; with -sample-interval
+// > 0 a background sampler additionally keeps windowed time series
+// (/seriesz) and evaluates SLO burn-rate alerts (/alertz). With
+// -bundle-dir set, a diagnostic bundle (zip of metrics, series,
+// alerts, profiles, goroutine + heap dumps, decision and access tails)
+// is auto-captured whenever an SLO objective starts firing.
 //
 // A single query:
 //
@@ -76,6 +80,11 @@ func main() {
 		sloSlowWindow  = flag.Duration("slo-slow-window", 5*time.Minute, "slow burn-rate window")
 		sloBurnFactor  = flag.Float64("slo-burn-factor", 14.4, "burn-rate threshold both windows must exceed")
 		sloFor         = flag.Duration("slo-for", 0, "time an alert stays pending before it fires")
+
+		bundleDir      = flag.String("bundle-dir", "", "directory for auto-captured diagnostic bundles when an SLO alert fires (empty: manual /debugz/bundle only)")
+		bundleCooldown = flag.Duration("bundle-cooldown", 5*time.Minute, "minimum time between auto-captured bundles per objective")
+		bundleKeep     = flag.Int("bundle-keep", 8, "auto-captured bundles retained on disk before the oldest is evicted")
+		exposePprof    = flag.Bool("expose-pprof", false, "mount /debug/pprof on the serving listener (off: 403; heap/goroutine dumps stay available via /debugz/bundle)")
 	)
 	flag.Parse()
 	if err := run(config{
@@ -92,6 +101,8 @@ func main() {
 		sloLatencyTgt:   *sloLatencyTgt,
 		sloFastWindow:   *sloFastWindow, sloSlowWindow: *sloSlowWindow,
 		sloBurnFactor: *sloBurnFactor, sloFor: *sloFor,
+		bundleDir: *bundleDir, bundleCooldown: *bundleCooldown,
+		bundleKeep: *bundleKeep, exposePprof: *exposePprof,
 	}, context.Background(), nil); err != nil {
 		fmt.Fprintln(os.Stderr, "psi-serve:", err)
 		os.Exit(1)
@@ -122,6 +133,11 @@ type config struct {
 	sloSlowWindow   time.Duration
 	sloBurnFactor   float64
 	sloFor          time.Duration
+
+	bundleDir      string // "": auto-capture disarmed, /debugz/bundle still live
+	bundleCooldown time.Duration
+	bundleKeep     int
+	exposePprof    bool
 }
 
 // objectives assembles the SLO list from flags; empty when every
@@ -163,10 +179,16 @@ func run(cfg config, parent context.Context, ready chan<- string) error {
 	// flight recorder and /modelz all feed from the same gate.
 	obs.Enable(true)
 
+	// The decision tail keeps the last few hundred model decisions in
+	// memory for diagnostic bundles; records are only produced when
+	// auditing is on (-shadow-rate > 0), so this is free otherwise.
+	decisions := obs.NewDecisionTail(obs.DefaultDecisionTailCap)
+
 	engine, err := smartpsi.NewEngine(g, smartpsi.Options{
-		Threads:    cfg.threads,
-		Seed:       cfg.seed,
-		ShadowRate: cfg.shadowRate,
+		Threads:     cfg.threads,
+		Seed:        cfg.seed,
+		ShadowRate:  cfg.shadowRate,
+		DecisionLog: decisions,
 	})
 	if err != nil {
 		return err
@@ -182,6 +204,7 @@ func run(cfg config, parent context.Context, ready chan<- string) error {
 	var alerts *obs.SLOSet
 	if cfg.sampleInterval > 0 {
 		sampler = obs.NewSampler(obs.Default, cfg.sampleInterval, cfg.seriesSamples)
+		obs.ArmRuntimeGauges(sampler)
 		if objs := cfg.objectives(); len(objs) > 0 {
 			alerts = obs.NewSLOSet(sampler, objs)
 			for _, o := range objs {
@@ -192,6 +215,27 @@ func run(cfg config, parent context.Context, ready chan<- string) error {
 		}
 		sampler.Start()
 		defer sampler.Stop()
+	}
+
+	// The bundler is always built so /debugz/bundle works; auto-capture
+	// on firing alerts only arms when -bundle-dir is set.
+	bundler, err := obs.NewBundler(obs.BundlerConfig{
+		Dir:       cfg.bundleDir,
+		Keep:      cfg.bundleKeep,
+		Cooldown:  cfg.bundleCooldown,
+		Sampler:   sampler,
+		Alerts:    alerts,
+		Recorder:  obs.DefaultRecorder,
+		Decisions: decisions,
+		Access:    obs.DefaultAccess,
+		Log:       logger,
+	})
+	if err != nil {
+		return err
+	}
+	if bundler.Armed() {
+		logger.Info("diagnostic bundles armed",
+			"dir", cfg.bundleDir, "cooldown", cfg.bundleCooldown.String(), "keep", cfg.bundleKeep)
 	}
 
 	srv := server.NewServer(engine, server.Config{
@@ -205,6 +249,8 @@ func run(cfg config, parent context.Context, ready chan<- string) error {
 		RetryAfter:      cfg.retryAfter,
 		Sampler:         sampler,
 		Alerts:          alerts,
+		Bundler:         bundler,
+		ExposePprof:     cfg.exposePprof,
 		Log:             logger,
 	})
 

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// AccessRing is a bounded in-memory ring of recent serving-path access
+// records, kept so diagnostic bundles can reconstruct "what was the
+// server doing right before the alert" without depending on an external
+// log pipeline. internal/server appends one entry per /v1 request
+// (debug-surface scrapes are deliberately excluded: a 1s /metrics
+// poller would flush the interesting traffic out of a small ring).
+//
+// All methods are nil-safe so call sites can hold a possibly-nil ring
+// unconditionally.
+
+// AccessEntry is one served request as retained for bundles, a
+// JSONL-friendly subset of the structured access log line.
+type AccessEntry struct {
+	Time       time.Time `json:"time"`
+	Method     string    `json:"method"`
+	Path       string    `json:"path"`
+	Status     int       `json:"status"`
+	DurationMS float64   `json:"duration_ms"`
+	RequestID  string    `json:"request_id,omitempty"`
+}
+
+// AccessRing retains the last N access entries. Safe for concurrent
+// use.
+type AccessRing struct {
+	mu  sync.Mutex
+	buf []AccessEntry
+	pos int // next write slot
+	n   int // live entries, <= cap
+}
+
+// DefaultAccessCap is the retention of DefaultAccess and of rings built
+// with a non-positive capacity.
+const DefaultAccessCap = 512
+
+// DefaultAccess is the process-wide access ring internal/server feeds;
+// bundles snapshot it.
+var DefaultAccess = NewAccessRing(DefaultAccessCap)
+
+// NewAccessRing returns a ring retaining the last n entries
+// (non-positive n means DefaultAccessCap).
+func NewAccessRing(n int) *AccessRing {
+	if n <= 0 {
+		n = DefaultAccessCap
+	}
+	return &AccessRing{buf: make([]AccessEntry, n)}
+}
+
+// Append records one entry, evicting the oldest when full. Nil-safe.
+func (r *AccessRing) Append(e AccessEntry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.pos] = e
+	r.pos = (r.pos + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Entries returns the retained entries, oldest first. Nil-safe.
+func (r *AccessRing) Entries() []AccessEntry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]AccessEntry, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.pos-r.n+i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Len reports how many entries are retained. Nil-safe.
+func (r *AccessRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

@@ -1,0 +1,398 @@
+package obs
+
+import (
+	"archive/zip"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// bundleFixture wires a fully private capture pipeline: registry with
+// serving counters, manually driven sampler, one availability
+// objective, a recorder with one finished profile, a decision tail and
+// an access ring — every data source a production Bundler sees.
+func bundleFixture(t *testing.T) (BundlerConfig, *Counter, *Counter, *Sampler) {
+	t.Helper()
+	prev := Enabled()
+	Enable(true) // Recorder.Start and Profile writes are collection-gated
+	t.Cleanup(func() { Enable(prev) })
+	reg := NewRegistry()
+	req := reg.Counter("server_requests_total", "requests")
+	shed := reg.Counter("server_shed_total", "sheds")
+	s := NewSampler(reg, time.Second, 64)
+	set := NewSLOSet(s, []Objective{
+		AvailabilityObjective(0.9, 2*time.Second, 5*time.Second, 2, 0),
+	})
+
+	rec := NewRecorder(4)
+	p := rec.Start("q-0")
+	p.SetRequestID("req-abc")
+	p.SetMethod("pessimistic")
+	p.SetOutcome(3)
+	p.FinishIn(5 * time.Millisecond)
+
+	tail := NewDecisionTail(8)
+	tail.Append(DecisionRecord{Kind: DecisionKindMode, Query: "q-0", RequestID: "req-abc", Node: 1})
+
+	access := NewAccessRing(8)
+	access.Append(AccessEntry{Method: "POST", Path: "/v1/psi", Status: 200, RequestID: "req-abc"})
+
+	return BundlerConfig{
+		Registry:  reg,
+		Sampler:   s,
+		Alerts:    set,
+		Recorder:  rec,
+		Decisions: tail,
+		Access:    access,
+	}, req, shed, s
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	cfg, req, _, s := bundleFixture(t)
+	req.Add(10)
+	s.SampleAt(sloBase)
+	s.SampleAt(sloBase.Add(time.Second))
+
+	b, err := NewBundler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := b.WriteBundle(&buf, BundleReasonManual, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteBundle reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	a, err := ReadBundle(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Manifest.Schema != BundleSchemaVersion || a.Manifest.Reason != BundleReasonManual {
+		t.Errorf("manifest schema=%d reason=%q", a.Manifest.Schema, a.Manifest.Reason)
+	}
+	if a.Manifest.GoVersion == "" || a.Manifest.PID == 0 {
+		t.Errorf("manifest missing build identity: %+v", a.Manifest)
+	}
+	for _, name := range []string{
+		ManifestEntry, MetricsEntry, SeriesEntry, AlertsEntry,
+		ProfilesEntry, ModelEntry, GoroutinesEntry, DecisionsEntry, AccessLogEntryName,
+	} {
+		if _, err := a.Entry(name); err != nil {
+			t.Errorf("bundle missing %s: %v", name, err)
+		}
+	}
+	// Manifest entry list matches the archive (manifest itself uses -1).
+	for _, e := range a.Manifest.Entries {
+		data, err := a.Entry(e.Name)
+		if err != nil {
+			t.Errorf("manifest lists %s but archive lacks it", e.Name)
+			continue
+		}
+		if e.Name != ManifestEntry && e.Bytes != len(data) {
+			t.Errorf("%s: manifest says %d bytes, entry has %d", e.Name, e.Bytes, len(data))
+		}
+	}
+
+	var snap Snapshot
+	data, _ := a.Entry(MetricsEntry)
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics.json: %v", err)
+	}
+	if snap.Counters["server_requests_total"] != 10 {
+		t.Errorf("metrics.json requests = %d, want 10", snap.Counters["server_requests_total"])
+	}
+
+	var profs BundleProfiles
+	data, _ = a.Entry(ProfilesEntry)
+	if err := json.Unmarshal(data, &profs); err != nil {
+		t.Fatalf("profiles.json: %v", err)
+	}
+	if len(profs.Recent) != 1 || profs.Recent[0].RequestID != "req-abc" {
+		t.Errorf("profiles.json recent = %+v, want one profile with req-abc", profs.Recent)
+	}
+
+	data, _ = a.Entry(DecisionsEntry)
+	var rec DecisionRecord
+	if err := json.Unmarshal(bytes.TrimSpace(data), &rec); err != nil {
+		t.Fatalf("decisions.jsonl: %v", err)
+	}
+	if rec.RequestID != "req-abc" || rec.Schema != DecisionSchemaVersion {
+		t.Errorf("decision record = %+v, want req-abc at schema %d", rec, DecisionSchemaVersion)
+	}
+
+	if !strings.Contains(string(mustEntry(t, a, GoroutinesEntry)), "goroutine") {
+		t.Error("goroutines.txt does not look like a stack dump")
+	}
+}
+
+func mustEntry(t *testing.T, a *BundleArchive, name string) []byte {
+	t.Helper()
+	data, err := a.Entry(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestBundleCooldown drives AutoCapture with a fake clock: a second
+// firing inside the cooldown window must be suppressed, one after it
+// must capture again.
+func TestBundleCooldown(t *testing.T) {
+	cfg, _, _, _ := bundleFixture(t)
+	cfg.Dir = t.TempDir()
+	cfg.Cooldown = time.Minute
+	now := sloBase
+	cfg.Now = func() time.Time { return now }
+
+	b, err := NewBundler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, captured, err := b.AutoCapture("availability"); err != nil || !captured {
+		t.Fatalf("first capture: captured=%v err=%v", captured, err)
+	}
+	now = now.Add(30 * time.Second)
+	if _, captured, err := b.AutoCapture("availability"); err != nil || captured {
+		t.Fatalf("inside cooldown: captured=%v err=%v, want suppressed", captured, err)
+	}
+	// A different objective has its own cooldown slot.
+	if _, captured, err := b.AutoCapture("latency"); err != nil || !captured {
+		t.Fatalf("other objective inside availability cooldown: captured=%v err=%v", captured, err)
+	}
+	now = now.Add(31 * time.Second)
+	if _, captured, err := b.AutoCapture("availability"); err != nil || !captured {
+		t.Fatalf("after cooldown: captured=%v err=%v", captured, err)
+	}
+	if got := cfg.Registry.Snapshot().Counters[BundlesCaptured]; got != 3 {
+		t.Errorf("%s = %d, want 3", BundlesCaptured, got)
+	}
+	if got := len(b.Kept()); got != 3 {
+		t.Errorf("kept %d bundles, want 3", got)
+	}
+}
+
+// TestBundleRetention captures past the Keep bound and checks the
+// oldest files are evicted from disk, newest retained.
+func TestBundleRetention(t *testing.T) {
+	cfg, _, _, _ := bundleFixture(t)
+	cfg.Dir = t.TempDir()
+	cfg.Keep = 2
+	now := sloBase
+	cfg.Now = func() time.Time { now = now.Add(time.Second); return now }
+
+	b, err := NewBundler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for i := 0; i < 4; i++ {
+		p, err := b.CaptureToDir(BundleReasonAlert, "availability")
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	kept := b.Kept()
+	if len(kept) != 2 || kept[0] != paths[2] || kept[1] != paths[3] {
+		t.Errorf("kept = %v, want the two newest of %v", kept, paths)
+	}
+	onDisk, err := filepath.Glob(filepath.Join(cfg.Dir, "bundle-*.zip"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk) != 2 {
+		t.Errorf("%d bundles on disk, want 2: %v", len(onDisk), onDisk)
+	}
+	for _, old := range paths[:2] {
+		if _, err := os.Stat(old); !os.IsNotExist(err) {
+			t.Errorf("evicted bundle %s still on disk (err=%v)", old, err)
+		}
+	}
+	// The survivors must still read back clean.
+	if _, err := ReadBundleFile(paths[3]); err != nil {
+		t.Errorf("retained bundle unreadable: %v", err)
+	}
+}
+
+// TestBundleAutoCaptureOnFiring drives the real alert state machine to
+// firing and checks the transition hook captured an alert bundle naming
+// the objective.
+func TestBundleAutoCaptureOnFiring(t *testing.T) {
+	cfg, req, shed, s := bundleFixture(t)
+	cfg.Dir = t.TempDir()
+
+	b, err := NewBundler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SampleAt(sloBase)
+	req.Add(100)
+	shed.Add(50)
+	s.SampleAt(sloBase.Add(time.Second)) // burn 5 > factor 2: firing
+
+	kept := b.Kept()
+	if len(kept) != 1 {
+		t.Fatalf("kept = %v, want exactly one auto-captured bundle", kept)
+	}
+	a, err := ReadBundleFile(kept[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Manifest.Reason != BundleReasonAlert || a.Manifest.Objective != "availability" {
+		t.Errorf("manifest reason=%q objective=%q, want alert/availability",
+			a.Manifest.Reason, a.Manifest.Objective)
+	}
+	var alerts AlertsData
+	if err := json.Unmarshal(mustEntry(t, a, AlertsEntry), &alerts); err != nil {
+		t.Fatal(err)
+	}
+	if alerts.Firing != 1 || alerts.Alerts[0].State != StateFiring {
+		t.Errorf("alertz.json in bundle: firing=%d state=%s, want the captured state to show the alert",
+			alerts.Firing, alerts.Alerts[0].State)
+	}
+
+	// Re-firing after a resolve inside the cooldown stays suppressed.
+	req.Add(1000)
+	s.SampleAt(sloBase.Add(2 * time.Second)) // resolves
+	shed.Add(2000)
+	s.SampleAt(sloBase.Add(3 * time.Second)) // fires again, within default 5m cooldown
+	if got := b.Kept(); len(got) != 1 {
+		t.Errorf("kept = %v after re-fire inside cooldown, want still 1", got)
+	}
+}
+
+// TestBundleUnarmed pins the zero-cost contract: without a Dir the
+// Bundler never auto-captures and CaptureToDir refuses.
+func TestBundleUnarmed(t *testing.T) {
+	cfg, req, shed, s := bundleFixture(t)
+	b, err := NewBundler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Armed() {
+		t.Fatal("bundler without Dir reports Armed")
+	}
+	if _, captured, err := b.AutoCapture("availability"); captured || err != nil {
+		t.Errorf("unarmed AutoCapture: captured=%v err=%v, want no-op", captured, err)
+	}
+	if _, err := b.CaptureToDir(BundleReasonManual, ""); err == nil {
+		t.Error("unarmed CaptureToDir succeeded, want error")
+	}
+	// Driving the alert to firing must not capture anything either
+	// (NewBundler only hooks OnTransition when armed).
+	s.SampleAt(sloBase)
+	req.Add(100)
+	shed.Add(50)
+	s.SampleAt(sloBase.Add(time.Second))
+	if got := cfg.Registry.Snapshot().Counters[BundlesCaptured]; got != 0 {
+		t.Errorf("%s = %d after unarmed firing, want 0", BundlesCaptured, got)
+	}
+}
+
+// TestBundleConcurrent exercises the capture paths under -race:
+// concurrent on-demand writes, auto-captures, sampler ticks and source
+// mutation.
+func TestBundleConcurrent(t *testing.T) {
+	cfg, req, _, s := bundleFixture(t)
+	cfg.Dir = t.TempDir()
+	cfg.Cooldown = time.Nanosecond // effectively off: every capture lands
+	b, err := NewBundler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf bytes.Buffer
+			if _, err := b.WriteBundle(&buf, BundleReasonManual, ""); err != nil {
+				t.Errorf("WriteBundle: %v", err)
+			}
+			if _, err := ReadBundle(buf.Bytes()); err != nil {
+				t.Errorf("ReadBundle: %v", err)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			req.Inc()
+			s.SampleAt(sloBase.Add(time.Duration(i) * time.Second))
+			cfg.Decisions.Append(DecisionRecord{Kind: DecisionKindMode, Node: int64(i)})
+			cfg.Access.Append(AccessEntry{Path: "/v1/psi", Status: 200})
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if _, _, err := b.AutoCapture("availability"); err != nil {
+				t.Errorf("AutoCapture: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestReadBundleRejects pins the corrupt-input contract psi-bundle's
+// exit code 2 depends on.
+func TestReadBundleRejects(t *testing.T) {
+	cfg, _, _, _ := bundleFixture(t)
+	b, err := NewBundler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := b.WriteBundle(&buf, BundleReasonManual, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ReadBundle([]byte("not a zip")); err == nil {
+		t.Error("ReadBundle accepted garbage")
+	}
+	if _, err := ReadBundle(buf.Bytes()[:buf.Len()/2]); err == nil {
+		t.Error("ReadBundle accepted a truncated bundle")
+	}
+	// A zip without a manifest is rejected even though it is valid zip.
+	empty := zipWithout(t, buf.Bytes(), ManifestEntry)
+	if _, err := ReadBundle(empty); err == nil || !strings.Contains(err.Error(), ManifestEntry) {
+		t.Errorf("ReadBundle without manifest: err=%v, want mention of %s", err, ManifestEntry)
+	}
+}
+
+// zipWithout rebuilds a zip archive dropping one entry.
+func zipWithout(t *testing.T, data []byte, drop string) []byte {
+	t.Helper()
+	a, err := ReadBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	for name, content := range a.Entries {
+		if name == drop {
+			continue
+		}
+		f, err := zw.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -110,18 +110,29 @@ func (r *DecisionRecord) PredValid() bool { return r.PredMode == 0 }
 // counted as dropped rather than growing the file without bound.
 type DecisionLog struct {
 	mu      sync.Mutex
-	bw      *bufio.Writer
-	closer  io.Closer // non-nil when the log owns the underlying file
+	bw      *bufio.Writer // nil for tail-only logs (NewDecisionTail)
+	closer  io.Closer     // non-nil when the log owns the underlying file
 	max     int64
 	written int64
 	dropped int64
 	closed  bool
 	err     error // first write error; subsequent appends are dropped
+
+	// tail is an in-memory ring of the most recent accepted records,
+	// kept alongside the JSONL stream so diagnostic bundles can capture
+	// "the last N audited decisions" from a live process.
+	tail    []DecisionRecord
+	tailPos int
+	tailN   int
 }
 
 // DefaultDecisionLogCap bounds a log when NewDecisionLog is given a
 // non-positive cap.
 const DefaultDecisionLogCap = 1 << 20
+
+// DefaultDecisionTailCap is the in-memory tail retention of every
+// decision log (and of NewDecisionTail with a non-positive size).
+const DefaultDecisionTailCap = 512
 
 // NewDecisionLog returns a bounded JSONL decision log writing to w
 // (maxRecords <= 0 means DefaultDecisionLogCap). The caller retains
@@ -130,7 +141,23 @@ func NewDecisionLog(w io.Writer, maxRecords int64) *DecisionLog {
 	if maxRecords <= 0 {
 		maxRecords = DefaultDecisionLogCap
 	}
-	return &DecisionLog{bw: bufio.NewWriter(w), max: maxRecords}
+	return &DecisionLog{
+		bw:   bufio.NewWriter(w),
+		max:  maxRecords,
+		tail: make([]DecisionRecord, DefaultDecisionTailCap),
+	}
+}
+
+// NewDecisionTail returns a tail-only decision log: no JSONL stream,
+// just the bounded in-memory ring of the most recent records
+// (non-positive size means DefaultDecisionTailCap). psi-serve attaches
+// one to the engine so diagnostic bundles can dump the recent audit
+// trail without any file I/O on the serving path.
+func NewDecisionTail(size int) *DecisionLog {
+	if size <= 0 {
+		size = DefaultDecisionTailCap
+	}
+	return &DecisionLog{max: DefaultDecisionLogCap, tail: make([]DecisionRecord, size)}
 }
 
 // CreateDecisionLog creates (truncates) path and returns a log that
@@ -159,17 +186,41 @@ func (l *DecisionLog) Append(rec DecisionRecord) {
 		l.dropped++
 		return
 	}
-	data, err := json.Marshal(rec)
-	if err == nil {
-		data = append(data, '\n')
-		_, err = l.bw.Write(data)
+	if l.bw != nil {
+		data, err := json.Marshal(rec)
+		if err == nil {
+			data = append(data, '\n')
+			_, err = l.bw.Write(data)
+		}
+		if err != nil {
+			l.err = err
+			l.dropped++
+			return
+		}
 	}
-	if err != nil {
-		l.err = err
-		l.dropped++
-		return
+	if len(l.tail) > 0 {
+		l.tail[l.tailPos] = rec
+		l.tailPos = (l.tailPos + 1) % len(l.tail)
+		if l.tailN < len(l.tail) {
+			l.tailN++
+		}
 	}
 	l.written++
+}
+
+// Tail returns the most recent accepted records, oldest first.
+// Nil-safe; records remain readable after Close.
+func (l *DecisionLog) Tail() []DecisionRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]DecisionRecord, 0, l.tailN)
+	for i := 0; i < l.tailN; i++ {
+		out = append(out, l.tail[(l.tailPos-l.tailN+i+len(l.tail))%len(l.tail)])
+	}
+	return out
 }
 
 // Written returns the number of records written.
@@ -206,8 +257,10 @@ func (l *DecisionLog) Close() error {
 		return l.err
 	}
 	l.closed = true
-	if err := l.bw.Flush(); err != nil && l.err == nil {
-		l.err = err
+	if l.bw != nil {
+		if err := l.bw.Flush(); err != nil && l.err == nil {
+			l.err = err
+		}
 	}
 	if l.closer != nil {
 		if err := l.closer.Close(); err != nil && l.err == nil {

@@ -18,6 +18,8 @@ type HandlerOption func(*handlerConfig)
 type handlerConfig struct {
 	sampler *Sampler
 	alerts  *SLOSet
+	bundler *Bundler
+	pprof   bool
 }
 
 // WithSampler mounts /seriesz over the given sampler's rings. Without
@@ -30,6 +32,23 @@ func WithSampler(s *Sampler) HandlerOption {
 // answers 503.
 func WithAlerts(a *SLOSet) HandlerOption {
 	return func(c *handlerConfig) { c.alerts = a }
+}
+
+// WithBundler mounts /debugz/bundle: a GET streams a freshly assembled
+// diagnostic bundle. Without it (or with nil) the route answers 503.
+func WithBundler(b *Bundler) HandlerOption {
+	return func(c *handlerConfig) { c.bundler = b }
+}
+
+// WithPprof controls whether /debug/pprof/* is mounted. The default is
+// on — a debug-only listener (StartDebugServer) should expose the full
+// surface — but a mux mounted on a serving listener should pass false
+// unless the operator opted in (psi-serve -expose-pprof): pprof's CPU
+// profile and symbol endpoints hand out process internals and can
+// degrade the serving path. When off, the routes answer 403 with a
+// pointer at the flag.
+func WithPprof(on bool) HandlerOption {
+	return func(c *handlerConfig) { c.pprof = on }
 }
 
 // Handler returns the debug mux over a registry, tracer and profile
@@ -51,9 +70,13 @@ func WithAlerts(a *SLOSet) HandlerOption {
 //	                    ?format=json for the ring data
 //	/alertz             SLO burn-rate alerts (WithAlerts): text table,
 //	                    ?format=json for machine consumption
+//	/debugz/bundle      download a diagnostic bundle (WithBundler):
+//	                    a zip of everything above plus goroutine/heap
+//	                    dumps; inspect offline with cmd/psi-bundle
 //	/debug/pprof/       the standard net/http/pprof handlers
+//	                    (gated by WithPprof; on by default)
 func Handler(reg *Registry, tracer *Tracer, recorder *Recorder, opts ...HandlerOption) http.Handler {
-	var hc handlerConfig
+	hc := handlerConfig{pprof: true}
 	for _, o := range opts {
 		o(&hc)
 	}
@@ -222,11 +245,37 @@ func Handler(reg *Registry, tracer *Tracer, recorder *Recorder, opts ...HandlerO
 			return
 		}
 	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debugz/bundle", func(w http.ResponseWriter, req *http.Request) {
+		if hc.bundler == nil {
+			http.Error(w, "diagnostic bundles not configured on this listener",
+				http.StatusServiceUnavailable)
+			return
+		}
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		name := fmt.Sprintf("bundle-%s-manual.zip", time.Now().UTC().Format("20060102T150405Z"))
+		w.Header().Set("Content-Type", "application/zip")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", name))
+		if _, err := hc.bundler.WriteBundle(w, BundleReasonManual, ""); err != nil {
+			// Headers are out; the client sees a truncated zip and
+			// ReadBundle rejects it.
+			return
+		}
+	})
+	if hc.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	} else {
+		mux.HandleFunc("/debug/pprof/", func(w http.ResponseWriter, req *http.Request) {
+			http.Error(w, "pprof is disabled on this listener (start psi-serve with -expose-pprof, or use a dedicated -debug-addr listener)",
+				http.StatusForbidden)
+		})
+	}
 	return mux
 }
 

@@ -165,6 +165,25 @@ func TestObsOverheadGuard(t *testing.T) {
 	prev := obs.Enabled()
 	defer obs.Enable(prev)
 
+	// Bundle capture is compiled in but unarmed (no -bundle-dir): the
+	// whole measured workload runs with a live Bundler wired to the
+	// default registry and recorder, and the budget below must still
+	// hold. Zero captures may occur without a directory.
+	bundler, err := obs.NewBundler(obs.BundlerConfig{Recorder: obs.DefaultRecorder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capturedBefore := obs.Default.Snapshot().Counters[obs.BundlesCaptured]
+	defer func() {
+		if bundler.Armed() {
+			t.Error("bundler without Dir reports Armed")
+		}
+		delta := obs.Default.Snapshot().Counters[obs.BundlesCaptured] - capturedBefore
+		if delta != 0 {
+			t.Errorf("unarmed bundler captured %d bundles during the workload, want 0", delta)
+		}
+	}()
+
 	// 1. Per-check cost of the disabled gate, net of loop bookkeeping
 	// and taken as a min-of-five so one preempted pass cannot fail the
 	// guard.

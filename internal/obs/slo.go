@@ -127,6 +127,15 @@ type alertState struct {
 	slowOK         bool
 }
 
+// Transition is one alert state change, delivered to OnTransition
+// hooks: the diagnostic-bundle capture trigger (obs.Bundler) keys off
+// To == StateFiring.
+type Transition struct {
+	Objective string
+	From, To  string
+	At        time.Time
+}
+
 // SLOSet evaluates a fixed list of objectives against a Sampler. Wire
 // it with NewSLOSet before the sampler starts; each sample triggers an
 // evaluation, and Status/WriteJSON/WriteText serve the result.
@@ -137,6 +146,7 @@ type SLOSet struct {
 
 	mu     sync.Mutex
 	states []alertState
+	hooks  []func(Transition)
 }
 
 // AlertsFiring is the gauge name exporting the number of firing
@@ -179,15 +189,26 @@ func NewSLOSet(sampler *Sampler, objectives []Objective) *SLOSet {
 // applied).
 func (s *SLOSet) Objectives() []Objective { return s.objectives }
 
+// OnTransition registers a hook invoked after every alert state change
+// with the transition, outside the set's lock (hooks may call Status or
+// AlertsSnapshot). Hooks run synchronously on the evaluating goroutine
+// — the sampler tick — in registration order.
+func (s *SLOSet) OnTransition(fn func(Transition)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hooks = append(s.hooks, fn)
+}
+
 // Evaluate recomputes every objective's burn rates as of now and
 // advances the alert state machines. Called from the sampler's
 // OnSample hook; exported for deterministic tests.
 func (s *SLOSet) Evaluate(now time.Time) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var transitions []Transition
 	nFiring := 0
 	for i, o := range s.objectives {
 		st := &s.states[i]
+		prev := st.state
 		st.fastBurn, st.fastOK = s.burn(o, o.FastWindow)
 		st.slowBurn, st.slowOK = s.burn(o, o.SlowWindow)
 		st.evaluatedAt = now
@@ -224,8 +245,20 @@ func (s *SLOSet) Evaluate(now time.Time) {
 		if st.state == StateFiring {
 			nFiring++
 		}
+		if st.state != prev {
+			transitions = append(transitions, Transition{
+				Objective: o.Name, From: prev, To: st.state, At: now,
+			})
+		}
 	}
 	s.firing.Set(int64(nFiring))
+	hooks := s.hooks
+	s.mu.Unlock()
+	for _, tr := range transitions {
+		for _, fn := range hooks {
+			fn(tr)
+		}
+	}
 }
 
 // burn computes one objective's burn rate over a window: windowed

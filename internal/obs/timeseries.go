@@ -92,7 +92,8 @@ type Sampler struct {
 	gauges   map[string]*ring[int64]
 	hists    map[string]*ring[HistogramSnapshot]
 
-	hooks []func(now time.Time)
+	hooks    []func(now time.Time)
+	preHooks []func(now time.Time)
 
 	started  bool
 	stopOnce sync.Once
@@ -132,6 +133,16 @@ func (s *Sampler) OnSample(fn func(now time.Time)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.hooks = append(s.hooks, fn)
+}
+
+// OnBeforeSample registers a hook invoked immediately before every
+// snapshot (outside the sampler's lock), so gauges that must be polled
+// — the process_* runtime health gauges — are fresh in the sample about
+// to be taken. Register hooks before Start.
+func (s *Sampler) OnBeforeSample(fn func(now time.Time)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.preHooks = append(s.preHooks, fn)
 }
 
 // Start launches the background sampling goroutine. Idempotent.
@@ -176,6 +187,12 @@ func (s *Sampler) Sample() { s.SampleAt(time.Now()) }
 
 // SampleAt takes one snapshot stamped with the given time.
 func (s *Sampler) SampleAt(now time.Time) {
+	s.mu.Lock()
+	pre := s.preHooks
+	s.mu.Unlock()
+	for _, fn := range pre {
+		fn(now)
+	}
 	snap := s.reg.Snapshot()
 	s.mu.Lock()
 	for name, v := range snap.Counters {

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestServerPprofGate pins the serving-listener exposure policy: pprof
+// answers 403 by default and mounts only with ExposePprof (the
+// -expose-pprof flag); the rest of the debug surface is unaffected.
+func TestServerPprofGate(t *testing.T) {
+	_, closed := newTestServer(t, &fakeEval{}, Config{})
+	resp, err := closed.Client().Get(closed.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("/debug/pprof/ default = %d, want 403", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "expose-pprof") {
+		t.Errorf("gate message does not name the flag:\n%s", body)
+	}
+
+	_, open := newTestServer(t, &fakeEval{}, Config{ExposePprof: true})
+	resp, err = open.Client().Get(open.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ with ExposePprof = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServerBundleMounted checks /debugz/bundle serves a readable
+// bundle when a Bundler is configured and 503 when not.
+func TestServerBundleMounted(t *testing.T) {
+	_, bare := newTestServer(t, &fakeEval{}, Config{})
+	resp, err := bare.Client().Get(bare.URL + "/debugz/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/debugz/bundle without bundler = %d, want 503", resp.StatusCode)
+	}
+
+	b, err := obs.NewBundler(obs.BundlerConfig{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, &fakeEval{}, Config{Bundler: b})
+	resp, err = ts.Client().Get(ts.URL + "/debugz/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debugz/bundle = %d", resp.StatusCode)
+	}
+	a, err := obs.ReadBundle(data)
+	if err != nil {
+		t.Fatalf("served bundle does not read back: %v", err)
+	}
+	if a.Manifest.Reason != obs.BundleReasonManual {
+		t.Errorf("reason = %q, want manual", a.Manifest.Reason)
+	}
+}
+
+// TestServerAccessRing checks /v1 requests land in the shared access
+// ring with their request ID, status and path — the access.jsonl view
+// diagnostic bundles correlate against.
+func TestServerAccessRing(t *testing.T) {
+	_, ts := newTestServer(t, &fakeEval{}, Config{})
+	const reqID = "access-ring-test-7"
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/psi",
+		strings.NewReader(`{"query":{"nodes":[0,1,0],"edges":[[0,1],[1,2],[0,2]],"pivot":0}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", reqID)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/psi = %d", resp.StatusCode)
+	}
+
+	var found bool
+	for _, e := range obs.DefaultAccess.Entries() {
+		if e.RequestID == reqID {
+			found = true
+			if e.Path != "/v1/psi" || e.Status != http.StatusOK || e.Method != http.MethodPost {
+				t.Errorf("access entry = %+v, want POST /v1/psi 200", e)
+			}
+			if e.DurationMS < 0 {
+				t.Errorf("access entry duration = %v, want >= 0", e.DurationMS)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("request %s not in the access ring (%d entries)", reqID, obs.DefaultAccess.Len())
+	}
+
+	// Non-/v1 traffic stays out of the ring.
+	before := obs.DefaultAccess.Len()
+	hresp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = hresp.Body.Close()
+	if after := obs.DefaultAccess.Len(); after != before {
+		t.Errorf("access ring grew %d -> %d on /healthz; only /v1 belongs there", before, after)
+	}
+}

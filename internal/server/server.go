@@ -12,7 +12,8 @@
 //	GET  /readyz        readiness: 200 when accepting work, 503 draining
 //	(everything else)   the internal/obs debug mux: /metrics,
 //	                    /metrics.json, /tracez, /profilez, /modelz,
-//	                    /seriesz, /alertz, /debug/pprof — see
+//	                    /seriesz, /alertz, /debugz/bundle, /debug/pprof
+//	                    (403 unless Config.ExposePprof) — see
 //	                    OPERATIONS.md
 //
 // Every request passes the same guardrail pipeline:
@@ -130,6 +131,16 @@ type Config struct {
 	// /v1 request (with its request ID) plus one line per rejected or
 	// failed request.
 	Log *slog.Logger
+	// Bundler, when non-nil, mounts /debugz/bundle on the debug mux and
+	// (when armed with a bundle directory) auto-captures a diagnostic
+	// bundle whenever an SLO objective starts firing.
+	Bundler *obs.Bundler
+	// ExposePprof mounts /debug/pprof on the serving listener. Default
+	// false: the serving port answers pprof with 403, because the CPU
+	// profile and symbol endpoints expose process internals and can
+	// degrade the serving path; a dedicated -debug-addr listener keeps
+	// the full surface. See OPERATIONS.md.
+	ExposePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -199,7 +210,8 @@ func NewServer(eval Evaluator, cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.Handle("/", obs.Handler(obs.Default, obs.DefaultTracer, obs.DefaultRecorder,
-		obs.WithSampler(s.cfg.Sampler), obs.WithAlerts(s.cfg.Alerts)))
+		obs.WithSampler(s.cfg.Sampler), obs.WithAlerts(s.cfg.Alerts),
+		obs.WithBundler(s.cfg.Bundler), obs.WithPprof(s.cfg.ExposePprof)))
 	return s
 }
 
@@ -295,20 +307,32 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// accessLog emits one structured line per request: /v1 traffic at
+// accessLog emits one structured line per request — /v1 traffic at
 // info, the debug surface at debug (a scraped /metrics should not
-// drown the log).
+// drown the log) — and files /v1 entries into the process-wide access
+// ring so diagnostic bundles can reconstruct recent traffic.
 func (s *Server) accessLog(r *http.Request, reqID string, sw *statusWriter, t0 time.Time) {
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	isV1 := strings.HasPrefix(r.URL.Path, "/v1/")
+	if isV1 {
+		obs.DefaultAccess.Append(obs.AccessEntry{
+			Time:       t0,
+			Method:     r.Method,
+			Path:       r.URL.Path,
+			Status:     status,
+			DurationMS: float64(time.Since(t0).Nanoseconds()) / 1e6,
+			RequestID:  reqID,
+		})
+	}
 	if s.cfg.Log == nil {
 		return
 	}
 	level := slog.LevelDebug
-	if strings.HasPrefix(r.URL.Path, "/v1/") {
+	if isV1 {
 		level = slog.LevelInfo
-	}
-	status := sw.status
-	if status == 0 {
-		status = http.StatusOK
 	}
 	s.cfg.Log.Log(r.Context(), level, "request",
 		"method", r.Method,

@@ -13,10 +13,19 @@
 #      drive the availability burn rate to "firing"
 #      (-require-alert availability), and /seriesz?format=json must be
 #      well-formed JSON under load;
+#   4. incident forensics — the overload pass runs with -bundle-dir, so
+#      the firing alert must auto-capture a diagnostic bundle; the
+#      bundle's JSON entries must validate, and psi-bundle report
+#      -require-correlation must find the firing objective plus at
+#      least one request ID present in both a captured profile and the
+#      decision-log tail;
 #
 # then sends SIGTERM and requires a clean drain (exit 0). psi-loadgen
 # exits non-zero on any unexpected 5xx, so "the script passed" also
 # means "zero 500/502/503 were served".
+#
+# The auto-captured bundle is left at $SMOKE_BUNDLE_OUT (default
+# /tmp/psi-smoke-bundle.zip) for CI to archive as an artifact.
 #
 # Usage: ./scripts/serve_smoke.sh  (run from anywhere; ~30s)
 set -euo pipefail
@@ -38,6 +47,7 @@ step() { printf '\n-- %s\n' "$*"; }
 step "build"
 go build -o "$work/psi-serve" ./cmd/psi-serve
 go build -o "$work/psi-loadgen" ./cmd/psi-loadgen
+go build -o "$work/psi-bundle" ./cmd/psi-bundle
 go build -o "$work/datagen" ./cmd/datagen
 go build -o "$work/jsoncheck" ./scripts/jsoncheck
 
@@ -97,15 +107,60 @@ step "series endpoint serves well-formed JSON"
 step "drain"
 stop_server
 
-step "overload pass (workers=1, shed-immediately: 429s and a firing availability alert required)"
+step "overload pass (workers=1, shed-immediately: 429s, a firing availability alert, and an auto-captured bundle required)"
 start_server -workers 1 -queue 0 \
     -sample-interval 100ms -slo-availability 0.99 \
-    -slo-fast-window 1s -slo-slow-window 3s -slo-burn-factor 2 -slo-for 0s
+    -slo-fast-window 1s -slo-slow-window 3s -slo-burn-factor 2 -slo-for 0s \
+    -shadow-rate 1 \
+    -bundle-dir "$work/bundles" -bundle-cooldown 1s -bundle-keep 4
 "$work/psi-loadgen" -addr "$addr" -graph "$work/g.lg" \
     -concurrency 16 -requests 200 -timeout-ms 5000 \
     -require-shed -min-bindings 1 \
     -require-alert availability
+
+step "alert auto-captured a diagnostic bundle"
+# The capture runs on the sampler goroutine at the firing transition;
+# give it a moment to land before asserting.
+bundle=""
+for _ in $(seq 1 50); do
+    bundle="$(ls "$work/bundles"/bundle-*.zip 2>/dev/null | tail -n 1 || true)"
+    [[ -n "$bundle" ]] && break
+    sleep 0.1
+done
+if [[ -z "$bundle" ]]; then
+    echo "no bundle auto-captured in $work/bundles; server log:" >&2
+    cat "$work/serve.log" >&2
+    exit 1
+fi
+echo "captured: $bundle"
+
+step "bundle entries are well-formed JSON"
+"$work/psi-bundle" list "$bundle"
+for entry in manifest.json metrics.json alertz.json seriesz.json profiles.json; do
+    "$work/psi-bundle" cat "$bundle" "$entry" | "$work/jsoncheck"
+done
+"$work/psi-bundle" cat "$bundle" manifest.json | grep -q '"reason": "alert"'
+"$work/psi-bundle" cat "$bundle" manifest.json | grep -q '"objective": "availability"'
+
+step "incident report names the firing objective and correlates request IDs"
+"$work/psi-bundle" report -require-correlation "$bundle" | tee "$work/report.txt"
+grep -q 'objective availability' "$work/report.txt"
+
+step "loadgen -bundle-on-fail saves a bundle when its assertion fails"
+# -forbid-alert availability must fail against the firing server; the
+# failure must leave a bundle behind and the original error must win.
+if "$work/psi-loadgen" -addr "$addr" -graph "$work/g.lg" \
+    -requests 4 -timeout-ms 5000 \
+    -forbid-alert availability -bundle-on-fail "$work/failed.zip"; then
+    echo "-forbid-alert availability unexpectedly passed on an overloaded server" >&2
+    exit 1
+fi
+"$work/psi-bundle" list "$work/failed.zip" >/dev/null
+
 step "drain"
 stop_server
+
+# Leave the alert-captured bundle where CI can archive it.
+cp "$bundle" "${SMOKE_BUNDLE_OUT:-/tmp/psi-smoke-bundle.zip}"
 
 printf '\n-- serve smoke OK\n'
