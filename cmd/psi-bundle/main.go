@@ -204,6 +204,7 @@ type reportDoc struct {
 	Alerts     []obs.AlertStatus  `json:"alerts"`
 	Series     []seriesLine       `json:"series,omitempty"`
 	Slowest    []profileLine      `json:"slowest,omitempty"`
+	Workload   *workloadSummary   `json:"workload,omitempty"`
 	Decisions  decisionSummary    `json:"decisions"`
 	AccessIDs  int                `json:"access_request_ids"`
 	Correlated []correlation      `json:"correlated_request_ids"`
@@ -230,6 +231,31 @@ type profileLine struct {
 	SigOK      int64   `json:"sig_ok"`
 	Recursed   int64   `json:"recursed"`
 	Matched    int64   `json:"matched"`
+}
+
+// workloadSummary condenses the bundle's workload.json (the /queryz
+// snapshot at capture time) into the shapes that were costing the most
+// when the incident fired.
+type workloadSummary struct {
+	Observed     int64          `json:"observed"`
+	Tracked      int            `json:"tracked_shapes"`
+	DistinctEst  int64          `json:"distinct_shapes_estimate"`
+	CacheWinPct  float64        `json:"cache_win_upper_bound_pct"`
+	SavableNanos int64          `json:"savable_nanos"`
+	TopShapes    []workloadLine `json:"top_shapes,omitempty"`
+}
+
+// workloadLine is one top-cost shape row of the report.
+type workloadLine struct {
+	Fingerprint string  `json:"shape"`
+	Example     string  `json:"example,omitempty"`
+	Count       int64   `json:"count"`
+	CountPct    float64 `json:"count_pct"`
+	CostPct     float64 `json:"cost_pct"`
+	P95MS       float64 `json:"p95_ms"`
+	RepeatHits  int64   `json:"repeat_hits"`
+	Shed        int64   `json:"shed"`
+	Deadline    int64   `json:"deadline"`
 }
 
 // decisionSummary aggregates the decision-log tail.
@@ -281,6 +307,14 @@ func buildReport(a *obs.BundleArchive) (*reportDoc, error) {
 		for _, p := range profiles.Slowest {
 			rep.Slowest = append(rep.Slowest, profileToLine(p))
 		}
+	}
+
+	if data, err := a.Entry(obs.WorkloadEntry); err == nil {
+		var wl obs.WorkloadData
+		if err := json.Unmarshal(data, &wl); err != nil {
+			return nil, fmt.Errorf("%s: %w", obs.WorkloadEntry, err)
+		}
+		rep.Workload = summarizeWorkload(wl)
 	}
 
 	decisions, err := decodeJSONL[obs.DecisionRecord](a, obs.DecisionsEntry)
@@ -394,6 +428,36 @@ func profileToLine(p obs.ProfileData) profileLine {
 		l.Matched += d.Matched
 	}
 	return l
+}
+
+// summarizeWorkload keeps the top-cost shapes (the snapshot is already
+// ranked by aggregate cost) plus the sketch-wide cache-win estimate.
+func summarizeWorkload(wl obs.WorkloadData) *workloadSummary {
+	sum := &workloadSummary{
+		Observed:     wl.Observed,
+		Tracked:      wl.TrackedShapes,
+		DistinctEst:  wl.DistinctEstimate,
+		CacheWinPct:  wl.CacheWin.HitRate * 100,
+		SavableNanos: wl.CacheWin.SavableNanos,
+	}
+	top := wl.Shapes
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	for _, s := range top {
+		sum.TopShapes = append(sum.TopShapes, workloadLine{
+			Fingerprint: s.Fingerprint,
+			Example:     s.Example,
+			Count:       s.Count,
+			CountPct:    s.CountShare * 100,
+			CostPct:     s.CostShare * 100,
+			P95MS:       s.P95Millis,
+			RepeatHits:  s.Totals.RepeatHits,
+			Shed:        s.Totals.Shed,
+			Deadline:    s.Totals.Deadline,
+		})
+	}
+	return sum
 }
 
 // summarizeDecisions aggregates the tail by kind and distinct request
@@ -533,6 +597,20 @@ func writeText(w io.Writer, rep *reportDoc) {
 			_, _ = fmt.Fprintln(w)
 			_, _ = fmt.Fprintf(w, "             funnel generated %d > deg-ok %d > sig-ok %d > recursed %d > matched %d; bindings %d\n",
 				p.Generated, p.DegOK, p.SigOK, p.Recursed, p.Matched, p.Bindings)
+		}
+	}
+
+	if rep.Workload != nil {
+		_, _ = fmt.Fprintf(w, "\ntop shapes by cost (workload: %d observed, %d tracked, ~%d distinct; answer-cache win <= %.1f%%, savable %s)\n",
+			rep.Workload.Observed, rep.Workload.Tracked, rep.Workload.DistinctEst,
+			rep.Workload.CacheWinPct, time.Duration(rep.Workload.SavableNanos).Round(time.Millisecond))
+		for _, s := range rep.Workload.TopShapes {
+			_, _ = fmt.Fprintf(w, "  %s  count %d (%.0f%%)  cost %.0f%%  p95 %.2fms  repeat %d  shed %d  deadline %d",
+				s.Fingerprint, s.Count, s.CountPct, s.CostPct, s.P95MS, s.RepeatHits, s.Shed, s.Deadline)
+			if s.Example != "" {
+				_, _ = fmt.Fprintf(w, "  e.g. %s", s.Example)
+			}
+			_, _ = fmt.Fprintln(w)
 		}
 	}
 

@@ -18,6 +18,7 @@
 //	psi-loadgen -addr $A -dataset cora -mode open -qps 200 -duration 5s
 //	psi-loadgen -addr $A -graph g.lg -requests 500 -verify -json out.json
 //	psi-loadgen -addr $A -graph g.lg -concurrency 32 -require-shed
+//	psi-loadgen -addr $A -graph g.lg -skew zipf:1.5 -require-hot-shape
 //
 // The -json document has the same top-level shape as psi-bench's
 // ({"schema":1,...,"metrics":{...}}), with the "metrics" key holding
@@ -35,6 +36,15 @@
 // -bundle-on-fail PATH, any such failure first saves a diagnostic
 // bundle from the server's /debugz/bundle to PATH for post-mortem
 // inspection with psi-bundle.
+//
+// The query mix is uniform round-robin by default; -skew zipf:<s>
+// switches to a Zipfian hot-key mix (query 0 hottest) drawn from a
+// deterministic per-request hash, and the summary reports the intended
+// vs observed hot-key share. With -require-hot-shape the run fails
+// unless the server's /queryz workload sketch ranks a dominant hot
+// shape first with a nonzero repeat-exact-hit estimate; the hot
+// fingerprint is printed for scripts to chase through
+// /profilez?fingerprint= and a bundle's workload.json.
 package main
 
 import (
@@ -44,9 +54,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -72,9 +84,11 @@ func main() {
 		timeoutMS   = flag.Int64("timeout-ms", 0, "per-request timeout_ms sent to the server (0: server default)")
 		batch       = flag.Int("batch", 0, "queries per request via /v1/psi/batch (0: single-query endpoint)")
 		seed        = flag.Int64("seed", 1, "workload sampling seed")
+		skew        = flag.String("skew", "", "query-mix skew: empty for uniform round-robin, or zipf:<s> for a Zipfian hot-key mix (query 0 hottest, exponent s > 0)")
 		jsonPath    = flag.String("json", "", "write a psi-bench-shaped results document to this file")
 		verify      = flag.Bool("verify", false, "cross-check every distinct query against a direct model-free PSI evaluation")
 		requireShed = flag.Bool("require-shed", false, "fail unless at least one request was load-shed (429)")
+		requireHot  = flag.Bool("require-hot-shape", false, "fail unless the server's /queryz ranks a dominant hot shape first with a nonzero repeat-hit estimate (use with -skew); prints the hot fingerprint")
 		minBindings = flag.Int64("min-bindings", 0, "fail unless OK responses returned at least this many bindings in total")
 		requireAl   = flag.String("require-alert", "", "fail unless the named SLO alert is firing at /alertz after the run")
 		forbidAl    = flag.String("forbid-alert", "", "fail if the named SLO alert is firing at /alertz after the run")
@@ -87,8 +101,9 @@ func main() {
 		mode: *mode, concurrency: *concurrency, qps: *qps,
 		duration: *duration, requests: *requests,
 		timeoutMS: *timeoutMS, batch: *batch, seed: *seed,
-		jsonPath: *jsonPath, verify: *verify,
-		requireShed: *requireShed, minBindings: *minBindings,
+		skew: *skew, jsonPath: *jsonPath, verify: *verify,
+		requireShed: *requireShed, requireHotShape: *requireHot,
+		minBindings:  *minBindings,
 		requireAlert: *requireAl, forbidAlert: *forbidAl,
 		bundleOnFail: *bundleOn,
 	}
@@ -111,13 +126,20 @@ type config struct {
 	timeoutMS          int64
 	batch              int
 	seed               int64
+	skew               string
 	jsonPath           string
 	verify             bool
 	requireShed        bool
+	requireHotShape    bool
 	minBindings        int64
 	requireAlert       string
 	forbidAlert        string
 	bundleOnFail       string
+
+	// zipfCDF is the cumulative pick distribution over the wire queries
+	// when -skew is zipf:<s> (query 0 hottest); empty means uniform
+	// round-robin. Populated by run from cfg.skew.
+	zipfCDF []float64
 }
 
 // report is the -json document: the same top-level shape as
@@ -133,6 +155,9 @@ type report struct {
 	Metrics        obs.Snapshot `json:"metrics"`
 
 	Mode          string  `json:"mode"`
+	Skew          string  `json:"skew,omitempty"`
+	HotIntended   float64 `json:"hot_share_intended,omitempty"`
+	HotObserved   float64 `json:"hot_share_observed,omitempty"`
 	Requests      int64   `json:"requests"`
 	OK            int64   `json:"ok"`
 	Shed          int64   `json:"shed"`
@@ -160,6 +185,8 @@ type stats struct {
 	latency *obs.Histogram // seconds, OK responses only
 
 	mu        sync.Mutex
+	picks     int64 // query picks made (batch items count individually)
+	hotPicks  int64 // picks of wire[0], the designated hot key
 	requests  int64 // queries sent (batch items count individually)
 	ok        int64
 	shed      int64 // 429
@@ -177,6 +204,17 @@ func newStats() *stats {
 		reg:     reg,
 		latency: reg.Histogram(latencyMetric, "client-side latency of OK responses", obs.LatencyBuckets),
 	}
+}
+
+// recordPick notes which wire query a request drew, so the report can
+// compare the observed hot-key share against the intended Zipfian one.
+func (st *stats) recordPick(idx int) {
+	st.mu.Lock()
+	st.picks++
+	if idx == 0 {
+		st.hotPicks++
+	}
+	st.mu.Unlock()
 }
 
 // record files one query outcome under the status code conventions of
@@ -240,6 +278,9 @@ func run(cfg config, out io.Writer) error {
 	for i, q := range qs {
 		wire[i] = server.QueryToJSON(q)
 	}
+	if cfg.zipfCDF, err = parseSkew(cfg.skew, len(wire)); err != nil {
+		return err
+	}
 
 	base := "http://" + cfg.addr
 	client := &http.Client{Timeout: clientTimeout(cfg.timeoutMS)}
@@ -283,7 +324,59 @@ func run(cfg config, out io.Writer) error {
 		}
 	}
 
-	return bundleOnFail(cfg, client, base, assertOutcome(cfg, rep, client, base))
+	if err := bundleOnFail(cfg, client, base, assertOutcome(cfg, rep, client, base)); err != nil {
+		return err
+	}
+	return bundleOnFail(cfg, client, base, assertHotShape(cfg, client, base, out))
+}
+
+// assertHotShape implements -require-hot-shape: the server's /queryz
+// must rank a dominant shape first (cost rank 1 AND the count leader,
+// holding well above a uniform mix's share) with a nonzero
+// repeat-exact-hit estimate. The hot fingerprint is printed so scripts
+// can chase it through /profilez?fingerprint= and bundle workload.json.
+func assertHotShape(cfg config, client *http.Client, base string, out io.Writer) error {
+	if !cfg.requireHotShape {
+		return nil
+	}
+	resp, err := client.Get(base + "/queryz?format=json")
+	if err != nil {
+		return fmt.Errorf("-require-hot-shape: %w", err)
+	}
+	var data obs.WorkloadData
+	decErr := json.NewDecoder(resp.Body).Decode(&data)
+	closeErr := resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("-require-hot-shape: /queryz: HTTP %d (is the server running with -workload-topk > 0?)", resp.StatusCode)
+	}
+	if decErr != nil {
+		return fmt.Errorf("-require-hot-shape: /queryz: %w", decErr)
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	if len(data.Shapes) == 0 {
+		return fmt.Errorf("-require-hot-shape: /queryz tracked no shapes")
+	}
+	top := data.Shapes[0]
+	for _, s := range data.Shapes[1:] {
+		if s.Count > top.Count {
+			return fmt.Errorf("-require-hot-shape: cost rank 1 (%s, count %d) is not the count leader (%s, count %d)",
+				top.Fingerprint, top.Count, s.Fingerprint, s.Count)
+		}
+	}
+	// A uniform mix over -queries shapes gives each ~1/queries of the
+	// traffic; a Zipfian hot key should hold several times that.
+	if minShare := 2.0 / float64(cfg.queries); top.CountShare < minShare {
+		return fmt.Errorf("-require-hot-shape: top shape %s holds %.1f%% of observed queries, want >= %.1f%%",
+			top.Fingerprint, top.CountShare*100, minShare*100)
+	}
+	if top.Totals.RepeatHits == 0 {
+		return fmt.Errorf("-require-hot-shape: top shape %s has no repeat exact hits", top.Fingerprint)
+	}
+	_, _ = fmt.Fprintf(out, "hot shape: %s count=%d share=%.1f%% repeat_hits=%d cache_win=%.1f%%\n",
+		top.Fingerprint, top.Count, top.CountShare*100, top.Totals.RepeatHits, data.CacheWin.HitRate*100)
+	return nil
 }
 
 // bundleOnFail implements -bundle-on-fail: when err is non-nil it pulls
@@ -323,6 +416,61 @@ func bundleOnFail(cfg config, client *http.Client, base string, err error) error
 	fmt.Fprintf(os.Stderr, "psi-loadgen: diagnostic bundle saved to %s (%d bytes); inspect with psi-bundle report\n",
 		cfg.bundleOnFail, len(data))
 	return err
+}
+
+// parseSkew parses -skew: "" means uniform round-robin (nil CDF), and
+// "zipf:<s>" yields the cumulative Zipfian pick distribution over n
+// queries with exponent s — query 0 is the designated hot key.
+func parseSkew(skew string, n int) ([]float64, error) {
+	if skew == "" {
+		return nil, nil
+	}
+	var s float64
+	if _, err := fmt.Sscanf(skew, "zipf:%g", &s); err != nil || s <= 0 {
+		return nil, fmt.Errorf("-skew must be empty or zipf:<s> with s > 0, got %q", skew)
+	}
+	weights := make([]float64, n)
+	total := 0.0
+	for k := range weights {
+		weights[k] = 1 / math.Pow(float64(k+1), s)
+		total += weights[k]
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for k, w := range weights {
+		acc += w / total
+		cdf[k] = acc
+	}
+	cdf[n-1] = 1 // guard against float drift at the top
+	return cdf, nil
+}
+
+// pickQuery maps the i-th request onto a wire query index: uniform
+// round-robin without skew, otherwise an inverse-CDF Zipf draw from a
+// deterministic per-index hash — every run with the same seed and
+// request count replays the same mix, with no shared RNG contention
+// across driver goroutines.
+func (c config) pickQuery(i, n int) int {
+	if len(c.zipfCDF) == 0 {
+		return i % n
+	}
+	u := uniform01(c.seed, uint64(i))
+	idx := sort.SearchFloat64s(c.zipfCDF, u)
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// uniform01 is a splitmix64-style hash of (seed, i) mapped to [0, 1).
+func uniform01(seed int64, i uint64) float64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + (i+1)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
 }
 
 // clientTimeout picks an HTTP client timeout comfortably above the
@@ -424,7 +572,9 @@ func sendOne(cfg config, client *http.Client, base string, wire []server.QueryJS
 		sendBatch(cfg, client, base, wire, i, st)
 		return
 	}
-	qj := wire[i%len(wire)]
+	idx := cfg.pickQuery(i, len(wire))
+	st.recordPick(idx)
+	qj := wire[idx]
 	body, err := json.Marshal(server.PSIRequest{Query: &qj, TimeoutMS: cfg.timeoutMS})
 	if err != nil {
 		st.record(0, 0, 0)
@@ -451,7 +601,9 @@ func sendOne(cfg config, client *http.Client, base string, wire []server.QueryJS
 func sendBatch(cfg config, client *http.Client, base string, wire []server.QueryJSON, i int, st *stats) {
 	req := server.BatchRequest{TimeoutMS: cfg.timeoutMS}
 	for j := 0; j < cfg.batch; j++ {
-		req.Queries = append(req.Queries, wire[(i*cfg.batch+j)%len(wire)])
+		idx := cfg.pickQuery(i*cfg.batch+j, len(wire))
+		st.recordPick(idx)
+		req.Queries = append(req.Queries, wire[idx])
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -575,6 +727,7 @@ func buildReport(cfg config, st *stats, elapsed time.Duration, snap obs.Snapshot
 		ElapsedSeconds: elapsed.Seconds(),
 		Metrics:        snap,
 		Mode:           cfg.mode,
+		Skew:           cfg.skew,
 		Requests:       st.requests,
 		OK:             st.ok,
 		Shed:           st.shed,
@@ -586,6 +739,12 @@ func buildReport(cfg config, st *stats, elapsed time.Duration, snap obs.Snapshot
 	}
 	if elapsed > 0 {
 		rep.AchievedQPS = float64(st.requests) / elapsed.Seconds()
+	}
+	if len(cfg.zipfCDF) > 0 {
+		rep.HotIntended = cfg.zipfCDF[0]
+		if st.picks > 0 {
+			rep.HotObserved = float64(st.hotPicks) / float64(st.picks)
+		}
 	}
 	h := st.reg.Snapshot().Histograms[latencyMetric]
 	rep.P50MS = quantileMS(h, 0.50)
@@ -615,6 +774,10 @@ func printSummary(out io.Writer, rep *report) {
 		rep.OK, rep.Shed, rep.Deadline, rep.ClientErrors, rep.ServerErrors, rep.TransportErrs)
 	_, _ = fmt.Fprintf(out, "bindings=%d latency p50=%.2fms p95=%.2fms p99=%.2fms\n",
 		rep.Bindings, rep.P50MS, rep.P95MS, rep.P99MS)
+	if rep.Skew != "" {
+		_, _ = fmt.Fprintf(out, "skew=%s hot-key share intended=%.1f%% observed=%.1f%%\n",
+			rep.Skew, rep.HotIntended*100, rep.HotObserved*100)
+	}
 }
 
 // writeReport writes the JSON document atomically next to its final

@@ -15,14 +15,19 @@
 //
 // Endpoints: POST /v1/psi, POST /v1/psi/batch, GET /healthz, GET
 // /readyz, plus the full obs debug surface (/metrics, /metrics.json,
-// /tracez, /profilez, /modelz, /seriesz, /alertz, /debugz/bundle;
-// /debug/pprof answers 403 unless -expose-pprof is set). Metric
+// /tracez, /profilez, /modelz, /seriesz, /alertz, /queryz,
+// /debugz/bundle; /debug/pprof answers 403 unless -expose-pprof is
+// set). Metric
 // collection is always on in a serving process; with -sample-interval
 // > 0 a background sampler additionally keeps windowed time series
 // (/seriesz) and evaluates SLO burn-rate alerts (/alertz). With
 // -bundle-dir set, a diagnostic bundle (zip of metrics, series,
 // alerts, profiles, goroutine + heap dumps, decision and access tails)
-// is auto-captured whenever an SLO objective starts firing.
+// is auto-captured whenever an SLO objective starts firing. With
+// -workload-topk > 0 (the default) every served query is canonically
+// fingerprinted and folded into a bounded top-K sketch served at
+// /queryz — per-shape counts, cost attribution and an answer-cache
+// win estimate; bundles then carry workload.json.
 //
 // A single query:
 //
@@ -81,6 +86,8 @@ func main() {
 		sloBurnFactor  = flag.Float64("slo-burn-factor", 14.4, "burn-rate threshold both windows must exceed")
 		sloFor         = flag.Duration("slo-for", 0, "time an alert stays pending before it fires")
 
+		workloadTopK = flag.Int("workload-topk", 64, "shapes tracked by the /queryz workload sketch (0: disable workload analytics and query fingerprinting)")
+
 		bundleDir      = flag.String("bundle-dir", "", "directory for auto-captured diagnostic bundles when an SLO alert fires (empty: manual /debugz/bundle only)")
 		bundleCooldown = flag.Duration("bundle-cooldown", 5*time.Minute, "minimum time between auto-captured bundles per objective")
 		bundleKeep     = flag.Int("bundle-keep", 8, "auto-captured bundles retained on disk before the oldest is evicted")
@@ -101,7 +108,8 @@ func main() {
 		sloLatencyTgt:   *sloLatencyTgt,
 		sloFastWindow:   *sloFastWindow, sloSlowWindow: *sloSlowWindow,
 		sloBurnFactor: *sloBurnFactor, sloFor: *sloFor,
-		bundleDir: *bundleDir, bundleCooldown: *bundleCooldown,
+		workloadTopK: *workloadTopK,
+		bundleDir:    *bundleDir, bundleCooldown: *bundleCooldown,
 		bundleKeep: *bundleKeep, exposePprof: *exposePprof,
 	}, context.Background(), nil); err != nil {
 		fmt.Fprintln(os.Stderr, "psi-serve:", err)
@@ -133,6 +141,8 @@ type config struct {
 	sloSlowWindow   time.Duration
 	sloBurnFactor   float64
 	sloFor          time.Duration
+
+	workloadTopK int // 0: workload analytics off, /queryz answers 503
 
 	bundleDir      string // "": auto-capture disarmed, /debugz/bundle still live
 	bundleCooldown time.Duration
@@ -217,6 +227,15 @@ func run(cfg config, parent context.Context, ready chan<- string) error {
 		defer sampler.Stop()
 	}
 
+	// Workload analytics: a bounded Space-Saving sketch of canonical
+	// query shapes feeding /queryz; -workload-topk 0 leaves the serving
+	// path entirely fingerprint-free.
+	var workload *obs.Workload
+	if cfg.workloadTopK > 0 {
+		workload = obs.NewWorkload(cfg.workloadTopK)
+		logger.Info("workload analytics armed", "topk", cfg.workloadTopK)
+	}
+
 	// The bundler is always built so /debugz/bundle works; auto-capture
 	// on firing alerts only arms when -bundle-dir is set.
 	bundler, err := obs.NewBundler(obs.BundlerConfig{
@@ -228,6 +247,7 @@ func run(cfg config, parent context.Context, ready chan<- string) error {
 		Recorder:  obs.DefaultRecorder,
 		Decisions: decisions,
 		Access:    obs.DefaultAccess,
+		Workload:  workload,
 		Log:       logger,
 	})
 	if err != nil {
@@ -250,6 +270,7 @@ func run(cfg config, parent context.Context, ready chan<- string) error {
 		Sampler:         sampler,
 		Alerts:          alerts,
 		Bundler:         bundler,
+		Workload:        workload,
 		ExposePprof:     cfg.exposePprof,
 		Log:             logger,
 	})

@@ -23,10 +23,20 @@ import (
 // immediately, in ascending ancestor order, which makes the code a pure
 // function of the traversal's child-order choices.
 func MinDFSCode(g *graph.Graph) string {
+	code, _ := minDFSCode(g, 0) // budget 0 = unlimited: cannot exhaust
+	return code
+}
+
+// minDFSCode is MinDFSCode with an optional step budget shared across
+// all components (0 = unlimited). It reports ok=false when the budget
+// ran out before the enumeration finished, in which case the returned
+// code must be discarded (it may not be minimal).
+func minDFSCode(g *graph.Graph, budget int) (string, bool) {
 	n := g.NumNodes()
 	if n == 0 {
-		return ""
+		return "", true
 	}
+	remaining := budget
 	// One DFS traversal covers one connected component; disconnected
 	// graphs get the sorted concatenation of per-component codes (the
 	// component partition is isomorphism-invariant).
@@ -35,6 +45,9 @@ func MinDFSCode(g *graph.Graph) string {
 	for start := graph.NodeID(0); int(start) < n; start++ {
 		if assigned[start] {
 			continue
+		}
+		if budget > 0 && remaining <= 0 {
+			return "", false
 		}
 		comp := graph.ConnectedComponent(g, start)
 		for _, u := range comp {
@@ -51,12 +64,18 @@ func MinDFSCode(g *graph.Graph) string {
 				roots[i] = graph.NodeID(i)
 			}
 		}
-		e := &dfsEnc{g: sub, dfsID: make([]int8, sub.NumNodes())}
+		e := &dfsEnc{g: sub, dfsID: make([]int8, sub.NumNodes()), budget: remaining}
 		for v := range e.dfsID {
 			e.dfsID[v] = -1
 		}
 		for _, root := range roots {
 			e.tryRoot(root)
+		}
+		if e.exhausted {
+			return "", false
+		}
+		if budget > 0 {
+			remaining -= e.steps
 		}
 		codes = append(codes, string(e.best))
 		if len(comp) == n {
@@ -64,7 +83,7 @@ func MinDFSCode(g *graph.Graph) string {
 		}
 	}
 	if len(codes) == 1 {
-		return codes[0]
+		return codes[0], true
 	}
 	sortStrings(codes)
 	out := make([]byte, 0, 64)
@@ -72,7 +91,7 @@ func MinDFSCode(g *graph.Graph) string {
 		out = append(out, byte(len(c)>>8), byte(len(c)))
 		out = append(out, c...)
 	}
-	return string(out)
+	return string(out), true
 }
 
 func sortStrings(s []string) {
@@ -90,6 +109,12 @@ type dfsEnc struct {
 	cur   []byte
 	best  []byte
 	next  int8
+	// budget bounds the number of recurse() steps; 0 means unlimited.
+	// When it runs out, exhausted is set and best must not be trusted:
+	// the enumeration may have skipped the minimal traversal.
+	budget    int
+	steps     int
+	exhausted bool
 }
 
 func appendLabel(buf []byte, l graph.Label) []byte {
@@ -115,6 +140,9 @@ func (e *dfsEnc) worse() bool {
 }
 
 func (e *dfsEnc) tryRoot(root graph.NodeID) {
+	if e.exhausted {
+		return
+	}
 	e.cur = e.cur[:0]
 	e.cur = appendLabel(e.cur, e.g.Label(root))
 	if e.worse() {
@@ -129,6 +157,15 @@ func (e *dfsEnc) tryRoot(root graph.NodeID) {
 
 // recurse explores all DFS child orders from the current stack state.
 func (e *dfsEnc) recurse() {
+	if e.budget > 0 {
+		e.steps++
+		if e.steps > e.budget {
+			e.exhausted = true
+		}
+	}
+	if e.exhausted {
+		return
+	}
 	if len(e.stack) == 0 {
 		if int(e.next) == e.g.NumNodes() {
 			if e.best == nil || lessBytes(e.cur, e.best) {

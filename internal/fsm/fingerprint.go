@@ -1,0 +1,164 @@
+package fsm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/invariant"
+)
+
+// Fingerprint canonically identifies a pivoted query for workload
+// analytics. Two queries that are isomorphic as labeled graphs and
+// share a pivot label collapse to the same Shape; two queries that are
+// isomorphic *as pivoted graphs* (an isomorphism mapping pivot to
+// pivot) collapse to the same Exact value — since the data graph is
+// static per process, equal Exact values imply equal answers, which is
+// what makes the repeat-exact-hit count an answer-cache upper bound.
+type Fingerprint struct {
+	// Shape hashes the min-DFS canonical code together with the label
+	// multiset and the pivot's label. It is the /queryz grouping key.
+	Shape uint64
+	// Exact additionally hashes the pivot-rooted canonical code, so it
+	// distinguishes pivots in different orbits of the same graph.
+	Exact uint64
+	// Approx is set when the canonical enumeration ran out of its step
+	// budget and a cheaper structural hash (degree sequence + label
+	// multiset) was used instead. Approximate fingerprints are still
+	// isomorphism-invariant but may merge non-isomorphic shapes.
+	Approx bool
+}
+
+// String renders the grouping key the way /queryz, /profilez and the
+// decision log spell it: 16 lowercase hex digits.
+func (f Fingerprint) String() string { return fmt.Sprintf("%016x", f.Shape) }
+
+// DefaultFingerprintSteps bounds the DFS-enumeration work spent on one
+// fingerprint. Serving-path patterns are tiny (the server caps them at
+// a few dozen nodes) and almost always finish in well under a thousand
+// steps; pathological near-regular patterns fall back to the structural
+// hash instead of stalling admission.
+const DefaultFingerprintSteps = 1 << 14
+
+// PivotFingerprint computes the canonical fingerprint of q, spending at
+// most maxSteps DFS steps (non-positive means DefaultFingerprintSteps).
+// It is a pure function of the query and never fails: when the budget
+// runs out it degrades to a structural hash and marks the result
+// Approx.
+func PivotFingerprint(q graph.Query, maxSteps int) Fingerprint {
+	if maxSteps <= 0 {
+		maxSteps = DefaultFingerprintSteps
+	}
+	pivotLabel := q.G.Label(q.Pivot)
+	shapeCode, ok := minDFSCode(q.G, maxSteps)
+	if !ok {
+		return structuralFingerprint(q, pivotLabel)
+	}
+	pivotCode, ok := pivotRootedCode(q.G, q.Pivot, maxSteps)
+	if !ok {
+		return structuralFingerprint(q, pivotLabel)
+	}
+	shape := fnvString(fnvInit("psi-shape"), shapeCode)
+	shape = fnvLabels(fnvByte(shape, 0xFF), labelMultiset(q.G))
+	shape = fnvLabel(fnvByte(shape, 0xFE), pivotLabel)
+	exact := fnvString(fnvInit("psi-exact"), shapeCode)
+	exact = fnvString(fnvByte(exact, 0xFD), pivotCode)
+	exact = fnvLabel(fnvByte(exact, 0xFE), pivotLabel)
+	return Fingerprint{Shape: shape, Exact: exact}
+}
+
+// pivotRootedCode returns the minimum DFS code over traversals of the
+// pivot's component that are rooted at the pivot. Restricting the root
+// canonicalizes the pivot's orbit: pivoted graphs are isomorphic (pivot
+// onto pivot) exactly when their pivot-rooted codes match.
+func pivotRootedCode(g *graph.Graph, pivot graph.NodeID, budget int) (string, bool) {
+	sub, root := g, pivot
+	comp := graph.ConnectedComponent(g, pivot)
+	if len(comp) < g.NumNodes() {
+		var err error
+		sub, _, err = graph.InducedSubgraph(g, comp)
+		invariant.Must(err) // components of a valid graph always induce
+		root = 0            // ConnectedComponent lists pivot first
+	}
+	e := &dfsEnc{g: sub, dfsID: make([]int8, sub.NumNodes()), budget: budget}
+	for v := range e.dfsID {
+		e.dfsID[v] = -1
+	}
+	e.tryRoot(root)
+	if e.exhausted || e.best == nil {
+		return "", false
+	}
+	return string(e.best), true
+}
+
+// structuralFingerprint is the bounded-cost fallback: a hash of the
+// sorted (label, degree) sequence plus edge count and pivot identity.
+// Isomorphism-invariant, but weaker than the canonical code.
+func structuralFingerprint(q graph.Query, pivotLabel graph.Label) Fingerprint {
+	type nodeKey struct {
+		l graph.Label
+		d int32
+	}
+	keys := make([]nodeKey, q.G.NumNodes())
+	for u := range keys {
+		keys[u] = nodeKey{l: q.G.Label(graph.NodeID(u)), d: q.G.Degree(graph.NodeID(u))}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].l != keys[j].l {
+			return keys[i].l < keys[j].l
+		}
+		return keys[i].d < keys[j].d
+	})
+	fold := func(h uint64) uint64 {
+		for _, k := range keys {
+			h = fnvLabel(h, k.l)
+			h = fnvByte(fnvByte(h, byte(k.d)), byte(k.d>>8))
+		}
+		h = fnvByte(h, 0xFC)
+		h = fnvByte(fnvByte(h, byte(q.G.NumEdges())), byte(q.G.NumEdges()>>8))
+		h = fnvLabel(fnvByte(h, 0xFE), pivotLabel)
+		return fnvByte(fnvByte(h, byte(q.G.Degree(q.Pivot))), byte(q.G.Degree(q.Pivot)>>8))
+	}
+	return Fingerprint{
+		Shape:  fold(fnvInit("psi-shape-approx")),
+		Exact:  fold(fnvInit("psi-exact-approx")),
+		Approx: true,
+	}
+}
+
+func labelMultiset(g *graph.Graph) []graph.Label {
+	ls := make([]graph.Label, g.NumNodes())
+	for u := range ls {
+		ls[u] = g.Label(graph.NodeID(u))
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	return ls
+}
+
+// FNV-1a, inlined so fingerprinting allocates nothing beyond the codes.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvInit(salt string) uint64 { return fnvString(fnvOffset, salt) }
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+func fnvLabel(h uint64, l graph.Label) uint64 {
+	return fnvByte(fnvByte(h, byte(l)), byte(uint16(l)>>8))
+}
+
+func fnvLabels(h uint64, ls []graph.Label) uint64 {
+	for _, l := range ls {
+		h = fnvLabel(h, l)
+	}
+	return h
+}

@@ -1,0 +1,164 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/graph/graphtest"
+)
+
+// permutedQuery rebuilds q's graph under a random node permutation and
+// maps the pivot along, producing an isomorphic pivoted query.
+func permutedQuery(q graph.Query, rng *rand.Rand) graph.Query {
+	g := q.G
+	perm := rng.Perm(g.NumNodes())
+	inv := make([]graph.NodeID, g.NumNodes())
+	for newID, oldID := range perm {
+		inv[oldID] = graph.NodeID(newID)
+	}
+	b := graph.NewBuilder(g.NumNodes(), int(g.NumEdges()))
+	for newID := range perm {
+		b.AddNode(g.Label(graph.NodeID(perm[newID])))
+	}
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		for i, v := range g.Neighbors(u) {
+			if u < v {
+				if err := b.AddLabeledEdge(inv[u], inv[v], g.EdgeLabelAt(u, i)); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return graph.Query{G: b.MustBuild(), Pivot: inv[q.Pivot]}
+}
+
+// TestPivotFingerprintPermutationInvariant: relabeling the nodes of a
+// pivoted query (pivot mapped along) never changes either hash — the
+// whole point of hashing canonical codes instead of adjacency.
+func TestPivotFingerprintPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphtest.Random(7, 11, 3, seed)
+		q := graph.Query{G: g, Pivot: graph.NodeID(rng.Intn(g.NumNodes()))}
+		a := PivotFingerprint(q, 0)
+		b := PivotFingerprint(permutedQuery(q, rng), 0)
+		return a == b && !a.Approx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPivotFingerprintPivotOrbits: on an unlabeled path a-b-c the two
+// endpoints are one pivot orbit and the midpoint another. Shape ignores
+// the orbit (same graph, same pivot label); Exact must not.
+func TestPivotFingerprintPivotOrbits(t *testing.T) {
+	b := graph.NewBuilder(3, 2)
+	for i := 0; i < 3; i++ {
+		b.AddNode(0)
+	}
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := b.MustBuild()
+
+	end0 := PivotFingerprint(graph.Query{G: path, Pivot: 0}, 0)
+	mid := PivotFingerprint(graph.Query{G: path, Pivot: 1}, 0)
+	end2 := PivotFingerprint(graph.Query{G: path, Pivot: 2}, 0)
+
+	if end0.Shape != mid.Shape || mid.Shape != end2.Shape {
+		t.Fatalf("Shape must ignore the pivot orbit: %016x / %016x / %016x",
+			end0.Shape, mid.Shape, end2.Shape)
+	}
+	if end0.Exact != end2.Exact {
+		t.Errorf("both endpoints are one orbit, Exact %016x != %016x", end0.Exact, end2.Exact)
+	}
+	if end0.Exact == mid.Exact {
+		t.Errorf("endpoint and midpoint are different orbits, Exact collided at %016x", mid.Exact)
+	}
+}
+
+// TestPivotFingerprintPivotLabelSplitsShape: the same underlying graph
+// with the pivot on differently-labeled nodes must land in different
+// /queryz groups — a pivoted query's answers depend on the pivot label.
+func TestPivotFingerprintPivotLabelSplitsShape(t *testing.T) {
+	b := graph.NewBuilder(2, 1)
+	b.AddNode(0)
+	b.AddNode(1)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.MustBuild()
+	p0 := PivotFingerprint(graph.Query{G: g, Pivot: 0}, 0)
+	p1 := PivotFingerprint(graph.Query{G: g, Pivot: 1}, 0)
+	if p0.Shape == p1.Shape {
+		t.Errorf("pivot labels 0 and 1 share Shape %016x", p0.Shape)
+	}
+}
+
+// TestPivotFingerprintBudgetFallback: with a starvation budget the
+// fingerprint degrades to the structural hash — marked Approx, still
+// deterministic and permutation-invariant, and still usable as a key.
+func TestPivotFingerprintBudgetFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graphtest.Random(8, 14, 2, 7)
+	q := graph.Query{G: g, Pivot: 2}
+	a := PivotFingerprint(q, 1)
+	if !a.Approx {
+		t.Fatalf("budget 1 on an 8-node graph must exhaust, got exact fingerprint")
+	}
+	if a != PivotFingerprint(q, 1) {
+		t.Error("fallback fingerprint is not deterministic")
+	}
+	if b := PivotFingerprint(permutedQuery(q, rng), 1); a != b {
+		t.Errorf("fallback fingerprint not permutation-invariant: %016x vs %016x", a.Shape, b.Shape)
+	}
+	// The same query under a generous budget must not be Approx, and the
+	// two regimes must not share hash values (different salts).
+	full := PivotFingerprint(q, 0)
+	if full.Approx {
+		t.Fatal("default budget exhausted on a tiny graph")
+	}
+	if full.Shape == a.Shape {
+		t.Error("approx and exact fingerprints collided")
+	}
+}
+
+// TestPivotFingerprintDisconnectedQuery: a pivot in one component of a
+// disconnected query still fingerprints (the pivot-rooted code is over
+// the pivot's component; the shape code covers all components).
+func TestPivotFingerprintDisconnectedQuery(t *testing.T) {
+	b := graph.NewBuilder(4, 2)
+	for i := 0; i < 4; i++ {
+		b.AddNode(0)
+	}
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	g := b.MustBuild()
+	fp := PivotFingerprint(graph.Query{G: g, Pivot: 2}, 0)
+	if fp.Approx {
+		t.Fatal("disconnected query unexpectedly hit the fallback")
+	}
+	// Both edges are symmetric, so every pivot is in the same orbit.
+	if other := PivotFingerprint(graph.Query{G: g, Pivot: 0}, 0); other != fp {
+		t.Errorf("symmetric pivots disagree: %+v vs %+v", fp, other)
+	}
+}
+
+// TestFingerprintString: the rendered key is the 16-hex-digit Shape —
+// what /queryz, /profilez?fingerprint= and the decision log all match
+// on.
+func TestFingerprintString(t *testing.T) {
+	fp := Fingerprint{Shape: 0xabc}
+	if got, want := fp.String(), "0000000000000abc"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

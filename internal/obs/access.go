@@ -24,6 +24,10 @@ type AccessEntry struct {
 	Status     int       `json:"status"`
 	DurationMS float64   `json:"duration_ms"`
 	RequestID  string    `json:"request_id,omitempty"`
+	// Fingerprint is the canonical shape fingerprint of the served
+	// query (empty for non-query routes or when fingerprinting is
+	// unarmed), so bundle readers can join access lines to /queryz rows.
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // AccessRing retains the last N access entries. Safe for concurrent

@@ -59,6 +59,7 @@ const (
 	HeapEntry          = "heap.pprof"
 	DecisionsEntry     = "decisions.jsonl"
 	AccessLogEntryName = "access.jsonl"
+	WorkloadEntry      = "workload.json"
 )
 
 // BundleEntryInfo is one archive member as listed in the manifest.
@@ -125,6 +126,10 @@ type BundlerConfig struct {
 	Decisions *DecisionLog
 	// Access is the serving-path access ring (usually DefaultAccess).
 	Access *AccessRing
+	// Workload is the workload-analytics sketch; its snapshot becomes
+	// workload.json so incident bundles carry the shape mix that was
+	// being served when the alert fired.
+	Workload *Workload
 	// Log, when non-nil, gets one line per automatic capture or capture
 	// failure.
 	Log *slog.Logger
@@ -463,6 +468,11 @@ func (b *Bundler) payloads() ([]bundlePayload, error) {
 			return nil, err
 		}
 		out = append(out, bundlePayload{AccessLogEntryName, data})
+	}
+	if b.cfg.Workload != nil {
+		if err := add(WorkloadEntry, b.cfg.Workload.Snapshot()); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -60,6 +60,10 @@ type DecisionRecord struct {
 	// RequestID is the serving-layer X-Request-ID that produced this
 	// decision, when the query arrived through psi-serve.
 	RequestID string `json:"request_id,omitempty"`
+	// Fingerprint is the query's canonical shape fingerprint (the
+	// /queryz grouping key), letting decision-log analysis pivot model
+	// behavior by workload shape.
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// Node is the audited candidate node (-1 for beta-rank records).
 	Node int64 `json:"node"`
 	// Features is the candidate's signature row (the model input).

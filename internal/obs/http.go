@@ -16,10 +16,11 @@ import (
 type HandlerOption func(*handlerConfig)
 
 type handlerConfig struct {
-	sampler *Sampler
-	alerts  *SLOSet
-	bundler *Bundler
-	pprof   bool
+	sampler  *Sampler
+	alerts   *SLOSet
+	bundler  *Bundler
+	workload *Workload
+	pprof    bool
 }
 
 // WithSampler mounts /seriesz over the given sampler's rings. Without
@@ -38,6 +39,12 @@ func WithAlerts(a *SLOSet) HandlerOption {
 // diagnostic bundle. Without it (or with nil) the route answers 503.
 func WithBundler(b *Bundler) HandlerOption {
 	return func(c *handlerConfig) { c.bundler = b }
+}
+
+// WithWorkload mounts /queryz over the given workload sketch. Without
+// it (or with nil) /queryz answers 503.
+func WithWorkload(w *Workload) HandlerOption {
+	return func(c *handlerConfig) { c.workload = w }
 }
 
 // WithPprof controls whether /debug/pprof/* is mounted. The default is
@@ -61,7 +68,11 @@ func WithPprof(on bool) HandlerOption {
 //	/profilez           flight recorder: K slowest + K most recent profiles
 //	/profilez?id=N      one profile as an EXPLAIN ANALYZE text tree
 //	/profilez?request_id=X  the profile recorded for one served request
+//	/profilez?fingerprint=X the most recent profile of one query shape
 //	/profilez?format=json  the same data as JSON (combinable with lookups)
+//	/queryz             workload analytics (WithWorkload): shapes ranked
+//	                    by aggregate cost with a cache-win estimate,
+//	                    ?format=json for the schema-1 document
 //	/modelz             model-decision telemetry: model-α confusion matrix,
 //	                    vote-margin calibration, model-β plan rank, cache
 //	                    quality, shadow-scoring regret, drift events
@@ -132,17 +143,21 @@ func Handler(reg *Registry, tracer *Tracer, recorder *Recorder, opts ...HandlerO
 	mux.HandleFunc("/profilez", func(w http.ResponseWriter, req *http.Request) {
 		asJSON := req.URL.Query().Get("format") == "json"
 		idStr, reqID := req.URL.Query().Get("id"), req.URL.Query().Get("request_id")
-		if idStr != "" || reqID != "" {
+		fp := req.URL.Query().Get("fingerprint")
+		if idStr != "" || reqID != "" || fp != "" {
 			var p *Profile
-			if idStr != "" {
+			switch {
+			case idStr != "":
 				id, err := strconv.ParseUint(idStr, 10, 64)
 				if err != nil {
 					http.Error(w, "bad id", http.StatusBadRequest)
 					return
 				}
 				p = recorder.Lookup(id)
-			} else {
+			case reqID != "":
 				p = recorder.LookupRequest(reqID)
+			default:
+				p = recorder.LookupFingerprint(fp)
 			}
 			if p == nil {
 				http.Error(w, "profile not retained", http.StatusNotFound)
@@ -242,6 +257,25 @@ func Handler(reg *Registry, tracer *Tracer, recorder *Recorder, opts ...HandlerO
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if err := hc.alerts.WriteText(w); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/queryz", func(w http.ResponseWriter, req *http.Request) {
+		if hc.workload == nil {
+			http.Error(w, "workload analytics disabled (start psi-serve with -workload-topk > 0)",
+				http.StatusServiceUnavailable)
+			return
+		}
+		d := hc.workload.Snapshot()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := d.WriteJSON(w); err != nil {
+				return
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := d.WriteText(w); err != nil {
 			return
 		}
 	})

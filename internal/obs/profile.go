@@ -179,6 +179,7 @@ type Profile struct {
 	finished     bool
 	duration     time.Duration
 	requestID    string
+	fingerprint  string
 	method       string
 	candidates   int
 	bindings     int
@@ -270,6 +271,41 @@ func (p *Profile) RequestID() string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.requestID
+}
+
+// SetFingerprint tags the profile with the query's canonical shape
+// fingerprint (fsm.PivotFingerprint rendered as hex), making it
+// retrievable via /profilez?fingerprint= and letting bundle readers
+// pivot profiles by workload shape.
+func (p *Profile) SetFingerprint(fp string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.fingerprint = fp
+	p.mu.Unlock()
+}
+
+// Fingerprint returns the canonical shape fingerprint, if one was set.
+func (p *Profile) Fingerprint() string {
+	if p == nil {
+		return ""
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fingerprint
+}
+
+// ModeMix returns the model-α pick counts in psi.Mode order
+// (optimistic, pessimistic); the workload sketch attributes the pick
+// mix per shape from it.
+func (p *Profile) ModeMix() [2]int64 {
+	if p == nil {
+		return [2]int64{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.modeCounts
 }
 
 // SetMethod records how the query was executed ("ml" for the full
@@ -493,6 +529,7 @@ type ProfileData struct {
 	ID            uint64    `json:"id"`
 	Name          string    `json:"name"`
 	RequestID     string    `json:"request_id,omitempty"`
+	Fingerprint   string    `json:"fingerprint,omitempty"`
 	Start         time.Time `json:"start"`
 	DurationNanos int64     `json:"duration_nanos"`
 	Finished      bool      `json:"finished"`
@@ -536,6 +573,7 @@ func (p *Profile) Snapshot() ProfileData {
 		ID:             p.id,
 		Name:           p.name,
 		RequestID:      p.requestID,
+		Fingerprint:    p.fingerprint,
 		Start:          p.start,
 		DurationNanos:  dur.Nanoseconds(),
 		Finished:       p.finished,
@@ -591,6 +629,9 @@ func (d ProfileData) WriteText(w io.Writer) error {
 		d.Name, d.ID, state, orDash(d.Method), d.Candidates, d.Bindings)
 	if d.RequestID != "" {
 		fmt.Fprintf(&buf, "├─ request: %s\n", d.RequestID)
+	}
+	if d.Fingerprint != "" {
+		fmt.Fprintf(&buf, "├─ shape: %s\n", d.Fingerprint)
 	}
 	if d.Error != "" {
 		fmt.Fprintf(&buf, "├─ error: %s\n", d.Error)

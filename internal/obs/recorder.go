@@ -142,6 +142,27 @@ func (r *Recorder) LookupRequest(requestID string) *Profile {
 	return nil
 }
 
+// LookupFingerprint returns the most recent retained profile tagged
+// with the given canonical shape fingerprint (see
+// Profile.SetFingerprint), or nil. Backs /profilez?fingerprint=, which
+// is how a /queryz row is pivoted into a concrete example profile.
+func (r *Recorder) LookupFingerprint(fp string) *Profile {
+	if fp == "" {
+		return nil
+	}
+	for _, p := range r.Recent() { // newest first
+		if p.Fingerprint() == fp {
+			return p
+		}
+	}
+	for _, p := range r.Slowest() {
+		if p.Fingerprint() == fp {
+			return p
+		}
+	}
+	return nil
+}
+
 // LastID returns the most recently assigned profile ID; the overhead
 // guard uses it to attribute profiles to a measurement window.
 func (r *Recorder) LastID() uint64 {

@@ -63,6 +63,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fsm"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/psi"
@@ -85,9 +86,18 @@ type requestEvaluator interface {
 	EvaluateRequest(q graph.Query, deadline time.Time, requestID string) (*smartpsi.Result, error)
 }
 
+// taggedEvaluator is the further extension that also accepts the shape
+// fingerprint the server computed at admission, so the evaluator does
+// not re-derive it and the profile/decision-log records carry the same
+// key /queryz groups by.
+type taggedEvaluator interface {
+	EvaluateTagged(q graph.Query, deadline time.Time, requestID, fingerprint string) (*smartpsi.Result, error)
+}
+
 var (
 	_ Evaluator        = (*smartpsi.Engine)(nil)
 	_ requestEvaluator = (*smartpsi.Engine)(nil)
+	_ taggedEvaluator  = (*smartpsi.Engine)(nil)
 )
 
 // Config tunes the server's guardrails. The zero value gives sensible
@@ -135,6 +145,11 @@ type Config struct {
 	// (when armed with a bundle directory) auto-captures a diagnostic
 	// bundle whenever an SLO objective starts firing.
 	Bundler *obs.Bundler
+	// Workload, when non-nil, arms workload analytics: every /v1 query
+	// is canonically fingerprinted at admission, folded into this top-K
+	// sketch, and /queryz is mounted on the debug mux. Nil keeps the
+	// serving path fingerprint-free (the nil-sketch fast path).
+	Workload *obs.Workload
 	// ExposePprof mounts /debug/pprof on the serving listener. Default
 	// false: the serving port answers pprof with 403, because the CPU
 	// profile and symbol endpoints expose process internals and can
@@ -211,7 +226,8 @@ func NewServer(eval Evaluator, cfg Config) *Server {
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.Handle("/", obs.Handler(obs.Default, obs.DefaultTracer, obs.DefaultRecorder,
 		obs.WithSampler(s.cfg.Sampler), obs.WithAlerts(s.cfg.Alerts),
-		obs.WithBundler(s.cfg.Bundler), obs.WithPprof(s.cfg.ExposePprof)))
+		obs.WithBundler(s.cfg.Bundler), obs.WithWorkload(s.cfg.Workload),
+		obs.WithPprof(s.cfg.ExposePprof)))
 	return s
 }
 
@@ -235,6 +251,29 @@ type requestIDKey struct{}
 func RequestIDFrom(ctx context.Context) string {
 	id, _ := ctx.Value(requestIDKey{}).(string)
 	return id
+}
+
+// fingerprintKey carries a per-request slot the query handlers fill
+// with the canonical shape fingerprint once it is known (after decode,
+// inside the handler), so the access log — which runs in the outer
+// Handler wrapper — can pick it up without re-deriving it.
+type fingerprintKey struct{}
+
+// fingerprintFrom reads the fingerprint slot, or "" when the request
+// never reached fingerprinting (non-query route, decode failure,
+// workload analytics unarmed).
+func fingerprintFrom(ctx context.Context) string {
+	if slot, ok := ctx.Value(fingerprintKey{}).(*string); ok {
+		return *slot
+	}
+	return ""
+}
+
+// setFingerprint fills the request's fingerprint slot, if present.
+func setFingerprint(ctx context.Context, fp string) {
+	if slot, ok := ctx.Value(fingerprintKey{}).(*string); ok {
+		*slot = fp
+	}
 }
 
 // newRequestID generates a 16-hex-char random request ID.
@@ -290,7 +329,9 @@ func (s *Server) Handler() http.Handler {
 		reqID := resolveRequestID(r)
 		sw := &statusWriter{ResponseWriter: w}
 		sw.Header().Set(requestIDHeader, reqID)
-		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, reqID))
+		ctx := context.WithValue(r.Context(), requestIDKey{}, reqID)
+		ctx = context.WithValue(ctx, fingerprintKey{}, new(string))
+		r = r.WithContext(ctx)
 		t0 := time.Now()
 		defer s.accessLog(r, reqID, sw, t0)
 		defer func() {
@@ -319,12 +360,13 @@ func (s *Server) accessLog(r *http.Request, reqID string, sw *statusWriter, t0 t
 	isV1 := strings.HasPrefix(r.URL.Path, "/v1/")
 	if isV1 {
 		obs.DefaultAccess.Append(obs.AccessEntry{
-			Time:       t0,
-			Method:     r.Method,
-			Path:       r.URL.Path,
-			Status:     status,
-			DurationMS: float64(time.Since(t0).Nanoseconds()) / 1e6,
-			RequestID:  reqID,
+			Time:        t0,
+			Method:      r.Method,
+			Path:        r.URL.Path,
+			Status:      status,
+			DurationMS:  float64(time.Since(t0).Nanoseconds()) / 1e6,
+			RequestID:   reqID,
+			Fingerprint: fingerprintFrom(r.Context()),
 		})
 	}
 	if s.cfg.Log == nil {
@@ -445,8 +487,9 @@ var errPanic = errors.New("server: evaluator panic")
 
 // safeEvaluate runs one evaluation with request-scoped panic recovery:
 // a panicking evaluation poisons only its own request. Evaluators that
-// support request correlation get the request ID threaded through.
-func (s *Server) safeEvaluate(q graph.Query, deadline time.Time, requestID string) (res *smartpsi.Result, err error) {
+// support request correlation get the request ID (and, when workload
+// analytics armed it, the admission-time fingerprint) threaded through.
+func (s *Server) safeEvaluate(q graph.Query, deadline time.Time, requestID, fingerprint string) (res *smartpsi.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			obs.ServerPanics.Inc()
@@ -454,10 +497,73 @@ func (s *Server) safeEvaluate(q graph.Query, deadline time.Time, requestID strin
 			res, err = nil, fmt.Errorf("%w: %v", errPanic, p)
 		}
 	}()
+	if te, ok := s.eval.(taggedEvaluator); ok && fingerprint != "" {
+		return te.EvaluateTagged(q, deadline, requestID, fingerprint)
+	}
 	if re, ok := s.eval.(requestEvaluator); ok && requestID != "" {
 		return re.EvaluateRequest(q, deadline, requestID)
 	}
 	return s.eval.EvaluateBudget(q, deadline)
+}
+
+// fingerprintQuery computes the canonical fingerprint of one admitted
+// query — once, before evaluation — when workload analytics is armed.
+// The zero Fingerprint (ok=false) means "unarmed": no sketch, no
+// per-query canonicalization work on the serving path.
+func (s *Server) fingerprintQuery(q graph.Query) (fsm.Fingerprint, bool) {
+	if s.cfg.Workload == nil {
+		return fsm.Fingerprint{}, false
+	}
+	return fsm.PivotFingerprint(q, 0), true
+}
+
+// observeQuery folds one terminal query outcome into the workload
+// sketch. res may be nil (shed, queued-deadline and error paths).
+func (s *Server) observeQuery(q graph.Query, fp fsm.Fingerprint, outcome string, wall time.Duration, res *smartpsi.Result) {
+	if s.cfg.Workload == nil {
+		return
+	}
+	o := obs.QueryObservation{
+		Shape:      fp.Shape,
+		Exact:      fp.Exact,
+		Approx:     fp.Approx,
+		Nodes:      q.G.NumNodes(),
+		Edges:      int(q.G.NumEdges()),
+		PivotLabel: int(q.G.Label(q.Pivot)),
+		Outcome:    outcome,
+		Wall:       wall,
+	}
+	if res != nil {
+		o.Example = res.Profile.Name()
+		o.Work = res.Work.Recursions
+		o.Candidates = int64(res.Candidates)
+		o.Bindings = int64(len(res.Bindings))
+		o.CacheHits = res.CacheHits
+		o.Flips = res.Flips
+		o.Fallbacks = res.Fallbacks
+		o.ModeMix = res.Profile.ModeMix()
+		o.UsedML = res.UsedML
+		o.Funnel = res.Profile.FunnelTotals()
+	}
+	s.cfg.Workload.Observe(o)
+}
+
+// workloadOutcome maps an admission or evaluation error onto the
+// workload-sketch outcome taxonomy. ok=false means the outcome should
+// not be observed at all (client gone — nobody was answered).
+func workloadOutcome(err error) (string, bool) {
+	switch {
+	case err == nil:
+		return obs.WorkloadOutcomeOK, true
+	case errors.Is(err, errShed):
+		return obs.WorkloadOutcomeShed, true
+	case errors.Is(err, psi.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return obs.WorkloadOutcomeDeadline, true
+	case errors.Is(err, context.Canceled):
+		return "", false
+	default:
+		return obs.WorkloadOutcomeError, true
+	}
 }
 
 // retryAfterSeconds renders the Retry-After hint, at least 1 second:
@@ -541,16 +647,32 @@ func (s *Server) handlePSI(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Fingerprint once at admission: the canonical shape key feeds the
+	// workload sketch, the access log, and (via EvaluateTagged) the
+	// profile and decision-log records for this query.
+	fp, armed := s.fingerprintQuery(q)
+	fpStr := ""
+	if armed {
+		fpStr = fp.String()
+		setFingerprint(r.Context(), fpStr)
+	}
+
 	ctx, cancel := context.WithDeadline(r.Context(), deadline)
 	defer cancel()
 	if err := s.adm.acquire(ctx); err != nil {
+		if out, ok := workloadOutcome(err); ok {
+			s.observeQuery(q, fp, out, time.Since(t0), nil)
+		}
 		s.writeAdmissionError(w, err)
 		return
 	}
 	defer s.adm.release()
 
 	evalStart := time.Now()
-	res, err := s.safeEvaluate(q, deadline, RequestIDFrom(r.Context()))
+	res, err := s.safeEvaluate(q, deadline, RequestIDFrom(r.Context()), fpStr)
+	if out, ok := workloadOutcome(err); ok {
+		s.observeQuery(q, fp, out, time.Since(evalStart), res)
+	}
 	if err != nil {
 		s.writeEvalError(w, err)
 		return
@@ -612,13 +734,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, q graph.Query) {
 			defer wg.Done()
+			fp, armed := s.fingerprintQuery(q)
+			fpStr := ""
+			if armed {
+				fpStr = fp.String()
+			}
+			qStart := time.Now()
 			if err := s.adm.acquire(ctx); err != nil {
+				if out, ok := workloadOutcome(err); ok {
+					s.observeQuery(q, fp, out, time.Since(qStart), nil)
+				}
 				items[i] = admissionItem(err)
 				return
 			}
 			defer s.adm.release()
 			evalStart := time.Now()
-			res, err := s.safeEvaluate(q, deadline, reqID)
+			res, err := s.safeEvaluate(q, deadline, reqID, fpStr)
+			if out, ok := workloadOutcome(err); ok {
+				s.observeQuery(q, fp, out, time.Since(evalStart), res)
+			}
 			if err != nil {
 				items[i] = evalItem(err)
 				return

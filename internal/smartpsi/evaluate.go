@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fsm"
 	"repro/internal/graph"
 	"repro/internal/invariant"
 	"repro/internal/ml"
@@ -103,7 +104,7 @@ func (e *Engine) Evaluate(q graph.Query) (*Result, error) {
 // psi.ErrDeadline; partial results are discarded, matching how the
 // paper's 24-hour task limit censors runs.
 func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, error) {
-	return e.evaluateBudget(q, deadline, "")
+	return e.evaluateBudget(q, deadline, queryTag{})
 }
 
 // EvaluateRequest is EvaluateBudget with a serving-layer request ID
@@ -111,26 +112,45 @@ func (e *Engine) EvaluateBudget(q graph.Query, deadline time.Time) (*Result, err
 // and decision-log records, so one served request is correlatable
 // across the access log, /profilez?request_id= and the decision log.
 func (e *Engine) EvaluateRequest(q graph.Query, deadline time.Time, requestID string) (*Result, error) {
-	return e.evaluateBudget(q, deadline, requestID)
+	return e.evaluateBudget(q, deadline, queryTag{reqID: requestID})
 }
 
-func (e *Engine) evaluateBudget(q graph.Query, deadline time.Time, reqID string) (_ *Result, retErr error) {
+// EvaluateTagged is EvaluateRequest with the query's canonical shape
+// fingerprint already computed by the caller (the serving layer
+// fingerprints once at admission so the workload sketch, the profile
+// and the decision log all agree); an empty fingerprint falls back to
+// computing one here when anything will record it.
+func (e *Engine) EvaluateTagged(q graph.Query, deadline time.Time, requestID, fingerprint string) (*Result, error) {
+	return e.evaluateBudget(q, deadline, queryTag{reqID: requestID, fingerprint: fingerprint})
+}
+
+// queryTag is the per-query identity threaded into traces, profiles and
+// decision-log records: profile name, serving request ID, and canonical
+// shape fingerprint.
+type queryTag struct {
+	name        string
+	reqID       string
+	fingerprint string
+}
+
+func (e *Engine) evaluateBudget(q graph.Query, deadline time.Time, tag queryTag) (_ *Result, retErr error) {
 	start := time.Now()
 	enabled := obs.Enabled()
 	var tr *obs.QueryTrace
 	var prof *obs.Profile
-	qname := ""
-	if enabled || e.opts.auditing() || e.opts.DecisionLog != nil {
-		qname = fmt.Sprintf("smartpsi/q%d.p%d", q.Size(), int(q.Pivot))
+	tagged := enabled || e.opts.auditing() || e.opts.DecisionLog != nil
+	if tagged {
+		tag.name = fmt.Sprintf("smartpsi/q%d.p%d", q.Size(), int(q.Pivot))
 	}
 	if enabled {
 		obs.SmartQueries.Inc()
-		tr = obs.StartQuery(qname)
-		prof = obs.StartProfile(qname)
-		if reqID != "" {
-			tr.SetRequestID(reqID)
-			prof.SetRequestID(reqID)
+		tr = obs.StartQuery(tag.name)
+		prof = obs.StartProfile(tag.name)
+		if tag.reqID != "" {
+			tr.SetRequestID(tag.reqID)
+			prof.SetRequestID(tag.reqID)
 		}
+		prof.SetFingerprint(tag.fingerprint)
 	}
 	defer tr.Finish()
 	// Seal the profile on every exit: error paths record the error so
@@ -174,6 +194,13 @@ func (e *Engine) evaluateBudget(q graph.Query, deadline time.Time, reqID string)
 	}
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("smartpsi: %w", err)
+	}
+	if tagged && tag.fingerprint == "" {
+		// Non-serving entry points (CLIs, tests) fingerprint here so
+		// their profiles and decision records still pivot by shape; the
+		// serving layer passes one in via EvaluateTagged instead.
+		tag.fingerprint = fsm.PivotFingerprint(q, 0).String()
+		prof.SetFingerprint(tag.fingerprint)
 	}
 	if q.G.NumLabels() > e.sigs.Width() {
 		return nil, fmt.Errorf("smartpsi: query uses %d labels, data graph only %d", q.G.NumLabels(), e.sigs.Width())
@@ -335,7 +362,7 @@ func (e *Engine) evaluateBudget(q graph.Query, deadline time.Time, reqID string)
 		tr.Event(obs.EvTrainDone, -1, int64(trainCount))
 	}
 	if betaModel != nil && len(sweeps) > 0 {
-		e.scoreBetaRanks(qname, reqID, betaModel, sweeps)
+		e.scoreBetaRanks(tag, betaModel, sweeps)
 	}
 
 	// ----- Prediction + preemptive evaluation (Sections 4.2.3, 4.3) -----
@@ -396,7 +423,7 @@ func (e *Engine) evaluateBudget(q graph.Query, deadline time.Time, reqID string)
 					errs[w] = psi.ErrDeadline
 					return
 				}
-				ok, err := e.evaluateOne(ev, wst, compiled, qname, reqID, u, alphaModel, betaModel, timing, &cache, &local, tr, prof, deadline)
+				ok, err := e.evaluateOne(ev, wst, compiled, tag, u, alphaModel, betaModel, timing, &cache, &local, tr, prof, deadline)
 				if err != nil {
 					errs[w] = err
 					return
@@ -601,7 +628,7 @@ type decision struct {
 // documented on obs.EventKind and the profiler's per-rung timeline.
 // Rung-1 resolutions additionally run the sampled shadow audits
 // (shadow.go); rungs 2–3 never do — they are already counterfactuals.
-func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.Compiled, qname, reqID string,
+func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.Compiled, tag queryTag,
 	u graph.NodeID, alphaModel, betaModel *ml.Forest, timing *planTiming,
 	cache *sync.Map, local *workerCounters, tr *obs.QueryTrace, prof *obs.Profile, global time.Time) (bool, error) {
 
@@ -697,7 +724,7 @@ func (e *Engine) evaluateOne(ev *psi.Evaluator, st *psi.State, compiled []*plan.
 		}
 		e.scoreAlpha(local, tr, u, predicted, dec.mode, dec.margin, ok)
 		if e.opts.auditing() {
-			if aerr := e.auditDecision(ev, compiled, qname, reqID, u, row, dec, cached, ok, took,
+			if aerr := e.auditDecision(ev, compiled, tag, u, row, dec, cached, ok, took,
 				alphaModel, betaModel, local, tr, prof, global); aerr != nil {
 				return false, aerr
 			}

@@ -188,7 +188,7 @@ func TestObsRecoveryLadderTraceSequences(t *testing.T) {
 			recBefore := obs.SmartRecoveries.Value()
 
 			prof := obs.NewProfile(tc.name)
-			got, err := e.evaluateOne(ev, st, compiled, "test", "", u, nil, nil, timing, &cache, &local, tr, prof, tc.global)
+			got, err := e.evaluateOne(ev, st, compiled, queryTag{name: "test"}, u, nil, nil, timing, &cache, &local, tr, prof, tc.global)
 			if !errors.Is(err, tc.wantErr) {
 				t.Fatalf("err = %v, want %v", err, tc.wantErr)
 			}

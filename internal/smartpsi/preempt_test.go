@@ -107,7 +107,7 @@ func TestPreemptionRecovers(t *testing.T) {
 	timing.record(psi.Optimistic, 0, time.Nanosecond) // floor (200us) applies
 	var cache sync.Map
 	local := workerCounters{}
-	got, err := e.evaluateOne(ev, st, []*plan.Compiled{c}, "test", "", 0, nil, nil, timing, &cache, &local, nil, nil, time.Time{})
+	got, err := e.evaluateOne(ev, st, []*plan.Compiled{c}, queryTag{name: "test"}, 0, nil, nil, timing, &cache, &local, nil, nil, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -63,7 +63,7 @@ func (w *workerCounters) shadowSampled(rate float64) bool {
 // verdict and primary its wall time. Audit evaluation errors propagate
 // (a failing evaluator is a real error even on the audit path), as do
 // invariant violations when deep checking is on.
-func (e *Engine) auditDecision(ev *psi.Evaluator, compiled []*plan.Compiled, qname, reqID string,
+func (e *Engine) auditDecision(ev *psi.Evaluator, compiled []*plan.Compiled, tag queryTag,
 	u graph.NodeID, row []float64, dec decision, cached bool, actualValid bool,
 	primary time.Duration, alphaModel, betaModel *ml.Forest,
 	local *workerCounters, tr *obs.QueryTrace, prof *obs.Profile, global time.Time) error {
@@ -77,17 +77,17 @@ func (e *Engine) auditDecision(ev *psi.Evaluator, compiled []*plan.Compiled, qna
 	}
 	if cached {
 		if local.shadowSampled(e.opts.ShadowRate) {
-			e.shadowCacheCheck(qname, reqID, u, row, dec, len(compiled), actualValid, alphaModel, betaModel, local, prof)
+			e.shadowCacheCheck(tag, u, row, dec, len(compiled), actualValid, alphaModel, betaModel, local, prof)
 		}
 	}
 	if local.shadowSampled(e.opts.ShadowRate) {
-		if err := e.shadowModeRun(ev, compiled, qname, reqID, u, row, dec, cached, actualValid, primary, local, tr, prof, global); err != nil {
+		if err := e.shadowModeRun(ev, compiled, tag, u, row, dec, cached, actualValid, primary, local, tr, prof, global); err != nil {
 			return err
 		}
 	}
 	if len(compiled) > 1 {
 		if local.shadowSampled(e.opts.planShadowRate()) {
-			if err := e.shadowPlanRun(ev, compiled, qname, reqID, u, row, dec, cached, actualValid, primary, local, tr, prof, global); err != nil {
+			if err := e.shadowPlanRun(ev, compiled, tag, u, row, dec, cached, actualValid, primary, local, tr, prof, global); err != nil {
 				return err
 			}
 		}
@@ -97,7 +97,7 @@ func (e *Engine) auditDecision(ev *psi.Evaluator, compiled []*plan.Compiled, qna
 
 // shadowModeRun audits model α: re-evaluate u with the opposite method
 // on the same plan and score the decision's regret.
-func (e *Engine) shadowModeRun(ev *psi.Evaluator, compiled []*plan.Compiled, qname, reqID string,
+func (e *Engine) shadowModeRun(ev *psi.Evaluator, compiled []*plan.Compiled, tag queryTag,
 	u graph.NodeID, row []float64, dec decision, cached bool, actualValid bool,
 	primary time.Duration, local *workerCounters, tr *obs.QueryTrace, prof *obs.Profile, global time.Time) error {
 
@@ -107,13 +107,13 @@ func (e *Engine) shadowModeRun(ev *psi.Evaluator, compiled []*plan.Compiled, qna
 		return err
 	}
 	local.shadowModeRuns++
-	return e.recordShadow(obs.DecisionKindMode, qname, reqID, u, row, dec, cached, actualValid,
+	return e.recordShadow(obs.DecisionKindMode, tag, u, row, dec, cached, actualValid,
 		primary, opp, dec.planIdx, ok, took, timedOut, local, tr, prof)
 }
 
 // shadowPlanRun audits model β: re-evaluate u under the same method on
 // a uniformly sampled alternative plan. Caller guarantees ≥ 2 plans.
-func (e *Engine) shadowPlanRun(ev *psi.Evaluator, compiled []*plan.Compiled, qname, reqID string,
+func (e *Engine) shadowPlanRun(ev *psi.Evaluator, compiled []*plan.Compiled, tag queryTag,
 	u graph.NodeID, row []float64, dec decision, cached bool, actualValid bool,
 	primary time.Duration, local *workerCounters, tr *obs.QueryTrace, prof *obs.Profile, global time.Time) error {
 
@@ -126,7 +126,7 @@ func (e *Engine) shadowPlanRun(ev *psi.Evaluator, compiled []*plan.Compiled, qna
 		return err
 	}
 	local.shadowPlanRuns++
-	return e.recordShadow(obs.DecisionKindPlan, qname, reqID, u, row, dec, cached, actualValid,
+	return e.recordShadow(obs.DecisionKindPlan, tag, u, row, dec, cached, actualValid,
 		primary, dec.mode, alt, ok, took, timedOut, local, tr, prof)
 }
 
@@ -169,7 +169,7 @@ func (e *Engine) shadowEvaluate(ev *psi.Evaluator, compiled []*plan.Compiled, u 
 // recordShadow scores one finished (or censored) counterfactual:
 // verdict agreement, regret accounting, metrics, trace, profile and the
 // decision log.
-func (e *Engine) recordShadow(kind, qname, reqID string, u graph.NodeID, row []float64, dec decision,
+func (e *Engine) recordShadow(kind string, tag queryTag, u graph.NodeID, row []float64, dec decision,
 	cached bool, actualValid bool, primary time.Duration, shadowMode psi.Mode, shadowPlan int,
 	shadowOK bool, took time.Duration, timedOut bool,
 	local *workerCounters, tr *obs.QueryTrace, prof *obs.Profile) error {
@@ -201,8 +201,9 @@ func (e *Engine) recordShadow(kind, qname, reqID string, u graph.NodeID, row []f
 	}
 	e.opts.DecisionLog.Append(obs.DecisionRecord{
 		Kind:          kind,
-		Query:         qname,
-		RequestID:     reqID,
+		Query:         tag.name,
+		RequestID:     tag.reqID,
+		Fingerprint:   tag.fingerprint,
 		Node:          int64(u),
 		Features:      row,
 		FromCache:     cached,
@@ -225,7 +226,7 @@ func (e *Engine) recordShadow(kind, qname, reqID string, u graph.NodeID, row []f
 // signature row. Signature keys can collide, so a hit may serve another
 // row's decision — the stale rate measures how often that matters. No
 // shadow evaluation runs; the audit costs one forest prediction.
-func (e *Engine) shadowCacheCheck(qname, reqID string, u graph.NodeID, row []float64, dec decision,
+func (e *Engine) shadowCacheCheck(tag queryTag, u graph.NodeID, row []float64, dec decision,
 	nPlans int, actualValid bool, alphaModel, betaModel *ml.Forest,
 	local *workerCounters, prof *obs.Profile) {
 
@@ -256,8 +257,9 @@ func (e *Engine) shadowCacheCheck(qname, reqID string, u graph.NodeID, row []flo
 	}
 	e.opts.DecisionLog.Append(obs.DecisionRecord{
 		Kind:        obs.DecisionKindCache,
-		Query:       qname,
-		RequestID:   reqID,
+		Query:       tag.name,
+		RequestID:   tag.reqID,
+		Fingerprint: tag.fingerprint,
 		Node:        int64(u),
 		Features:    row,
 		FromCache:   true,
@@ -281,7 +283,7 @@ type betaSweep struct {
 // prediction's 1-based rank among the sweep's finished plan times
 // (1 = the model picked the measured-fastest plan; unfinished
 // predictions rank behind every finished plan).
-func (e *Engine) scoreBetaRanks(qname, reqID string, betaModel *ml.Forest, sweeps []betaSweep) {
+func (e *Engine) scoreBetaRanks(tag queryTag, betaModel *ml.Forest, sweeps []betaSweep) {
 	enabled := obs.Enabled()
 	votes := make([]int, betaModel.NumClasses())
 	for _, s := range sweeps {
@@ -316,12 +318,13 @@ func (e *Engine) scoreBetaRanks(qname, reqID string, betaModel *ml.Forest, sweep
 			continue
 		}
 		e.opts.DecisionLog.Append(obs.DecisionRecord{
-			Kind:      obs.DecisionKindBeta,
-			Query:     qname,
-			RequestID: reqID,
-			Node:      int64(s.node),
-			PredPlan:  pred,
-			Rank:      rank,
+			Kind:        obs.DecisionKindBeta,
+			Query:       tag.name,
+			RequestID:   tag.reqID,
+			Fingerprint: tag.fingerprint,
+			Node:        int64(s.node),
+			PredPlan:    pred,
+			Rank:        rank,
 		})
 	}
 }

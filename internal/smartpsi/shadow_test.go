@@ -110,7 +110,7 @@ func TestShadowRungOneOnly(t *testing.T) {
 			timing := newPlanTiming(len(compiled))
 			tracer := obs.NewTracer(1)
 			tr := tracer.StartQuery(tc.name)
-			got, err := e.evaluateOne(ev, st, compiled, "test", "", 0, nil, nil, timing, &cache, &local, tr, nil, time.Time{})
+			got, err := e.evaluateOne(ev, st, compiled, queryTag{name: "test"}, 0, nil, nil, timing, &cache, &local, tr, nil, time.Time{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -156,7 +156,7 @@ func TestShadowMismatchDetection(t *testing.T) {
 		local := workerCounters{rng: newShadowRNG(1, 0)}
 		st := psi.NewState(2)
 		before := obs.DefaultModelStats.Snapshot().ShadowMismatches
-		got, err := e.evaluateOne(ev, st, compiled, "test", "", 0, nil, nil, newPlanTiming(len(compiled)), &cache, &local, nil, nil, time.Time{})
+		got, err := e.evaluateOne(ev, st, compiled, queryTag{name: "test"}, 0, nil, nil, newPlanTiming(len(compiled)), &cache, &local, nil, nil, time.Time{})
 		return got, err, obs.DefaultModelStats.Snapshot().ShadowMismatches - before
 	}
 

@@ -19,6 +19,13 @@
 #      -require-correlation must find the firing objective plus at
 #      least one request ID present in both a captured profile and the
 #      decision-log tail;
+#   5. workload analytics — a Zipfian loadgen pass (-skew zipf:2
+#      -require-hot-shape) must surface its hot query's canonical
+#      fingerprint at rank 1 on /queryz with a nonzero repeat-hit
+#      estimate; the same fingerprint must resolve at
+#      /profilez?fingerprint= and appear in the auto-captured bundle's
+#      workload.json, and psi-bundle report must render the top-shapes
+#      section;
 #
 # then sends SIGTERM and requires a clean drain (exit 0). psi-loadgen
 # exits non-zero on any unexpected 5xx, so "the script passed" also
@@ -107,12 +114,31 @@ step "series endpoint serves well-formed JSON"
 step "drain"
 stop_server
 
-step "overload pass (workers=1, shed-immediately: 429s, a firing availability alert, and an auto-captured bundle required)"
+step "overload server (workers=1, shed-immediately, bundle auto-capture armed)"
 start_server -workers 1 -queue 0 \
     -sample-interval 100ms -slo-availability 0.99 \
     -slo-fast-window 1s -slo-slow-window 3s -slo-burn-factor 2 -slo-for 0s \
     -shadow-rate 1 \
     -bundle-dir "$work/bundles" -bundle-cooldown 1s -bundle-keep 4
+
+step "skewed load surfaces its hot shape at /queryz (zipf mix, one worker, no shedding)"
+# Concurrency 1 against the one worker: nothing sheds, so the alert
+# stays quiet and every request lands in the workload sketch. The pass
+# prints "hot shape: <fp> ..." on success; capture the fingerprint.
+"$work/psi-loadgen" -addr "$addr" -graph "$work/g.lg" \
+    -concurrency 1 -requests 60 -timeout-ms 5000 -min-bindings 1 \
+    -skew zipf:2 -require-hot-shape | tee "$work/skew.out"
+fp="$(sed -n 's/^hot shape: \([0-9a-f]\{16\}\).*/\1/p' "$work/skew.out")"
+if [[ -z "$fp" ]]; then
+    echo "loadgen -require-hot-shape printed no hot-shape fingerprint" >&2
+    exit 1
+fi
+
+step "/queryz JSON is well-formed; /profilez pivots by the hot fingerprint"
+"$work/jsoncheck" -url "http://$addr/queryz?format=json"
+"$work/jsoncheck" -url "http://$addr/profilez?fingerprint=$fp&format=json"
+
+step "shed burst (16-way: 429s, a firing availability alert, and an auto-captured bundle required)"
 "$work/psi-loadgen" -addr "$addr" -graph "$work/g.lg" \
     -concurrency 16 -requests 200 -timeout-ms 5000 \
     -require-shed -min-bindings 1 \
@@ -136,15 +162,19 @@ echo "captured: $bundle"
 
 step "bundle entries are well-formed JSON"
 "$work/psi-bundle" list "$bundle"
-for entry in manifest.json metrics.json alertz.json seriesz.json profiles.json; do
+for entry in manifest.json metrics.json alertz.json seriesz.json profiles.json workload.json; do
     "$work/psi-bundle" cat "$bundle" "$entry" | "$work/jsoncheck"
 done
 "$work/psi-bundle" cat "$bundle" manifest.json | grep -q '"reason": "alert"'
 "$work/psi-bundle" cat "$bundle" manifest.json | grep -q '"objective": "availability"'
 
+step "bundle workload.json carries the hot fingerprint"
+"$work/psi-bundle" cat "$bundle" workload.json | grep -q "$fp"
+
 step "incident report names the firing objective and correlates request IDs"
 "$work/psi-bundle" report -require-correlation "$bundle" | tee "$work/report.txt"
 grep -q 'objective availability' "$work/report.txt"
+grep -q 'top shapes by cost' "$work/report.txt"
 
 step "loadgen -bundle-on-fail saves a bundle when its assertion fails"
 # -forbid-alert availability must fail against the firing server; the
