@@ -27,15 +27,17 @@
 //
 // Self-asserting flags make the binary usable as a test gate without
 // JSON parsing: the exit status is non-zero when any unexpected 5xx
-// was seen, when -require-shed saw no 429, when fewer than
-// -min-bindings pivot bindings were returned in total, when -verify
-// finds a served binding set that disagrees with a direct model-free
-// PSI evaluation of the same query, or when a post-run check of the
-// server's /alertz fails: -require-alert NAME demands the named SLO
-// alert be firing, -forbid-alert NAME demands it not be. With
-// -bundle-on-fail PATH, any such failure first saves a diagnostic
-// bundle from the server's /debugz/bundle to PATH for post-mortem
-// inspection with psi-bundle.
+// was seen, when -require-shed saw no 429, when -require-partial saw
+// no OK response flagged partial (the degraded-fleet signature), when
+// fewer than -min-bindings pivot bindings were returned in total, when
+// -verify finds a served binding set that disagrees with a direct
+// model-free PSI evaluation of the same query (the mismatch line names
+// the query's canonical fingerprint for /queryz and /profilez
+// cross-reference), or when a post-run check of the server's /alertz
+// fails: -require-alert NAME demands the named SLO alert be firing,
+// -forbid-alert NAME demands it not be. With -bundle-on-fail PATH, any
+// such failure first saves a diagnostic bundle from the server's
+// /debugz/bundle to PATH for post-mortem inspection with psi-bundle.
 //
 // The query mix is uniform round-robin by default; -skew zipf:<s>
 // switches to a Zipfian hot-key mix (query 0 hottest) drawn from a
@@ -63,6 +65,7 @@ import (
 	"time"
 
 	repro "repro"
+	"repro/internal/fsm"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -88,6 +91,7 @@ func main() {
 		jsonPath    = flag.String("json", "", "write a psi-bench-shaped results document to this file")
 		verify      = flag.Bool("verify", false, "cross-check every distinct query against a direct model-free PSI evaluation")
 		requireShed = flag.Bool("require-shed", false, "fail unless at least one request was load-shed (429)")
+		requirePart = flag.Bool("require-partial", false, "fail unless at least one OK response was flagged partial (a sharded fleet answering around a lost shard)")
 		requireHot  = flag.Bool("require-hot-shape", false, "fail unless the server's /queryz ranks a dominant hot shape first with a nonzero repeat-hit estimate (use with -skew); prints the hot fingerprint")
 		minBindings = flag.Int64("min-bindings", 0, "fail unless OK responses returned at least this many bindings in total")
 		requireAl   = flag.String("require-alert", "", "fail unless the named SLO alert is firing at /alertz after the run")
@@ -102,9 +106,10 @@ func main() {
 		duration: *duration, requests: *requests,
 		timeoutMS: *timeoutMS, batch: *batch, seed: *seed,
 		skew: *skew, jsonPath: *jsonPath, verify: *verify,
-		requireShed: *requireShed, requireHotShape: *requireHot,
-		minBindings:  *minBindings,
-		requireAlert: *requireAl, forbidAlert: *forbidAl,
+		requireShed: *requireShed, requirePartial: *requirePart,
+		requireHotShape: *requireHot,
+		minBindings:     *minBindings,
+		requireAlert:    *requireAl, forbidAlert: *forbidAl,
 		bundleOnFail: *bundleOn,
 	}
 	if err := run(cfg, os.Stdout); err != nil {
@@ -130,6 +135,7 @@ type config struct {
 	jsonPath           string
 	verify             bool
 	requireShed        bool
+	requirePartial     bool
 	requireHotShape    bool
 	minBindings        int64
 	requireAlert       string
@@ -166,6 +172,7 @@ type report struct {
 	ServerErrors  int64   `json:"server_errors"`
 	TransportErrs int64   `json:"transport_errors"`
 	Bindings      int64   `json:"bindings"`
+	Partials      int64   `json:"partials"`
 	AchievedQPS   float64 `json:"achieved_qps"`
 	P50MS         float64 `json:"p50_ms"`
 	P95MS         float64 `json:"p95_ms"`
@@ -195,6 +202,7 @@ type stats struct {
 	serverErr int64 // 5xx other than 504 — never expected
 	transport int64 // connection-level failures
 	bindings  int64
+	partials  int64 // OK responses flagged partial (sharded fleet missing a shard)
 }
 
 // newStats builds the accumulator with its private metric registry.
@@ -219,7 +227,8 @@ func (st *stats) recordPick(idx int) {
 
 // record files one query outcome under the status code conventions of
 // internal/server (429 shed, 504 deadline, other 5xx unexpected).
-func (st *stats) record(status int, bindings int, elapsed time.Duration) {
+// partial marks an OK response served with the partial flag.
+func (st *stats) record(status int, bindings int, partial bool, elapsed time.Duration) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.requests++
@@ -229,6 +238,9 @@ func (st *stats) record(status int, bindings int, elapsed time.Duration) {
 	case status == http.StatusOK:
 		st.ok++
 		st.bindings += int64(bindings)
+		if partial {
+			st.partials++
+		}
 		st.latency.Observe(elapsed.Seconds())
 	case status == http.StatusTooManyRequests:
 		st.shed++
@@ -551,7 +563,7 @@ func driveOpen(cfg config, client *http.Client, base string, wire []server.Query
 		select {
 		case sem <- struct{}{}:
 		default:
-			st.record(0, 0, 0) // over the outstanding cap: client-side drop
+			st.record(0, 0, false, 0) // over the outstanding cap: client-side drop
 			continue
 		}
 		wg.Add(1)
@@ -577,23 +589,23 @@ func sendOne(cfg config, client *http.Client, base string, wire []server.QueryJS
 	qj := wire[idx]
 	body, err := json.Marshal(server.PSIRequest{Query: &qj, TimeoutMS: cfg.timeoutMS})
 	if err != nil {
-		st.record(0, 0, 0)
+		st.record(0, 0, false, 0)
 		return
 	}
 	start := time.Now()
 	resp, err := client.Post(base+"/v1/psi", "application/json", bytes.NewReader(body))
 	if err != nil {
-		st.record(0, 0, time.Since(start))
+		st.record(0, 0, false, time.Since(start))
 		return
 	}
 	var res server.QueryResult
 	decErr := json.NewDecoder(resp.Body).Decode(&res)
 	closeErr := resp.Body.Close()
 	if resp.StatusCode == http.StatusOK && (decErr != nil || closeErr != nil) {
-		st.record(0, 0, time.Since(start))
+		st.record(0, 0, false, time.Since(start))
 		return
 	}
-	st.record(resp.StatusCode, len(res.Bindings), time.Since(start))
+	st.record(resp.StatusCode, len(res.Bindings), res.Partial, time.Since(start))
 }
 
 // sendBatch issues one /v1/psi/batch request of cfg.batch queries and
@@ -607,13 +619,13 @@ func sendBatch(cfg config, client *http.Client, base string, wire []server.Query
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
-		st.record(0, 0, 0)
+		st.record(0, 0, false, 0)
 		return
 	}
 	start := time.Now()
 	resp, err := client.Post(base+"/v1/psi/batch", "application/json", bytes.NewReader(body))
 	if err != nil {
-		st.record(0, 0, time.Since(start))
+		st.record(0, 0, false, time.Since(start))
 		return
 	}
 	elapsed := time.Since(start)
@@ -621,7 +633,7 @@ func sendBatch(cfg config, client *http.Client, base string, wire []server.Query
 		closeErr := resp.Body.Close()
 		_ = closeErr
 		for j := 0; j < cfg.batch; j++ {
-			st.record(resp.StatusCode, 0, elapsed)
+			st.record(resp.StatusCode, 0, false, elapsed)
 		}
 		return
 	}
@@ -629,15 +641,17 @@ func sendBatch(cfg config, client *http.Client, base string, wire []server.Query
 	decErr := json.NewDecoder(resp.Body).Decode(&br)
 	closeErr := resp.Body.Close()
 	if decErr != nil || closeErr != nil {
-		st.record(0, 0, elapsed)
+		st.record(0, 0, false, elapsed)
 		return
 	}
 	for _, item := range br.Results {
 		n := 0
+		partial := false
 		if item.Result != nil {
 			n = len(item.Result.Bindings)
+			partial = item.Result.Partial
 		}
-		st.record(item.Status, n, elapsed)
+		st.record(item.Status, n, partial, elapsed)
 	}
 }
 
@@ -695,8 +709,12 @@ func verifyQueries(client *http.Client, base string, g *graph.Graph, qs []graph.
 			return 0, closeErr
 		}
 		if !equalInt64s(res.Bindings, want) {
-			fmt.Fprintf(os.Stderr, "psi-loadgen: verify mismatch on query %d: served %v, reference %v\n",
-				i, res.Bindings, want)
+			// The fingerprint names the query's canonical shape, so a
+			// mismatch can be chased through /queryz, /profilez
+			// ?fingerprint= and a bundle's workload.json without having to
+			// reproduce the loadgen's sampling seed.
+			fmt.Fprintf(os.Stderr, "psi-loadgen: verify mismatch on query %d (fingerprint %s): served %v, reference %v\n",
+				i, fsm.PivotFingerprint(qs[i], 0).String(), res.Bindings, want)
 			mismatches++
 		}
 	}
@@ -736,6 +754,7 @@ func buildReport(cfg config, st *stats, elapsed time.Duration, snap obs.Snapshot
 		ServerErrors:   st.serverErr,
 		TransportErrs:  st.transport,
 		Bindings:       st.bindings,
+		Partials:       st.partials,
 	}
 	if elapsed > 0 {
 		rep.AchievedQPS = float64(st.requests) / elapsed.Seconds()
@@ -774,6 +793,10 @@ func printSummary(out io.Writer, rep *report) {
 		rep.OK, rep.Shed, rep.Deadline, rep.ClientErrors, rep.ServerErrors, rep.TransportErrs)
 	_, _ = fmt.Fprintf(out, "bindings=%d latency p50=%.2fms p95=%.2fms p99=%.2fms\n",
 		rep.Bindings, rep.P50MS, rep.P95MS, rep.P99MS)
+	if rep.Partials > 0 {
+		_, _ = fmt.Fprintf(out, "partial=%d OK responses were flagged partial (a shard's answer is missing)\n",
+			rep.Partials)
+	}
 	if rep.Skew != "" {
 		_, _ = fmt.Fprintf(out, "skew=%s hot-key share intended=%.1f%% observed=%.1f%%\n",
 			rep.Skew, rep.HotIntended*100, rep.HotObserved*100)
@@ -803,6 +826,9 @@ func assertOutcome(cfg config, rep *report, client *http.Client, base string) er
 	}
 	if cfg.requireShed && rep.Shed == 0 {
 		return fmt.Errorf("-require-shed: no request was load-shed (ok=%d, total=%d)", rep.OK, rep.Requests)
+	}
+	if cfg.requirePartial && rep.Partials == 0 {
+		return fmt.Errorf("-require-partial: no OK response carried the partial flag (ok=%d; is a shard actually down?)", rep.OK)
 	}
 	if rep.Bindings < cfg.minBindings {
 		return fmt.Errorf("-min-bindings: got %d bindings, need at least %d", rep.Bindings, cfg.minBindings)

@@ -13,6 +13,20 @@
 //	psi-serve -graph g.lg -addr 127.0.0.1:0 -addr-file /tmp/addr
 //	psi-serve -graph g.lg -sample-interval 1s -slo-availability 0.99
 //
+// Sharded serving (see ARCHITECTURE.md "Sharded serving" and the
+// OPERATIONS.md fleet runbook) comes in three forms:
+//
+//	psi-serve -graph g.lg -shards 4              # in-process scatter-gather cluster
+//	psi-serve -graph g.lg -shard-of 2 -shard-index 0   # one fleet shard node
+//	psi-serve -coordinator -shard-addrs host0:8080,host1:8080
+//
+// A shard node loads the same graph file as its peers, derives the
+// deterministic ownership partition, and serves only its slice's owned
+// bindings (on global node ids). The coordinator holds no graph at
+// all: it scatters each query to every shard node over the normal wire
+// format and merges the answers, flagging partial results when a shard
+// is lost.
+//
 // Endpoints: POST /v1/psi, POST /v1/psi/batch, GET /healthz, GET
 // /readyz, plus the full obs debug surface (/metrics, /metrics.json,
 // /tracez, /profilez, /modelz, /seriesz, /alertz, /queryz,
@@ -48,6 +62,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,6 +71,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/smartpsi"
 )
 
@@ -75,6 +92,17 @@ func main() {
 		threads        = flag.Int("threads", 1, "candidate-evaluation workers inside one query")
 		seed           = flag.Int64("seed", 42, "engine sampling seed")
 		shadowRate     = flag.Float64("shadow-rate", 0, "model-decision audit sampling rate in [0,1] (see /modelz)")
+
+		shards       = flag.Int("shards", 0, "run an in-process scatter-gather cluster of N shards (0: single engine)")
+		partitioner  = flag.String("partitioner", "label-hash", "shard ownership partitioner: label-hash or degree")
+		halo         = flag.Int("halo", 0, "shard boundary-halo replication depth in hops (0: query-radius + signature depth)")
+		queryRadius  = flag.Int("query-radius", 0, "max pivot eccentricity accepted by sharded serving (0: default 3)")
+		shardWorkers = flag.Int("shard-workers", 0, "per-shard evaluation workers in -shards mode (0: match -workers)")
+		shardOf      = flag.Int("shard-of", 0, "serve as one node of an N-shard fleet (requires -shard-index)")
+		shardIndex   = flag.Int("shard-index", -1, "this node's shard index in [0, shard-of)")
+		coordinator  = flag.Bool("coordinator", false, "serve as a fleet coordinator scattering to -shard-addrs (no -graph needed)")
+		shardAddrs   = flag.String("shard-addrs", "", "comma-separated shard node addresses in shard-index order (coordinator mode)")
+		shardProbe   = flag.Duration("shard-probe", 2*time.Second, "coordinator health-probe interval for per-shard /readyz rows")
 
 		sampleInterval = flag.Duration("sample-interval", time.Second, "metrics sampling interval for /seriesz and /alertz (0: disable sampling and SLO alerting)")
 		seriesSamples  = flag.Int("series-samples", 0, "ring-buffer capacity per metric series (0: default 128)")
@@ -102,6 +130,10 @@ func main() {
 		maxBatch: *maxBatch, maxQueryNodes: *maxQueryNodes,
 		retryAfter: *retryAfter, drainTimeout: *drainTimeout,
 		threads: *threads, seed: *seed, shadowRate: *shadowRate,
+		shards: *shards, partitioner: *partitioner, halo: *halo,
+		queryRadius: *queryRadius, shardWorkers: *shardWorkers,
+		shardOf: *shardOf, shardIndex: *shardIndex,
+		coordinator: *coordinator, shardAddrs: *shardAddrs, shardProbe: *shardProbe,
 		sampleInterval: *sampleInterval, seriesSamples: *seriesSamples,
 		sloAvailability: *sloAvail,
 		sloLatency:      time.Duration(*sloLatencyMS * float64(time.Millisecond)),
@@ -132,6 +164,17 @@ type config struct {
 	seed               int64
 	shadowRate         float64
 
+	shards       int    // >0: in-process scatter-gather cluster
+	partitioner  string // label-hash | degree
+	halo         int    // 0: auto (query radius + signature depth)
+	queryRadius  int    // 0: shard.DefaultQueryRadius
+	shardWorkers int    // 0: match the server worker count
+	shardOf      int    // >0: fleet shard node of N
+	shardIndex   int    // this node's index in [0, shardOf)
+	coordinator  bool   // fleet coordinator mode
+	shardAddrs   string // comma-separated shard addresses
+	shardProbe   time.Duration
+
 	sampleInterval  time.Duration // 0: no sampler, no SLO alerting
 	seriesSamples   int
 	sloAvailability float64
@@ -150,6 +193,44 @@ type config struct {
 	exposePprof    bool
 }
 
+// validate rejects contradictory serving-mode flag combinations up
+// front, before any graph is loaded.
+func (c config) validate() error {
+	modes := 0
+	if c.shards > 0 {
+		modes++
+	}
+	if c.shardOf > 0 {
+		modes++
+	}
+	if c.coordinator {
+		modes++
+	}
+	if modes > 1 {
+		return fmt.Errorf("-shards, -shard-of and -coordinator are mutually exclusive serving modes")
+	}
+	if c.shardOf > 0 && (c.shardIndex < 0 || c.shardIndex >= c.shardOf) {
+		return fmt.Errorf("-shard-of %d needs -shard-index in [0,%d)", c.shardOf, c.shardOf)
+	}
+	if c.shardIndex >= 0 && c.shardOf <= 0 {
+		return fmt.Errorf("-shard-index requires -shard-of")
+	}
+	if c.coordinator {
+		if strings.TrimSpace(c.shardAddrs) == "" {
+			return fmt.Errorf("-coordinator requires -shard-addrs")
+		}
+		if c.graphPath != "" || c.dataset != "" {
+			return fmt.Errorf("a coordinator holds no graph; drop -graph/-dataset")
+		}
+	} else if c.shardAddrs != "" {
+		return fmt.Errorf("-shard-addrs only applies with -coordinator")
+	}
+	if _, err := shard.ParseStrategy(c.partitioner); c.partitioner != "" && err != nil {
+		return err
+	}
+	return nil
+}
+
 // objectives assembles the SLO list from flags; empty when every
 // objective is disabled.
 func (c config) objectives() []obs.Objective {
@@ -165,15 +246,115 @@ func (c config) objectives() []obs.Objective {
 	return objs
 }
 
+// buildEvaluator constructs the serving-mode evaluator: a plain warm
+// engine by default, an in-process scatter-gather cluster with -shards,
+// one fleet shard node with -shard-of/-shard-index, or a graph-less
+// coordinator with -coordinator. g is nil exactly in coordinator mode.
+func buildEvaluator(cfg config, g *graph.Graph, decisions *obs.DecisionLog, logger *slog.Logger) (server.Evaluator, error) {
+	engOpts := smartpsi.Options{
+		Threads:     cfg.threads,
+		Seed:        cfg.seed,
+		ShadowRate:  cfg.shadowRate,
+		DecisionLog: decisions,
+	}
+	strat := shard.LabelHash
+	if cfg.partitioner != "" {
+		var err error
+		if strat, err = shard.ParseStrategy(cfg.partitioner); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case cfg.coordinator:
+		addrs := strings.Split(cfg.shardAddrs, ",")
+		coord, err := server.NewCoordinator(server.CoordinatorConfig{
+			Addrs:         addrs,
+			QueryRadius:   cfg.queryRadius,
+			ProbeInterval: cfg.shardProbe,
+		})
+		if err != nil {
+			return nil, err
+		}
+		logger.Info("coordinator armed",
+			"shards", len(addrs), "probe_interval", cfg.shardProbe.String())
+		return coord, nil
+
+	case cfg.shards > 0:
+		pool := cfg.shardWorkers
+		if pool == 0 {
+			pool = cfg.workers
+		}
+		if pool == 0 {
+			pool = runtime.GOMAXPROCS(0)
+		}
+		cluster, err := shard.NewCluster(g, shard.Options{
+			Shards:      cfg.shards,
+			Strategy:    strat,
+			Halo:        cfg.halo,
+			QueryRadius: cfg.queryRadius,
+			Workers:     pool,
+			Engine:      engOpts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		logger.Info("graph loaded",
+			"nodes", g.NumNodes(), "edges", g.NumEdges(), "labels", g.NumLabels())
+		for _, st := range cluster.ShardStatuses() {
+			logger.Info("shard warm", "shard", st.Index,
+				"owned_nodes", st.OwnedNodes, "halo_nodes", st.HaloNodes)
+		}
+		logger.Info("cluster armed", "shards", cfg.shards,
+			"partitioner", strat.String(), "workers_per_shard", pool)
+		return cluster, nil
+
+	case cfg.shardOf > 0:
+		node, err := shard.NewNode(g, shard.Options{
+			Strategy:    strat,
+			Halo:        cfg.halo,
+			QueryRadius: cfg.queryRadius,
+			Engine:      engOpts,
+		}, cfg.shardOf, cfg.shardIndex)
+		if err != nil {
+			return nil, err
+		}
+		s := node.Slice()
+		logger.Info("graph loaded",
+			"nodes", g.NumNodes(), "edges", g.NumEdges(), "labels", g.NumLabels())
+		logger.Info("shard node armed",
+			"shard", cfg.shardIndex, "of", cfg.shardOf,
+			"partitioner", strat.String(), "halo", s.Halo,
+			"owned_nodes", s.OwnedCount, "halo_nodes", s.HaloCount,
+			"slice_nodes", s.Sub.NumNodes(), "slice_edges", s.Sub.NumEdges())
+		return node, nil
+	}
+
+	engine, err := smartpsi.NewEngine(g, engOpts)
+	if err != nil {
+		return nil, err
+	}
+	logger.Info("graph loaded",
+		"nodes", g.NumNodes(), "edges", g.NumEdges(), "labels", g.NumLabels(),
+		"signature_build", engine.SignatureBuildTime.String())
+	return engine, nil
+}
+
 // run loads the graph, builds the engine, and serves until a signal
 // arrives or parent is cancelled, then drains. The ready channel (test
 // seam; main passes nil) receives the bound address once listening.
 func run(cfg config, parent context.Context, ready chan<- string) error {
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
 
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+
 	var g *graph.Graph
 	var err error
 	switch {
+	case cfg.coordinator:
+		// The coordinator never evaluates locally; shard nodes hold the
+		// graph slices.
 	case cfg.graphPath != "":
 		g, err = repro.LoadGraph(cfg.graphPath)
 	case cfg.dataset != "":
@@ -194,18 +375,13 @@ func run(cfg config, parent context.Context, ready chan<- string) error {
 	// auditing is on (-shadow-rate > 0), so this is free otherwise.
 	decisions := obs.NewDecisionTail(obs.DefaultDecisionTailCap)
 
-	engine, err := smartpsi.NewEngine(g, smartpsi.Options{
-		Threads:     cfg.threads,
-		Seed:        cfg.seed,
-		ShadowRate:  cfg.shadowRate,
-		DecisionLog: decisions,
-	})
+	eval, err := buildEvaluator(cfg, g, decisions, logger)
 	if err != nil {
 		return err
 	}
-	logger.Info("graph loaded",
-		"nodes", g.NumNodes(), "edges", g.NumEdges(), "labels", g.NumLabels(),
-		"signature_build", engine.SignatureBuildTime.String())
+	if cl, ok := eval.(interface{ Close() }); ok {
+		defer cl.Close()
+	}
 
 	// The windowed-telemetry sampler and SLO alerting ride on the same
 	// background loop; -sample-interval 0 turns both off and the debug
@@ -258,7 +434,7 @@ func run(cfg config, parent context.Context, ready chan<- string) error {
 			"dir", cfg.bundleDir, "cooldown", cfg.bundleCooldown.String(), "keep", cfg.bundleKeep)
 	}
 
-	srv := server.NewServer(engine, server.Config{
+	srv := server.NewServer(eval, server.Config{
 		Workers:         cfg.workers,
 		QueueDepth:      cfg.queue,
 		ShedImmediately: cfg.queue == 0,

@@ -1,0 +1,105 @@
+package graph
+
+import "fmt"
+
+// KHopClosure returns the union of the k-hop neighborhoods of seeds, in
+// ascending node-id order. k = 0 returns the (deduplicated, sorted) seeds
+// themselves. Shard slice extraction uses it to compute the halo: the
+// nodes that must be replicated onto a shard so that signatures and
+// degrees near the ownership cut match the full graph.
+func KHopClosure(g *Graph, seeds []NodeID, k int) ([]NodeID, error) {
+	n := g.NumNodes()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var frontier []NodeID
+	for _, s := range seeds {
+		if s < 0 || int(s) >= n {
+			return nil, fmt.Errorf("graph: closure seed %d out of range [0,%d)", s, n)
+		}
+		if dist[s] < 0 {
+			dist[s] = 0
+			frontier = append(frontier, s)
+		}
+	}
+	for d := 1; d <= k && len(frontier) > 0; d++ {
+		var next []NodeID
+		for _, u := range frontier {
+			for _, w := range g.Neighbors(u) {
+				if dist[w] < 0 {
+					dist[w] = int32(d)
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]NodeID, 0, len(seeds))
+	for u := 0; u < n; u++ {
+		if dist[u] >= 0 {
+			out = append(out, NodeID(u))
+		}
+	}
+	return out, nil
+}
+
+// InducedSubgraphPreserving is InducedSubgraph with the label-alphabet
+// width of g preserved: the returned subgraph reports g.NumLabels() even
+// when the node set misses the highest labels. Shard slices need this so
+// per-slice NS signatures keep the same component layout as full-graph
+// signatures and label-validation against the slice behaves like
+// validation against the full graph.
+func InducedSubgraphPreserving(g *Graph, nodes []NodeID) (*Graph, []NodeID, error) {
+	remap := make(map[NodeID]NodeID, len(nodes))
+	for i, u := range nodes {
+		if u < 0 || int(u) >= g.NumNodes() {
+			return nil, nil, fmt.Errorf("graph: induced node %d out of range", u)
+		}
+		if _, dup := remap[u]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate node %d in induced set", u)
+		}
+		remap[u] = NodeID(i)
+	}
+	b := NewBuilder(len(nodes), len(nodes)*2)
+	b.SetLabelTables(g.nodeLabels, g.edgeTable)
+	b.ReserveLabels(g.NumLabels())
+	for _, u := range nodes {
+		b.AddNode(g.Label(u))
+	}
+	for _, u := range nodes {
+		nu := remap[u]
+		for i, w := range g.Neighbors(u) {
+			nw, ok := remap[w]
+			if !ok || nu >= nw {
+				continue // keep one direction; skip nodes outside the set
+			}
+			l := g.EdgeLabelAt(u, i)
+			if err := b.AddLabeledEdge(nu, nw, l); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	orig := make([]NodeID, len(nodes))
+	copy(orig, nodes)
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, orig, nil
+}
+
+// Eccentricity returns the greatest hop distance from start to any node
+// reachable from it. The coordinator uses the pivot's eccentricity inside
+// the query graph to decide whether a query fits the configured shard
+// halo depth.
+func Eccentricity(g *Graph, start NodeID) int {
+	dist := BFSDistances(g, start, g.NumNodes(), nil)
+	ecc := int32(0)
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return int(ecc)
+}

@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"testing"
+)
+
+// path builds 0-1-2-...-(n-1) with all labels 0.
+func pathGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n, n-1)
+	for i := 0; i < n; i++ {
+		b.AddNode(0)
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := b.AddEdge(NodeID(i), NodeID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestKHopClosure(t *testing.T) {
+	g := pathGraph(t, 7)
+	got, err := KHopClosure(g, []NodeID{3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("closure = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("closure = %v, want %v", got, want)
+		}
+	}
+
+	// Zero hops returns the deduplicated seeds, sorted.
+	got, err = KHopClosure(g, []NodeID{5, 1, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Fatalf("0-hop closure = %v, want [1 5]", got)
+	}
+
+	if _, err := KHopClosure(g, []NodeID{99}, 1); err == nil {
+		t.Fatal("out-of-range seed accepted")
+	}
+}
+
+func TestReserveLabels(t *testing.T) {
+	b := NewBuilder(2, 1)
+	b.ReserveLabels(5)
+	b.AddNode(0)
+	b.AddNode(1)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.MustBuild()
+	if g.NumLabels() != 5 {
+		t.Fatalf("NumLabels = %d, want reserved 5", g.NumLabels())
+	}
+	if got := g.LabelFrequency(4); got != 0 {
+		t.Fatalf("reserved empty label has frequency %d", got)
+	}
+	if got := g.NodesWithLabel(4); len(got) != 0 {
+		t.Fatalf("reserved empty label has nodes %v", got)
+	}
+	// A higher observed label still wins over a smaller reservation.
+	b2 := NewBuilder(1, 0)
+	b2.ReserveLabels(2)
+	b2.AddNode(6)
+	if got := b2.MustBuild().NumLabels(); got != 7 {
+		t.Fatalf("NumLabels = %d, want 7", got)
+	}
+}
+
+func TestInducedSubgraphPreserving(t *testing.T) {
+	b := NewBuilder(4, 3)
+	b.AddNode(0)
+	b.AddNode(3) // highest label lives outside the induced set
+	b.AddNode(1)
+	b.AddNode(0)
+	for _, e := range [][2]NodeID{{0, 1}, {1, 2}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.MustBuild()
+
+	sub, orig, err := InducedSubgraphPreserving(g, []NodeID{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumLabels() != g.NumLabels() {
+		t.Fatalf("preserving subgraph has %d labels, parent %d", sub.NumLabels(), g.NumLabels())
+	}
+	if len(orig) != 2 || orig[0] != 2 || orig[1] != 3 {
+		t.Fatalf("orig mapping = %v", orig)
+	}
+	if sub.NumEdges() != 1 || !sub.HasEdge(0, 1) {
+		t.Fatalf("induced edges wrong: %d edges", sub.NumEdges())
+	}
+
+	// The plain variant shrinks the alphabet — that contrast is the
+	// reason the preserving variant exists.
+	plain, _, err := InducedSubgraph(g, []NodeID{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.NumLabels() >= g.NumLabels() {
+		t.Fatalf("plain induced subgraph unexpectedly kept width %d", plain.NumLabels())
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := pathGraph(t, 6)
+	if got := Eccentricity(g, 0); got != 5 {
+		t.Fatalf("Eccentricity(end of P6) = %d, want 5", got)
+	}
+	if got := Eccentricity(g, 2); got != 3 {
+		t.Fatalf("Eccentricity(middle) = %d, want 3", got)
+	}
+}

@@ -1,0 +1,27 @@
+package obs
+
+import "fmt"
+
+// PerShard bundles the serving metrics of one shard. The registry is
+// label-free by design (names map to plain counters), so per-shard
+// series are separate families keyed by the shard index in the name:
+// shard_3_queries_total is shard 3's dispatch counter. Registration is
+// idempotent, so coordinators and in-process clusters can both call
+// ShardMetrics for the same index.
+type PerShard struct {
+	Queries  *Counter   // sub-queries dispatched to the shard
+	Errors   *Counter   // sub-queries that came back failed (non-timeout)
+	Timeouts *Counter   // sub-queries lost to the per-shard deadline slice
+	Seconds  *Histogram // per-sub-query latency as seen by the gather
+}
+
+// ShardMetrics returns (registering on first use) the per-shard metric
+// family for shard i.
+func ShardMetrics(i int) *PerShard {
+	return &PerShard{
+		Queries:  Default.Counter(fmt.Sprintf("shard_%d_queries_total", i), fmt.Sprintf("scatter sub-queries dispatched to shard %d", i)),
+		Errors:   Default.Counter(fmt.Sprintf("shard_%d_errors_total", i), fmt.Sprintf("failed sub-queries from shard %d (transport or evaluator error)", i)),
+		Timeouts: Default.Counter(fmt.Sprintf("shard_%d_timeouts_total", i), fmt.Sprintf("sub-queries shard %d failed to answer within its deadline slice", i)),
+		Seconds:  Default.Histogram(fmt.Sprintf("shard_%d_seconds", i), fmt.Sprintf("sub-query latency of shard %d as observed at the gather", i), LatencyBuckets),
+	}
+}

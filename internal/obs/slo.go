@@ -49,13 +49,16 @@ type Objective struct {
 
 // serverBadCounters are the serving-path counters that represent a
 // request the service failed to serve: load sheds (429), drain
-// rejections (503), evaluator panics (500) and deadline expiries
-// (504).
+// rejections (503), evaluator panics (500), deadline expiries (504)
+// and partial scatter-gather answers (200 with partial=true — the
+// client got bindings, but not all of them, so a lost shard burns the
+// availability budget and pages like any other failure mode).
 var serverBadCounters = []string{
 	"server_shed_total",
 	"server_drain_rejects_total",
 	"server_panics_total",
 	"server_deadline_hits_total",
+	"server_partial_total",
 }
 
 // AvailabilityObjective is the standard serving availability SLO:

@@ -109,6 +109,15 @@ var (
 	ServerBatchSeconds = Default.Histogram("server_batch_seconds", "per-request latency of /v1/psi/batch", LatencyBuckets)
 	ServerAdmitWait    = Default.Histogram("server_admission_wait_seconds", "time spent queued before acquiring a worker slot", LatencyBuckets)
 	ServerBatchSize    = Default.Histogram("server_batch_size", "queries per /v1/psi/batch request", CountBuckets)
+	ServerPartials     = Default.Counter("server_partial_total", "200 responses served with partial=true (at least one shard's answer missing)")
+
+	// --- package shard: scatter-gather serving across graph shards ---
+
+	ShardScatters   = Default.Counter("shard_scatter_total", "queries scattered to all shards for evaluation")
+	ShardPartials   = Default.Counter("shard_scatter_partial_total", "scatters that lost at least one shard (error or timeout) and returned partial results")
+	ShardDupDrops   = Default.Counter("shard_dup_bindings_total", "duplicate pivot bindings dropped at gather (ownership overlap; should stay 0)")
+	ShardGatherSecs = Default.Histogram("shard_gather_seconds", "wall time of a full scatter-gather evaluation, slowest shard included", LatencyBuckets)
+	ShardCount      = Default.Gauge("shard_count", "shards this process scatters to (0 when serving a single unsharded engine)")
 
 	// --- package fsm: frequent-subgraph-mining support counting ---
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/shard"
 	"repro/internal/smartpsi"
 )
 
@@ -61,6 +62,22 @@ type QueryResult struct {
 	Recursions int64 `json:"recursions"`
 	// ElapsedMS is the server-side evaluation wall time in milliseconds.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Partial reports a degraded scatter-gather answer: at least one
+	// shard's contribution is missing, so Bindings may be a strict
+	// subset of the exact answer. Unsharded serving never sets it.
+	Partial bool `json:"partial,omitempty"`
+	// Shards carries the per-shard outcomes of a scattered evaluation
+	// (sharded serving only).
+	Shards []ShardOutcomeJSON `json:"shards,omitempty"`
+}
+
+// ShardOutcomeJSON is one shard's contribution to a scattered query.
+type ShardOutcomeJSON struct {
+	Shard     int     `json:"shard"`
+	Bindings  int     `json:"bindings"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	TimedOut  bool    `json:"timed_out,omitempty"`
+	Error     string  `json:"error,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/psi/batch: up to MaxBatch
@@ -251,6 +268,22 @@ func resultJSON(res *smartpsi.Result, elapsed time.Duration) *QueryResult {
 		Recursions: res.Work.Recursions,
 		ElapsedMS:  float64(elapsed.Nanoseconds()) / 1e6,
 	}
+}
+
+// attachGather folds a scatter-gather's degradation detail onto a wire
+// result.
+func attachGather(qr *QueryResult, gth *shard.Gather) *QueryResult {
+	qr.Partial = gth.Partial
+	for _, o := range gth.Outcomes {
+		qr.Shards = append(qr.Shards, ShardOutcomeJSON{
+			Shard:     o.Shard,
+			Bindings:  o.Bindings,
+			ElapsedMS: float64(o.Elapsed.Nanoseconds()) / 1e6,
+			TimedOut:  o.TimedOut,
+			Error:     o.Err,
+		})
+	}
+	return qr
 }
 
 // writeJSON writes v with the given status. Encode errors mean the

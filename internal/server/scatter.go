@@ -1,0 +1,346 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/smartpsi"
+)
+
+// Coordinator scatters queries across a fleet of psi-serve shard nodes
+// over the normal HTTP wire format and gathers their owned bindings.
+// It is an ordinary server evaluator — `psi-serve -coordinator
+// -shard-addrs a,b,c` mounts it behind the same admission, metrics and
+// drain machinery a single-engine server uses — plus the scatter
+// extension, so responses carry the partial flag and per-shard
+// outcomes, and a background prober feeds per-shard health into
+// /readyz. The address list's order is the shard-index order: addrs[i]
+// must be the node started with -shard-index i.
+type Coordinator struct {
+	addrs   []string
+	client  *http.Client
+	radius  int
+	metrics []*obs.PerShard
+
+	mu     sync.Mutex
+	health []shard.Status
+
+	probeEvery time.Duration
+	stop       chan struct{}
+	done       chan struct{}
+}
+
+// CoordinatorConfig configures a Coordinator.
+type CoordinatorConfig struct {
+	// Addrs are the shard node base addresses in shard-index order
+	// (host:port or full http:// URLs).
+	Addrs []string
+	// QueryRadius must match the fleet's -query-radius (default
+	// shard.DefaultQueryRadius); the coordinator rejects deeper queries
+	// up front, exactly as the nodes themselves would.
+	QueryRadius int
+	// ProbeInterval is the /readyz health-probe period. Default 2s.
+	ProbeInterval time.Duration
+	// Client overrides the HTTP client (tests). Default: a plain client;
+	// per-request deadlines come from the request contexts.
+	Client *http.Client
+}
+
+// NewCoordinator validates the address list and starts the health
+// prober. Call Close to stop it.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("server: coordinator needs at least one shard address")
+	}
+	c := &Coordinator{
+		client:     cfg.Client,
+		radius:     cfg.QueryRadius,
+		probeEvery: cfg.ProbeInterval,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	if c.radius <= 0 {
+		c.radius = shard.DefaultQueryRadius
+	}
+	if c.probeEvery <= 0 {
+		c.probeEvery = 2 * time.Second
+	}
+	for i, a := range cfg.Addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("server: shard address %d is empty", i)
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		c.addrs = append(c.addrs, strings.TrimRight(a, "/"))
+		c.metrics = append(c.metrics, obs.ShardMetrics(i))
+	}
+	c.health = make([]shard.Status, len(c.addrs))
+	for i := range c.health {
+		c.health[i] = shard.Status{Index: i, Addr: c.addrs[i], Err: "not probed yet"}
+	}
+	obs.ShardCount.Set(int64(len(c.addrs)))
+	//lint:ignore gojoin probeLoop closes c.done on exit and Close blocks on it; the join is cross-function
+	go c.probeLoop()
+	return c, nil
+}
+
+// Close stops the health prober.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+		<-c.done
+	}
+}
+
+// ShardStatuses returns the prober's latest per-shard health rows.
+func (c *Coordinator) ShardStatuses() []shard.Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]shard.Status, len(c.health))
+	copy(out, c.health)
+	return out
+}
+
+// probeLoop polls every shard's /readyz, immediately once at startup
+// and then on the configured period.
+func (c *Coordinator) probeLoop() {
+	defer close(c.done)
+	c.probeAll()
+	t := time.NewTicker(c.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+func (c *Coordinator) probeAll() {
+	var wg sync.WaitGroup
+	for i := range c.addrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := c.probeOne(i)
+			c.mu.Lock()
+			c.health[i] = st
+			c.mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+}
+
+// probeOne fetches one shard's /readyz. A ready shard node reports its
+// own slice row (owned/halo node counts), which the coordinator adopts.
+func (c *Coordinator) probeOne(i int) shard.Status {
+	st := shard.Status{Index: i, Addr: c.addrs[i]}
+	req, err := http.NewRequest(http.MethodGet, c.addrs[i]+"/readyz", nil)
+	if err != nil {
+		st.Err = err.Error()
+		return st
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		st.Err = err.Error()
+		return st
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK {
+		st.Err = fmt.Sprintf("readyz status %d", resp.StatusCode)
+		return st
+	}
+	var ready struct {
+		Shards []shard.Status `json:"shards"`
+	}
+	if err := json.Unmarshal(body, &ready); err == nil && len(ready.Shards) == 1 {
+		st.OwnedNodes = ready.Shards[0].OwnedNodes
+		st.HaloNodes = ready.Shards[0].HaloNodes
+	}
+	st.Healthy = true
+	return st
+}
+
+// EvaluateBudget satisfies the plain Evaluator interface.
+func (c *Coordinator) EvaluateBudget(q graph.Query, deadline time.Time) (*smartpsi.Result, error) {
+	g, err := c.EvaluateScatter(q, deadline, "", "")
+	if err != nil {
+		return nil, err
+	}
+	return g.Res, nil
+}
+
+// EvaluateScatter POSTs the query to every shard node concurrently and
+// merges the answers under the shared shard.Merge degradation
+// semantics.
+func (c *Coordinator) EvaluateScatter(q graph.Query, deadline time.Time, requestID, fingerprint string) (*shard.Gather, error) {
+	if err := shard.CheckRadius(q, c.radius); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	obs.ShardScatters.Inc()
+	shardDeadline := shard.SliceDeadline(deadline)
+	outcomes := make([]shard.Outcome, len(c.addrs))
+	results := make([]*smartpsi.Result, len(c.addrs))
+	qj := QueryToJSON(q)
+	var wg sync.WaitGroup
+	for i := range c.addrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.metrics[i].Queries.Inc()
+			t0 := time.Now()
+			res, o := c.callShard(i, qj, shardDeadline, requestID)
+			o.Shard = i
+			o.Elapsed = time.Since(t0)
+			c.metrics[i].Seconds.ObserveSeconds(o.Elapsed.Seconds())
+			switch {
+			case o.TimedOut:
+				c.metrics[i].Timeouts.Inc()
+			case o.Err != "":
+				c.metrics[i].Errors.Inc()
+			default:
+				o.Bindings = len(res.Bindings)
+				results[i] = res
+			}
+			outcomes[i] = o
+		}(i)
+	}
+	wg.Wait()
+	return shard.Merge(outcomes, results, start)
+}
+
+// callShard runs one sub-query against shard i and classifies the
+// outcome: 200 -> answered, 504 -> timed out, anything else (transport
+// errors included) -> errored.
+func (c *Coordinator) callShard(i int, qj QueryJSON, deadline time.Time, requestID string) (*smartpsi.Result, shard.Outcome) {
+	var o shard.Outcome
+	body := PSIRequest{Query: &qj}
+	if !deadline.IsZero() {
+		ms := time.Until(deadline).Milliseconds()
+		if ms < 1 {
+			o.TimedOut = true
+			return nil, o
+		}
+		body.TimeoutMS = ms
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		o.Err = err.Error()
+		return nil, o
+	}
+	req, err := http.NewRequest(http.MethodPost, c.addrs[i]+"/v1/psi", bytes.NewReader(buf))
+	if err != nil {
+		o.Err = err.Error()
+		return nil, o
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if requestID != "" {
+		// Forward the coordinator's request ID so one scattered query
+		// correlates across every shard's log, trace and profile.
+		req.Header.Set(requestIDHeader, requestID)
+	}
+	if !deadline.IsZero() {
+		// The wire timeout stops the shard's evaluation; the request
+		// context (with grace) stops waiting for a wedged node.
+		ctx, cancel := context.WithDeadline(context.Background(), deadline.Add(250*time.Millisecond))
+		defer cancel()
+		req = req.WithContext(ctx)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if isDeadlineErr(err) {
+			o.TimedOut = true
+		} else {
+			o.Err = err.Error()
+		}
+		return nil, o
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		o.Err = err.Error()
+		return nil, o
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGatewayTimeout:
+		o.TimedOut = true
+		return nil, o
+	default:
+		o.Err = fmt.Sprintf("status %d: %s", resp.StatusCode, errorMessage(raw))
+		return nil, o
+	}
+	var qr QueryResult
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		o.Err = fmt.Sprintf("bad shard response: %v", err)
+		return nil, o
+	}
+	return resultFromJSON(&qr), o
+}
+
+// resultFromJSON lifts a shard node's wire result back into engine-
+// result form for the shared merge. Only the merged/served fields
+// survive the round trip; per-shard profiles stay on their own nodes
+// (reachable there by the forwarded request ID).
+func resultFromJSON(qr *QueryResult) *smartpsi.Result {
+	res := &smartpsi.Result{
+		Candidates: qr.Candidates,
+		UsedML:     qr.UsedML,
+		CacheHits:  qr.CacheHits,
+		Flips:      qr.Flips,
+		Fallbacks:  qr.Fallbacks,
+	}
+	res.Work.Recursions = qr.Recursions
+	res.Bindings = make([]graph.NodeID, len(qr.Bindings))
+	for i, u := range qr.Bindings {
+		res.Bindings[i] = graph.NodeID(u)
+	}
+	return res
+}
+
+// errorMessage extracts the error string from a JSON error body, or
+// returns a truncated raw body.
+func errorMessage(raw []byte) string {
+	var eb ErrorBody
+	if err := json.Unmarshal(raw, &eb); err == nil && eb.Error != "" {
+		return eb.Error
+	}
+	s := strings.TrimSpace(string(raw))
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}
+
+// isDeadlineErr reports whether a transport error is a timeout.
+func isDeadlineErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	if t, ok := err.(interface{ Timeout() bool }); ok && t.Timeout() {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded)
+}

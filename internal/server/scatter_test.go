@@ -1,0 +1,270 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/graph/graphtest"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/smartpsi"
+	"repro/internal/workload"
+)
+
+// fakeScatterEval scripts the scatter extension for handler tests.
+type fakeScatterEval struct {
+	gather *shard.Gather
+	err    error
+}
+
+func (f *fakeScatterEval) EvaluateBudget(q graph.Query, deadline time.Time) (*smartpsi.Result, error) {
+	g, err := f.EvaluateScatter(q, deadline, "", "")
+	if err != nil {
+		return nil, err
+	}
+	return g.Res, nil
+}
+
+func (f *fakeScatterEval) EvaluateScatter(q graph.Query, deadline time.Time, requestID, fingerprint string) (*shard.Gather, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	return f.gather, nil
+}
+
+func (f *fakeScatterEval) ShardStatuses() []shard.Status {
+	return []shard.Status{{Index: 0, Healthy: true}, {Index: 1, Healthy: false, Err: "connection refused"}}
+}
+
+// A partial gather must surface on the wire (partial flag, per-shard
+// outcomes) and burn server_partial_total.
+func TestServerPartialResponse(t *testing.T) {
+	fake := &fakeScatterEval{gather: &shard.Gather{
+		Res:     &smartpsi.Result{Bindings: []graph.NodeID{4, 9}, Candidates: 7},
+		Partial: true,
+		Outcomes: []shard.Outcome{
+			{Shard: 0, Bindings: 2, Elapsed: 3 * time.Millisecond},
+			{Shard: 1, Err: "connection refused"},
+		},
+	}}
+	_, ts := newTestServer(t, fake, Config{})
+	before := obs.ServerPartials.Value()
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/psi", PSIRequest{Query: triangleQuery()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResult
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Partial {
+		t.Fatal("partial gather served without the partial flag")
+	}
+	if len(qr.Shards) != 2 || qr.Shards[1].Error == "" || qr.Shards[0].Bindings != 2 {
+		t.Fatalf("shard outcomes on the wire: %+v", qr.Shards)
+	}
+	if len(qr.Bindings) != 2 {
+		t.Fatalf("bindings: %v", qr.Bindings)
+	}
+	if obs.ServerPartials.Value() != before+1 {
+		t.Fatal("server_partial_total did not count the partial answer")
+	}
+}
+
+// /readyz surfaces the evaluator's per-shard health rows.
+func TestServerReadyzShardHealth(t *testing.T) {
+	fake := &fakeScatterEval{gather: &shard.Gather{Res: &smartpsi.Result{}}}
+	_, ts := newTestServer(t, fake, Config{})
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ready struct {
+		Status        string         `json:"status"`
+		Shards        []shard.Status `json:"shards"`
+		ShardsHealthy int            `json:"shards_healthy"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Status != "ready" || len(ready.Shards) != 2 || ready.ShardsHealthy != 1 {
+		t.Fatalf("readyz = %+v", ready)
+	}
+	if ready.Shards[1].Healthy || ready.Shards[1].Err == "" {
+		t.Fatalf("unhealthy shard row lost: %+v", ready.Shards[1])
+	}
+}
+
+// A query too deep for the shard halo is a 400, not a silent subset.
+func TestServerRadiusRejected(t *testing.T) {
+	fake := &fakeScatterEval{err: &shard.RadiusError{Eccentricity: 5, Radius: 3}}
+	_, ts := newTestServer(t, fake, Config{})
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/psi", PSIRequest{Query: triangleQuery()})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// startFleet boots n shard-node servers over g and a coordinator server
+// scattering to them, returning the coordinator's base URL and the
+// per-node test servers.
+func startFleet(t *testing.T, g *graph.Graph, n int, cfg Config) (*httptest.Server, []*httptest.Server, *Coordinator) {
+	t.Helper()
+	nodes := make([]*httptest.Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		node, err := shard.NewNode(g, shard.Options{Strategy: shard.LabelHash, Engine: smartpsi.Options{Threads: 1}}, n, i)
+		if err != nil {
+			t.Fatalf("NewNode(%d): %v", i, err)
+		}
+		ns := NewServer(node, Config{})
+		nodes[i] = httptest.NewServer(ns.Handler())
+		t.Cleanup(nodes[i].Close)
+		addrs[i] = nodes[i].URL
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{Addrs: addrs, ProbeInterval: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	cs := NewServer(coord, cfg)
+	ts := httptest.NewServer(cs.Handler())
+	t.Cleanup(ts.Close)
+	return ts, nodes, coord
+}
+
+// End-to-end fleet equivalence: a coordinator over two HTTP shard nodes
+// answers exactly what the model-free reference computes, and losing a
+// node degrades to flagged partial answers plus an unhealthy /readyz
+// row.
+func TestCoordinatorFleet(t *testing.T) {
+	g := graphtest.Random(120, 360, 4, 51)
+	ref, err := NewReference(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := workload.ExtractQueries(g, 4, 4, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, nodes, coord := startFleet(t, g, 2, Config{})
+
+	for i, q := range qs {
+		want, err := ref.Bindings(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/psi",
+			PSIRequest{Query: ptrQueryJSON(QueryToJSON(q)), TimeoutMS: 10000})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var qr QueryResult
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		if qr.Partial {
+			t.Fatalf("query %d: healthy fleet served a partial answer", i)
+		}
+		if len(qr.Shards) != 2 {
+			t.Fatalf("query %d: %d shard outcomes", i, len(qr.Shards))
+		}
+		if !int64SlicesEqual(qr.Bindings, want) {
+			t.Fatalf("query %d: fleet %v, reference %v", i, qr.Bindings, want)
+		}
+	}
+
+	// Kill shard 1 and require a flagged partial answer.
+	nodes[1].Close()
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/psi",
+		PSIRequest{Query: ptrQueryJSON(QueryToJSON(qs[0])), TimeoutMS: 10000})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded fleet: status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResult
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Partial {
+		t.Fatalf("lost shard did not flag the answer partial: %s", body)
+	}
+	full, err := ref.Bindings(qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Bindings) > len(full) {
+		t.Fatalf("partial answer larger than the exact one: %d > %d", len(qr.Bindings), len(full))
+	}
+
+	// The prober must notice the loss.
+	waitUntil(t, "prober to mark shard 1 unhealthy", func() bool {
+		sts := coord.ShardStatuses()
+		return len(sts) == 2 && sts[0].Healthy && !sts[1].Healthy
+	})
+}
+
+// All shards lost is a hard error on the wire, not an empty 200.
+func TestCoordinatorAllShardsDown(t *testing.T) {
+	g := graphtest.Random(60, 150, 3, 57)
+	qs, err := workload.ExtractQueries(g, 3, 1, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, nodes, _ := startFleet(t, g, 2, Config{})
+	nodes[0].Close()
+	nodes[1].Close()
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/psi",
+		PSIRequest{Query: ptrQueryJSON(QueryToJSON(qs[0])), TimeoutMS: 5000})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("all shards down: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestCoordinatorConfigValidation(t *testing.T) {
+	if _, err := NewCoordinator(CoordinatorConfig{}); err == nil {
+		t.Fatal("coordinator with no shard addresses accepted")
+	}
+	if _, err := NewCoordinator(CoordinatorConfig{Addrs: []string{"127.0.0.1:1", " "}}); err == nil {
+		t.Fatal("blank shard address accepted")
+	}
+	var re *shard.RadiusError
+	c, err := NewCoordinator(CoordinatorConfig{Addrs: []string{"127.0.0.1:1"}, ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A deep query is rejected before any network call.
+	b := graph.NewBuilder(6, 5)
+	for i := 0; i < 6; i++ {
+		b.AddNode(0)
+	}
+	for i := 0; i < 5; i++ {
+		if err := b.AddEdge(graph.NodeID(i), graph.NodeID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.EvaluateScatter(graph.Query{G: b.MustBuild(), Pivot: 0}, time.Time{}, "", ""); !errors.As(err, &re) {
+		t.Fatalf("deep query: %v", err)
+	}
+}
+
+func ptrQueryJSON(qj QueryJSON) *QueryJSON { return &qj }
+
+func int64SlicesEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -67,6 +67,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/psi"
+	"repro/internal/shard"
 	"repro/internal/smartpsi"
 )
 
@@ -94,10 +95,27 @@ type taggedEvaluator interface {
 	EvaluateTagged(q graph.Query, deadline time.Time, requestID, fingerprint string) (*smartpsi.Result, error)
 }
 
+// scatterEvaluator is the sharded-serving extension: evaluators that
+// fan a query out across shards (shard.Cluster in-process, Coordinator
+// over HTTP) return the full Gather so the handlers can surface the
+// partial-result flag and per-shard outcomes on the wire.
+type scatterEvaluator interface {
+	EvaluateScatter(q graph.Query, deadline time.Time, requestID, fingerprint string) (*shard.Gather, error)
+}
+
+// shardStatusProvider is the optional extension surfacing per-shard
+// health rows in /readyz (shard.Cluster, shard.Node and Coordinator).
+type shardStatusProvider interface {
+	ShardStatuses() []shard.Status
+}
+
 var (
 	_ Evaluator        = (*smartpsi.Engine)(nil)
 	_ requestEvaluator = (*smartpsi.Engine)(nil)
 	_ taggedEvaluator  = (*smartpsi.Engine)(nil)
+	_ scatterEvaluator = (*shard.Cluster)(nil)
+	_ Evaluator        = (*shard.Cluster)(nil)
+	_ taggedEvaluator  = (*shard.Node)(nil)
 )
 
 // Config tunes the server's guardrails. The zero value gives sensible
@@ -506,6 +524,41 @@ func (s *Server) safeEvaluate(q graph.Query, deadline time.Time, requestID, fing
 	return s.eval.EvaluateBudget(q, deadline)
 }
 
+// safeScatterEvaluate is safeEvaluate for scatter-capable evaluators:
+// same panic recovery, but the Gather (partial flag, per-shard
+// outcomes) survives to the response encoder. gth is nil exactly when
+// err is non-nil. A partial gather counts against the availability SLO:
+// the client was answered, but not completely.
+func (s *Server) safeScatterEvaluate(sc scatterEvaluator, q graph.Query, deadline time.Time, requestID, fingerprint string) (gth *shard.Gather, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			obs.ServerPanics.Inc()
+			s.logf("evaluator panic: %v", p)
+			gth, err = nil, fmt.Errorf("%w: %v", errPanic, p)
+		}
+	}()
+	gth, err = sc.EvaluateScatter(q, deadline, requestID, fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	if gth.Partial {
+		obs.ServerPartials.Inc()
+		s.logf("partial answer: %d/%d shards responded", len(gth.Outcomes)-lostShards(gth), len(gth.Outcomes))
+	}
+	return gth, nil
+}
+
+// lostShards counts the outcomes that did not answer.
+func lostShards(gth *shard.Gather) int {
+	n := 0
+	for _, o := range gth.Outcomes {
+		if !o.OK() {
+			n++
+		}
+	}
+	return n
+}
+
 // fingerprintQuery computes the canonical fingerprint of one admitted
 // query — once, before evaluation — when workload analytics is armed.
 // The zero Fingerprint (ok=false) means "unarmed": no sketch, no
@@ -669,7 +722,16 @@ func (s *Server) handlePSI(w http.ResponseWriter, r *http.Request) {
 	defer s.adm.release()
 
 	evalStart := time.Now()
-	res, err := s.safeEvaluate(q, deadline, RequestIDFrom(r.Context()), fpStr)
+	var res *smartpsi.Result
+	var gth *shard.Gather
+	if sc, isScatter := s.eval.(scatterEvaluator); isScatter {
+		gth, err = s.safeScatterEvaluate(sc, q, deadline, RequestIDFrom(r.Context()), fpStr)
+		if gth != nil {
+			res = gth.Res
+		}
+	} else {
+		res, err = s.safeEvaluate(q, deadline, RequestIDFrom(r.Context()), fpStr)
+	}
 	if out, ok := workloadOutcome(err); ok {
 		s.observeQuery(q, fp, out, time.Since(evalStart), res)
 	}
@@ -677,7 +739,11 @@ func (s *Server) handlePSI(w http.ResponseWriter, r *http.Request) {
 		s.writeEvalError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resultJSON(res, time.Since(evalStart)))
+	qr := resultJSON(res, time.Since(evalStart))
+	if gth != nil {
+		attachGather(qr, gth)
+	}
+	writeJSON(w, http.StatusOK, qr)
 }
 
 // handleBatch serves POST /v1/psi/batch: every query is validated up
@@ -749,7 +815,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			defer s.adm.release()
 			evalStart := time.Now()
-			res, err := s.safeEvaluate(q, deadline, reqID, fpStr)
+			var res *smartpsi.Result
+			var gth *shard.Gather
+			var err error
+			if sc, isScatter := s.eval.(scatterEvaluator); isScatter {
+				gth, err = s.safeScatterEvaluate(sc, q, deadline, reqID, fpStr)
+				if gth != nil {
+					res = gth.Res
+				}
+			} else {
+				res, err = s.safeEvaluate(q, deadline, reqID, fpStr)
+			}
 			if out, ok := workloadOutcome(err); ok {
 				s.observeQuery(q, fp, out, time.Since(evalStart), res)
 			}
@@ -757,7 +833,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				items[i] = evalItem(err)
 				return
 			}
-			items[i] = BatchItem{Status: http.StatusOK, Result: resultJSON(res, time.Since(evalStart))}
+			qr := resultJSON(res, time.Since(evalStart))
+			if gth != nil {
+				attachGather(qr, gth)
+			}
+			items[i] = BatchItem{Status: http.StatusOK, Result: qr}
 		}(i, q)
 	}
 	wg.Wait()
@@ -791,12 +871,28 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":      "ready",
 		"workers":     s.cfg.Workers,
 		"queue_depth": s.adm.queueDepth(),
 		"in_flight":   s.adm.inFlight(),
-	})
+	}
+	// Sharded evaluators surface per-shard health rows. A coordinator
+	// with a lost shard stays ready — it serves flagged partial answers
+	// — but the rows tell the operator (and the fleet smoke test) which
+	// shard to chase.
+	if sp, ok := s.eval.(shardStatusProvider); ok {
+		statuses := sp.ShardStatuses()
+		body["shards"] = statuses
+		healthy := 0
+		for _, st := range statuses {
+			if st.Healthy {
+				healthy++
+			}
+		}
+		body["shards_healthy"] = healthy
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // writeRequestError maps pre-admission failures (decode, validation,
@@ -833,7 +929,13 @@ func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
 // executor has already stopped — EvaluateBudget aborts the search
 // itself), panic -> 500, anything else -> 500.
 func (s *Server) writeEvalError(w http.ResponseWriter, err error) {
+	var re *shard.RadiusError
 	switch {
+	case errors.As(err, &re):
+		// Sharded serving cannot answer a query deeper than its halo
+		// supports; that is a property of the query, so a client error.
+		obs.ServerBadRequests.Inc()
+		writeError(w, http.StatusBadRequest, "%v", re)
 	case errors.Is(err, psi.ErrDeadline):
 		obs.ServerDeadlineHits.Inc()
 		writeError(w, http.StatusGatewayTimeout, "query deadline exceeded")
@@ -869,7 +971,11 @@ func admissionItem(err error) BatchItem {
 }
 
 func evalItem(err error) BatchItem {
+	var re *shard.RadiusError
 	switch {
+	case errors.As(err, &re):
+		obs.ServerBadRequests.Inc()
+		return BatchItem{Status: http.StatusBadRequest, Error: re.Error()}
 	case errors.Is(err, psi.ErrDeadline):
 		obs.ServerDeadlineHits.Inc()
 		return BatchItem{Status: http.StatusGatewayTimeout, Error: "query deadline exceeded"}

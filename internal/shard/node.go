@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/smartpsi"
+)
+
+// Node is one fleet member: the evaluator a `psi-serve -shard-of N
+// -shard-index i` process serves. It is an ordinary server evaluator —
+// same wire format, same admission, same metrics — whose answers are
+// the shard's owned bindings mapped back to global node ids, so a
+// coordinator can union shard responses without translation.
+type Node struct {
+	slice *Slice
+	eng   *smartpsi.Engine
+	opts  Options
+}
+
+// NewNode partitions g deterministically, extracts slice index of n,
+// and warms its engine. Every fleet member loads the same graph file,
+// so the plans agree without coordination.
+func NewNode(g *graph.Graph, opts Options, n, index int) (*Node, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	if index < 0 || index >= n {
+		return nil, fmt.Errorf("shard: index %d out of range [0,%d)", index, n)
+	}
+	opts.Shards = n
+	plan, err := Partition(g, n, opts.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	sl, err := ExtractSlice(g, plan, index, opts.haloDepth())
+	if err != nil {
+		return nil, err
+	}
+	eng, err := smartpsi.NewEngine(sl.Sub, opts.Engine)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{slice: sl, eng: eng, opts: opts}, nil
+}
+
+// Graph returns the shard's slice; its label-alphabet width matches the
+// full graph, so the server's query-label validation behaves as if it
+// held the whole graph.
+func (n *Node) Graph() *graph.Graph { return n.slice.Sub }
+
+// Slice returns the node's slice.
+func (n *Node) Slice() *Slice { return n.slice }
+
+// ShardStatuses reports this node's own health row.
+func (n *Node) ShardStatuses() []Status {
+	return []Status{{
+		Index:      n.slice.Index,
+		Healthy:    true,
+		OwnedNodes: n.slice.OwnedCount,
+		HaloNodes:  n.slice.HaloCount,
+	}}
+}
+
+// EvaluateBudget satisfies the plain server evaluator interface.
+func (n *Node) EvaluateBudget(q graph.Query, deadline time.Time) (*smartpsi.Result, error) {
+	return n.EvaluateTagged(q, deadline, "", "")
+}
+
+// EvaluateTagged evaluates the query on the slice and returns only the
+// owned bindings, as global ids. It re-checks the query radius: a query
+// deeper than the halo supports must fail loudly here, not silently
+// return too few bindings.
+func (n *Node) EvaluateTagged(q graph.Query, deadline time.Time, requestID, fingerprint string) (*smartpsi.Result, error) {
+	if err := CheckRadius(q, n.opts.queryRadius()); err != nil {
+		return nil, err
+	}
+	res, err := n.eng.EvaluateTagged(q, deadline, requestID, fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	res.Bindings = n.slice.filterOwned(res.Bindings)
+	return res, nil
+}

@@ -1,0 +1,77 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Slice is one shard's view of the data graph: the subgraph induced by
+// its owned nodes plus every node within Halo hops of one (the halo).
+// The slice preserves the full graph's label-alphabet width, so NS
+// signatures built on it are component-aligned with full-graph
+// signatures. Halo nodes are evaluated like any other candidate but
+// never produce bindings — ownership filtering happens before local ids
+// are mapped back to global ids.
+type Slice struct {
+	Index int          // shard index in [0, N)
+	N     int          // shard count
+	Halo  int          // halo depth in hops
+	Sub   *graph.Graph // owned ∪ halo induced subgraph, labels width-preserved
+	// ToGlobal maps local node ids (Sub's) to global ids, ascending —
+	// local order preserves global order, so an ascending local binding
+	// list maps to an ascending global one.
+	ToGlobal []graph.NodeID
+	Owned    []bool // Owned[local] — does this shard answer for the node?
+
+	OwnedCount int // nodes this shard owns
+	HaloCount  int // replicated boundary nodes (len(ToGlobal) - OwnedCount)
+}
+
+// ExtractSlice builds shard index's slice under plan p with the given
+// halo depth.
+func ExtractSlice(g *graph.Graph, p Plan, index, halo int) (*Slice, error) {
+	if index < 0 || index >= p.N {
+		return nil, fmt.Errorf("shard: index %d out of range [0,%d)", index, p.N)
+	}
+	if halo < 0 {
+		return nil, fmt.Errorf("shard: negative halo depth %d", halo)
+	}
+	seeds := p.OwnedNodes(index)
+	closure, err := graph.KHopClosure(g, seeds, halo)
+	if err != nil {
+		return nil, err
+	}
+	sub, toGlobal, err := graph.InducedSubgraphPreserving(g, closure)
+	if err != nil {
+		return nil, err
+	}
+	s := &Slice{
+		Index:    index,
+		N:        p.N,
+		Halo:     halo,
+		Sub:      sub,
+		ToGlobal: toGlobal,
+		Owned:    make([]bool, len(toGlobal)),
+	}
+	for local, global := range toGlobal {
+		if int(p.Owner[global]) == index {
+			s.Owned[local] = true
+			s.OwnedCount++
+		}
+	}
+	s.HaloCount = len(toGlobal) - s.OwnedCount
+	return s, nil
+}
+
+// filterOwned keeps the owned local bindings and maps them to global
+// ids, preserving ascending order. It returns the global bindings.
+func (s *Slice) filterOwned(local []graph.NodeID) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(local))
+	for _, u := range local {
+		if s.Owned[u] {
+			out = append(out, s.ToGlobal[u])
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/graphtest"
+)
+
+// haloSet computes, independently of KHopClosure, the set of nodes
+// within k hops of any owned node via multi-source BFS.
+func haloSet(g *graph.Graph, owned []graph.NodeID, k int) map[graph.NodeID]bool {
+	dist := make(map[graph.NodeID]int, len(owned))
+	frontier := append([]graph.NodeID(nil), owned...)
+	for _, u := range owned {
+		dist[u] = 0
+	}
+	for d := 1; d <= k && len(frontier) > 0; d++ {
+		var next []graph.NodeID
+		for _, u := range frontier {
+			for _, w := range g.Neighbors(u) {
+				if _, seen := dist[w]; !seen {
+					dist[w] = d
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make(map[graph.NodeID]bool, len(dist))
+	for u := range dist {
+		out[u] = true
+	}
+	return out
+}
+
+// Halo completeness: every node within halo hops of an owned node is
+// present in the slice, and nothing else is.
+func TestSliceHaloCompleteness(t *testing.T) {
+	g := graphtest.Random(150, 400, 4, 5)
+	const halo = 3
+	for _, strat := range strategies {
+		p, err := Partition(g, 3, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < p.N; i++ {
+			sl, err := ExtractSlice(g, p, i, halo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := haloSet(g, p.OwnedNodes(i), halo)
+			if len(sl.ToGlobal) != len(want) {
+				t.Fatalf("%v shard %d: slice has %d nodes, halo closure has %d", strat, i, len(sl.ToGlobal), len(want))
+			}
+			for _, global := range sl.ToGlobal {
+				if !want[global] {
+					t.Fatalf("%v shard %d: node %d in slice but outside the %d-hop halo", strat, i, global, halo)
+				}
+			}
+		}
+	}
+}
+
+// Ownership partition: across all slices, every global node is owned by
+// exactly one shard, and Owned flags agree with the plan.
+func TestSliceOwnershipPartition(t *testing.T) {
+	g := graphtest.Random(150, 400, 4, 9)
+	p, err := Partition(g, 4, LabelHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownedBy := make(map[graph.NodeID]int)
+	for i := 0; i < p.N; i++ {
+		sl, err := ExtractSlice(g, p, i, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owned, halo := 0, 0
+		for local, global := range sl.ToGlobal {
+			if sl.Owned[local] != (int(p.Owner[global]) == i) {
+				t.Fatalf("shard %d: Owned[%d] disagrees with plan for node %d", i, local, global)
+			}
+			if sl.Owned[local] {
+				owned++
+				if prev, dup := ownedBy[global]; dup {
+					t.Fatalf("node %d owned by both shard %d and %d", global, prev, i)
+				}
+				ownedBy[global] = i
+			} else {
+				halo++
+			}
+		}
+		if owned != sl.OwnedCount || halo != sl.HaloCount {
+			t.Fatalf("shard %d: counts (%d,%d) want (%d,%d)", i, sl.OwnedCount, sl.HaloCount, owned, halo)
+		}
+	}
+	if len(ownedBy) != g.NumNodes() {
+		t.Fatalf("slices own %d of %d nodes", len(ownedBy), g.NumNodes())
+	}
+}
+
+// Slices preserve the full graph's label-alphabet width and the
+// structure around interior nodes: any node whose whole halo-1
+// neighborhood is in the slice keeps its full-graph degree.
+func TestSliceWidthAndInterior(t *testing.T) {
+	g := graphtest.Random(150, 400, 6, 13)
+	p, err := Partition(g, 5, DegreeBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const halo = 2
+	for i := 0; i < p.N; i++ {
+		sl, err := ExtractSlice(g, p, i, halo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sl.Sub.NumLabels() != g.NumLabels() {
+			t.Fatalf("shard %d: slice label width %d, graph %d", i, sl.Sub.NumLabels(), g.NumLabels())
+		}
+		interior := haloSet(g, p.OwnedNodes(i), halo-1)
+		for local, global := range sl.ToGlobal {
+			if !interior[global] {
+				continue
+			}
+			if got, want := sl.Sub.Degree(graph.NodeID(local)), g.Degree(global); got != want {
+				t.Fatalf("shard %d: interior node %d degree %d, full graph %d", i, global, got, want)
+			}
+			if got, want := sl.Sub.Label(graph.NodeID(local)), g.Label(global); got != want {
+				t.Fatalf("shard %d: node %d label %d, full graph %d", i, global, got, want)
+			}
+		}
+	}
+}
+
+// A shard count above the node count leaves some shards empty; slices
+// and ownership must still hold together.
+func TestSliceEmptyShard(t *testing.T) {
+	b := graph.NewBuilder(3, 2)
+	for i := 0; i < 3; i++ {
+		b.AddNode(graph.Label(i % 2))
+	}
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	g := b.MustBuild()
+	p, err := Partition(g, 8, LabelHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalOwned := 0
+	for i := 0; i < 8; i++ {
+		sl, err := ExtractSlice(g, p, i, 2)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		totalOwned += sl.OwnedCount
+		if sl.OwnedCount == 0 && len(sl.ToGlobal) != 0 {
+			t.Fatalf("shard %d owns nothing but has %d slice nodes", i, len(sl.ToGlobal))
+		}
+		if sl.Sub.NumLabels() != g.NumLabels() {
+			t.Fatalf("empty shard %d lost the label alphabet: %d", i, sl.Sub.NumLabels())
+		}
+	}
+	if totalOwned != 3 {
+		t.Fatalf("shards own %d of 3 nodes", totalOwned)
+	}
+}

@@ -26,6 +26,12 @@
 #      /profilez?fingerprint= and appear in the auto-captured bundle's
 #      workload.json, and psi-bundle report must render the top-shapes
 #      section;
+#   6. sharded serving — a 2-shard fleet (two psi-serve shard nodes
+#      plus a coordinator) must answer exactly what the model-free
+#      reference computes (-verify), then keep answering after one
+#      shard is SIGKILLed: 200s flagged partial (-require-partial),
+#      which burn the availability SLO until the alert fires
+#      (-require-alert availability);
 #
 # then sends SIGTERM and requires a clean drain (exit 0). psi-loadgen
 # exits non-zero on any unexpected 5xx, so "the script passed" also
@@ -41,10 +47,13 @@ cd "$(dirname "$0")/.."
 
 work="$(mktemp -d)"
 serve_pid=""
+shard_pids=()
 cleanup() {
-    if [[ -n "$serve_pid" ]] && kill -0 "$serve_pid" 2>/dev/null; then
-        kill -KILL "$serve_pid" 2>/dev/null || true
-    fi
+    for p in "$serve_pid" ${shard_pids[@]+"${shard_pids[@]}"}; do
+        if [[ -n "$p" ]] && kill -0 "$p" 2>/dev/null; then
+            kill -KILL "$p" 2>/dev/null || true
+        fi
+    done
     rm -rf "$work"
 }
 trap cleanup EXIT
@@ -189,6 +198,57 @@ fi
 
 step "drain"
 stop_server
+
+step "fleet: boot 2 shard nodes + coordinator"
+# Each shard node loads the same graph file and derives the same
+# deterministic ownership partition; the coordinator holds no graph and
+# scatters over HTTP. Address order IS shard-index order.
+shard_addrs=()
+for i in 0 1; do
+    rm -f "$work/shard$i.addr"
+    "$work/psi-serve" -graph "$work/g.lg" -shard-of 2 -shard-index "$i" \
+        -addr 127.0.0.1:0 -addr-file "$work/shard$i.addr" -workers 2 \
+        >/dev/null 2>"$work/shard$i.log" &
+    shard_pids[$i]=$!
+done
+for i in 0 1; do
+    shard_addrs[$i]="$(wait_for_addr "$work/shard$i.addr")"
+done
+rm -f "$work/addr"
+"$work/psi-serve" -coordinator \
+    -shard-addrs "${shard_addrs[0]},${shard_addrs[1]}" -shard-probe 200ms \
+    -addr 127.0.0.1:0 -addr-file "$work/addr" -workers 4 \
+    -sample-interval 100ms -slo-availability 0.99 \
+    -slo-fast-window 1s -slo-slow-window 3s -slo-burn-factor 2 -slo-for 0s \
+    >/dev/null 2>"$work/serve.log" &
+serve_pid=$!
+addr="$(wait_for_addr "$work/addr")"
+
+step "fleet correctness (scattered answers match the model-free reference)"
+"$work/psi-loadgen" -addr "$addr" -graph "$work/g.lg" \
+    -concurrency 4 -requests 40 -timeout-ms 5000 \
+    -verify -min-bindings 1 -forbid-alert availability
+"$work/jsoncheck" -url "http://$addr/readyz"
+
+step "fleet shard loss: SIGKILL shard 1 -> flagged partials, firing availability alert"
+kill -KILL "${shard_pids[1]}"
+wait "${shard_pids[1]}" 2>/dev/null || true
+shard_pids[1]=""
+"$work/psi-loadgen" -addr "$addr" -graph "$work/g.lg" \
+    -concurrency 4 -requests 60 -timeout-ms 5000 \
+    -require-partial -require-alert availability
+
+step "fleet drain (coordinator, then the surviving shard)"
+stop_server
+kill -TERM "${shard_pids[0]}"
+rc=0
+wait "${shard_pids[0]}" || rc=$?
+if [[ "$rc" -ne 0 ]]; then
+    echo "shard 0 exited $rc after SIGTERM; log:" >&2
+    cat "$work/shard0.log" >&2
+    exit 1
+fi
+shard_pids[0]=""
 
 # Leave the alert-captured bundle where CI can archive it.
 cp "$bundle" "${SMOKE_BUNDLE_OUT:-/tmp/psi-smoke-bundle.zip}"
